@@ -1,0 +1,216 @@
+// Package hotg is a from-scratch reproduction of
+//
+//	Patrice Godefroid, "Higher-Order Test Generation", PLDI 2011.
+//
+// It implements systematic dynamic test generation (DART/SAGE-style concolic
+// execution) over a small imperative language, with the paper's full spectrum
+// of imprecision-handling strategies — unsound concretization, sound
+// concretization (eager and delayed), static symbolic execution — and the
+// paper's contribution: higher-order test generation, where unknown functions
+// become uninterpreted function symbols, concrete input–output samples are
+// recorded at run time, and new test inputs are derived from constructive
+// validity proofs of first-order formulas ∃X: A ⇒ pc, including multi-step
+// test sequences that gather missing samples.
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/mini      the mini language (lexer, parser, checker, interpreter)
+//	internal/sym       symbolic terms and formulas (LIA + EUF)
+//	internal/smt       a from-scratch SMT solver for QF_UFLIA
+//	internal/fol       POST(pc) construction, validity proofs, strategies
+//	internal/concolic  the concolic execution engine (Figures 1–3)
+//	internal/search    the directed generational search
+//	internal/fuzz      the blackbox random baseline
+//	internal/lexapp    the paper's example programs and the §7 lexer study
+//	internal/eval      the experiment harness behind EXPERIMENTS.md
+//
+// # Quick start
+//
+//	prog, err := hotg.Compile(src, hotg.DefaultNatives())
+//	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+//	stats := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: 100, Seeds: [][]int64{{0, 0}}})
+//	fmt.Println(stats.Summary())
+package hotg
+
+import (
+	"io"
+
+	"hotg/internal/concolic"
+	"hotg/internal/eval"
+	"hotg/internal/fol"
+	"hotg/internal/fuzz"
+	"hotg/internal/lexapp"
+	"hotg/internal/mini"
+	"hotg/internal/search"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// Mode selects how imprecision in symbolic execution is handled; see the
+// package documentation and concolic.Mode.
+type Mode = concolic.Mode
+
+// The execution modes, in increasing order of reasoning power.
+const (
+	// ModeStatic is static test generation (King-style symbolic execution,
+	// no concrete fallback).
+	ModeStatic = concolic.ModeStatic
+	// ModeUnsound is DART's default concretization (Figure 1 without
+	// line 14).
+	ModeUnsound = concolic.ModeUnsound
+	// ModeSound is sound concretization (Figure 1 with line 14).
+	ModeSound = concolic.ModeSound
+	// ModeSoundDelayed delays concretization constraints until use (§3.3).
+	ModeSoundDelayed = concolic.ModeSoundDelayed
+	// ModeHigherOrder is higher-order test generation (Figure 3).
+	ModeHigherOrder = concolic.ModeHigherOrder
+)
+
+// Program is a checked program in the mini language.
+type Program = mini.Program
+
+// Natives is the registry of host ("unknown") functions a program may call.
+type Natives = mini.Natives
+
+// RunResult is the outcome of one concrete execution.
+type RunResult = mini.Result
+
+// Engine performs side-by-side concrete and symbolic execution.
+type Engine = concolic.Engine
+
+// Execution is one concolic run: concrete result plus path constraint.
+type Execution = concolic.Execution
+
+// SearchOptions configures Explore.
+type SearchOptions = search.Options
+
+// Stats aggregates a search or fuzzing campaign.
+type Stats = search.Stats
+
+// Bug is one discovered defect.
+type Bug = search.Bug
+
+// FuzzOptions configures the blackbox random baseline.
+type FuzzOptions = fuzz.Options
+
+// Strategy is a constructive validity proof, read as an input recipe.
+type Strategy = fol.Strategy
+
+// ProveOutcome classifies a validity-proof attempt.
+type ProveOutcome = fol.Outcome
+
+// Validity-proof outcomes.
+const (
+	OutcomeProved  = fol.OutcomeProved
+	OutcomeInvalid = fol.OutcomeInvalid
+	OutcomeUnknown = fol.OutcomeUnknown
+)
+
+// ProveOptions configures ProveValidity.
+type ProveOptions = fol.Options
+
+// Resolution is the interpretation of a strategy against the sample store.
+type Resolution = fol.Resolution
+
+// Probe is a missing sample blocking a strategy (multi-step generation).
+type Probe = fol.Probe
+
+// SampleStore is the IOF table of recorded input–output samples.
+type SampleStore = sym.SampleStore
+
+// SummaryCache memoizes compositional path summaries (Section 8's
+// higher-order compositional test generation). Attach one to an engine via
+// eng.Summaries = hotg.NewSummaryCache().
+type SummaryCache = concolic.SummaryCache
+
+// Bound restricts one input's integer domain.
+type Bound = smt.Bound
+
+// Workload is a ready-to-search program under test.
+type Workload = lexapp.Workload
+
+// Experiment reproduces one table/figure of EXPERIMENTS.md.
+type Experiment = eval.Experiment
+
+// ExperimentConfig tunes experiment budgets.
+type ExperimentConfig = eval.Config
+
+// Table is a rendered experiment result with machine-checked claims.
+type Table = eval.Table
+
+// Compile parses and checks a mini program against the native registry.
+func Compile(src string, natives Natives) (*Program, error) {
+	p, err := mini.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := mini.Check(p, natives); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DefaultNatives returns a registry with the scrambled hash function used by
+// the paper examples ("hash", arity 1) and the lexer string hash ("hashstr").
+func DefaultNatives() Natives {
+	ns := Natives{}
+	ns.Register("hash", 1, lexapp.ScrambledHash)
+	ns.Register("hashstr", lexapp.ChunkLen, lexapp.HashStr)
+	return ns
+}
+
+// Run executes the program concretely on the flattened input vector.
+func Run(p *Program, input []int64) *RunResult {
+	return mini.Run(p, input, mini.RunOptions{})
+}
+
+// NewEngine creates a concolic engine for the program under the given mode.
+func NewEngine(p *Program, mode Mode) *Engine { return concolic.New(p, mode) }
+
+// NewSummaryCache returns an empty compositional-summary cache.
+func NewSummaryCache() *SummaryCache { return concolic.NewSummaryCache() }
+
+// Explore performs the directed search (DART for the concretization modes,
+// higher-order test generation for ModeHigherOrder).
+func Explore(eng *Engine, opts SearchOptions) *Stats { return search.Run(eng, opts) }
+
+// Fuzz runs the blackbox random baseline.
+func Fuzz(p *Program, opts FuzzOptions) *Stats { return fuzz.Run(p, opts) }
+
+// ProveValidity attempts a constructive validity proof of POST(pc); see
+// fol.Prove.
+func ProveValidity(pc sym.Expr, samples *SampleStore, opts ProveOptions) (*Strategy, ProveOutcome) {
+	return fol.Prove(pc, samples, opts)
+}
+
+// SaveSamples writes the engine's IOF store as JSON, so a later testing
+// session can resume with every input–output pair observed so far
+// (Sections 5.3 and 7).
+func SaveSamples(eng *Engine, w io.Writer) error { return eng.Samples.Encode(w) }
+
+// LoadSamples merges previously saved samples into the engine's IOF store,
+// returning how many new pairs were added.
+func LoadSamples(eng *Engine, r io.Reader) (int, error) {
+	return sym.DecodeSamples(r, eng.Samples, eng.Pool)
+}
+
+// PostDescription renders POST(pc) in the paper's notation, e.g.
+// "∀h ∃x,y: (h(42)=567) ⇒ (x - h(y) = 0)".
+func PostDescription(pc sym.Expr, samples *SampleStore) string {
+	return fol.PostString(pc, samples)
+}
+
+// GetWorkload returns a named workload: the paper examples ("obscure",
+// "foo", "foo-bis", "bar", "pub", "eq-pair", "succ-pair", "kstep-2",
+// "kstep-3", "delayed") and the Section 7 lexers ("lexer",
+// "lexer-hardcoded").
+func GetWorkload(name string) (*Workload, bool) { return lexapp.Get(name) }
+
+// Workloads returns every registered workload.
+func Workloads() []*Workload { return lexapp.All() }
+
+// Experiments returns the full table/figure reproduction suite.
+func Experiments() []Experiment { return eval.Experiments() }
+
+// GetExperiment returns one experiment by ID (e.g. "E12").
+func GetExperiment(id string) (Experiment, bool) { return eval.Get(id) }

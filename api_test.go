@@ -1,0 +1,142 @@
+package hotg_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hotg"
+	"hotg/internal/mini"
+)
+
+const apiFooSrc = `
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`
+
+func TestAPICompileAndRun(t *testing.T) {
+	prog, err := hotg.Compile(apiFooSrc, hotg.DefaultNatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := hotg.Run(prog, []int64{0, 0})
+	if res.Kind != mini.StopReturn {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, err := hotg.Compile("not a program", hotg.DefaultNatives()); err == nil {
+		t.Fatal("bad source must not compile")
+	}
+	if _, err := hotg.Compile(`fn main() { nosuch(); }`, hotg.DefaultNatives()); err == nil {
+		t.Fatal("undefined call must not check")
+	}
+}
+
+func TestAPIExploreFindsDeepBug(t *testing.T) {
+	prog, err := hotg.Compile(apiFooSrc, hotg.DefaultNatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	stats := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: 30, Seeds: [][]int64{{33, 42}}})
+	if len(stats.ErrorSitesFound()) != 1 {
+		t.Fatalf("deep bug not found: %s", stats.Summary())
+	}
+	if stats.Divergences != 0 {
+		t.Fatalf("diverged: %s", stats.Summary())
+	}
+	if !strings.Contains(stats.Summary(), "higher-order") {
+		t.Fatalf("summary = %q", stats.Summary())
+	}
+}
+
+func TestAPIFuzz(t *testing.T) {
+	prog, err := hotg.Compile(apiFooSrc, hotg.DefaultNatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := hotg.Fuzz(prog, hotg.FuzzOptions{MaxRuns: 50})
+	if st.Runs != 50 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+}
+
+func TestAPISamplePersistence(t *testing.T) {
+	prog, err := hotg.Compile(apiFooSrc, hotg.DefaultNatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	e1.Run([]int64{1, 5})
+	e1.Run([]int64{1, 9})
+	var buf bytes.Buffer
+	if err := hotg.SaveSamples(e1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	e2 := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	n, err := hotg.LoadSamples(e2, &buf)
+	if err != nil || n != e1.Samples.Len() {
+		t.Fatalf("loaded %d of %d samples, err=%v", n, e1.Samples.Len(), err)
+	}
+}
+
+func TestAPIProveValidity(t *testing.T) {
+	prog, err := hotg.Compile(apiFooSrc, hotg.DefaultNatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	ex := eng.Run([]int64{33, 42})
+	alt := ex.Alt(len(ex.PC) - 1) // flip x == hash(y)
+	fb := map[int]int64{eng.InputVars[0].ID: 33, eng.InputVars[1].ID: 42}
+	strat, out := hotg.ProveValidity(alt, eng.Samples, hotg.ProveOptions{Pool: eng.Pool, Fallback: fb})
+	if out != hotg.OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := strat.Resolve(eng.Samples)
+	if !res.Complete {
+		t.Fatalf("resolution = %+v", res)
+	}
+	desc := hotg.PostDescription(alt, eng.Samples)
+	if !strings.Contains(desc, "∀hash") || !strings.Contains(desc, "⇒") {
+		t.Fatalf("PostDescription = %q", desc)
+	}
+}
+
+func TestAPIWorkloadsAndExperiments(t *testing.T) {
+	if len(hotg.Workloads()) < 12 {
+		t.Fatalf("workloads = %d", len(hotg.Workloads()))
+	}
+	w, ok := hotg.GetWorkload("lexer")
+	if !ok || w.Build().Main() == nil {
+		t.Fatal("lexer workload missing")
+	}
+	if len(hotg.Experiments()) < 15 {
+		t.Fatalf("experiments = %d", len(hotg.Experiments()))
+	}
+	e, ok := hotg.GetExperiment("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	tab := e.Run(hotg.ExperimentConfig{Quick: true})
+	if len(tab.Failed()) != 0 {
+		t.Fatalf("E1 claims failed: %v", tab.Failed())
+	}
+}
+
+func TestAPISummaries(t *testing.T) {
+	w, _ := hotg.GetWorkload("scanner")
+	prog := w.Build()
+	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	eng.Summaries = hotg.NewSummaryCache()
+	st := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: 50, Seeds: w.Seeds, Bounds: w.Bounds})
+	if st.Divergences != 0 {
+		t.Fatalf("diverged: %s", st.Summary())
+	}
+	if eng.Summaries.Hits == 0 {
+		t.Fatal("summary cache never hit")
+	}
+}

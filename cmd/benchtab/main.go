@@ -1,0 +1,60 @@
+// Command benchtab regenerates every table and figure of EXPERIMENTS.md:
+// one experiment per artifact of the paper's evaluation, each with
+// machine-checked claims mirroring the paper's qualitative statements.
+//
+// Usage:
+//
+//	benchtab                 # run the full suite with default budgets
+//	benchtab -quick          # CI-sized budgets
+//	benchtab -budget 3000    # bigger lexer budget
+//	benchtab E12 E13         # selected experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hotg"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "CI-sized budgets")
+		budget = flag.Int("budget", 0, "execution budget for the lexer experiments (default 1500)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := hotg.ExperimentConfig{Quick: *quick, Budget: *budget, Seed: *seed}
+
+	selected := flag.Args()
+	run := func(e hotg.Experiment) bool {
+		if len(selected) == 0 {
+			return true
+		}
+		for _, id := range selected {
+			if id == e.ID {
+				return true
+			}
+		}
+		return false
+	}
+
+	failures := 0
+	for _, e := range hotg.Experiments() {
+		if !run(e) {
+			continue
+		}
+		t0 := time.Now()
+		tab := e.Run(cfg)
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+		failures += len(tab.Failed())
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d claim(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+}

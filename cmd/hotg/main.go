@@ -1,0 +1,160 @@
+// Command hotg runs one test-generation technique on one workload and prints
+// a report: coverage, generated tests, divergences, prover statistics, and
+// every bug found (with the triggering input).
+//
+// Usage:
+//
+//	hotg -list
+//	hotg -workload lexer -mode higher-order -runs 300
+//	hotg -workload foo -mode dart-unsound -runs 50 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hotg"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available workloads and modes")
+		workload   = flag.String("workload", "obscure", "workload name (see -list)")
+		mode       = flag.String("mode", "higher-order", "technique: static | dart-unsound | dart-sound | dart-sound-delayed | higher-order | random | all")
+		runs       = flag.Int("runs", 100, "execution budget")
+		refute     = flag.Bool("refute", false, "enable the invalidity prover (higher-order mode)")
+		seed       = flag.Int64("seed", 1, "random seed (random mode)")
+		verbose    = flag.Bool("v", false, "print every bug input")
+		samplesIn  = flag.String("samples-in", "", "load IOF samples from a previous session (JSON)")
+		samplesOut = flag.String("samples-out", "", "save the IOF store at exit (JSON)")
+		summaries  = flag.Bool("summaries", false, "enable compositional path summaries (higher-order mode)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range hotg.Workloads() {
+			fmt.Printf("  %-16s %s\n", w.Name, w.Description)
+		}
+		fmt.Println("modes: static, dart-unsound, dart-sound, dart-sound-delayed, higher-order, random")
+		return
+	}
+
+	w, ok := hotg.GetWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hotg: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	prog := w.Build()
+
+	if *mode == "all" {
+		compareAll(w, *runs, *seed)
+		return
+	}
+
+	var stats *hotg.Stats
+	var cache *hotg.SummaryCache
+	if *mode == "random" {
+		stats = hotg.Fuzz(prog, hotg.FuzzOptions{
+			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds,
+			Rand: rand.New(rand.NewSource(*seed)),
+		})
+	} else {
+		m, ok := parseMode(*mode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hotg: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		eng := hotg.NewEngine(prog, m)
+		if *summaries {
+			cache = hotg.NewSummaryCache()
+			eng.Summaries = cache
+		}
+		if *samplesIn != "" {
+			f, err := os.Open(*samplesIn)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hotg:", err)
+				os.Exit(2)
+			}
+			n, err := hotg.LoadSamples(eng, f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hotg:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("loaded %d samples from %s\n", n, *samplesIn)
+		}
+		stats = hotg.Explore(eng, hotg.SearchOptions{
+			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
+		})
+		if *samplesOut != "" {
+			f, err := os.Create(*samplesOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hotg:", err)
+				os.Exit(2)
+			}
+			if err := hotg.SaveSamples(eng, f); err != nil {
+				fmt.Fprintln(os.Stderr, "hotg:", err)
+				os.Exit(2)
+			}
+			f.Close()
+			fmt.Printf("saved %d samples to %s\n", eng.Samples.Len(), *samplesOut)
+		}
+	}
+
+	fmt.Println(stats.Summary())
+	if cache != nil {
+		fmt.Printf("summaries: hits=%d misses=%d fallbacks=%d cases=%d\n",
+			cache.Hits, cache.Misses, cache.Fallbacks, cache.Cases())
+	}
+	if len(stats.Bugs) == 0 {
+		fmt.Println("no bugs found")
+		return
+	}
+	fmt.Printf("%d bug(s):\n", len(stats.Bugs))
+	for _, b := range stats.Bugs {
+		if *verbose {
+			fmt.Printf("  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+		} else {
+			fmt.Printf("  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+		}
+	}
+}
+
+// compareAll runs every technique (random included) on the workload and
+// prints one row per technique.
+func compareAll(w *hotg.Workload, runs int, seed int64) {
+	fmt.Printf("%-20s %-6s %-10s %-6s %-6s %-6s\n", "technique", "runs", "coverage", "paths", "bugs", "div")
+	fz := hotg.Fuzz(w.Build(), hotg.FuzzOptions{
+		MaxRuns: runs, Seeds: w.Seeds, Bounds: w.Bounds, Rand: rand.New(rand.NewSource(seed)),
+	})
+	row := func(name string, st *hotg.Stats) {
+		fmt.Printf("%-20s %-6d %3d/%-6d %-6d %-6d %-6d\n", name, st.Runs,
+			st.BranchSidesCovered(), st.BranchSidesTotal(), st.Paths(),
+			len(st.ErrorSitesFound()), st.Divergences)
+	}
+	row("blackbox-random", fz)
+	for _, m := range []hotg.Mode{
+		hotg.ModeStatic, hotg.ModeUnsound, hotg.ModeSound,
+		hotg.ModeSoundDelayed, hotg.ModeHigherOrder,
+	} {
+		wm, _ := hotg.GetWorkload(w.Name)
+		eng := hotg.NewEngine(wm.Build(), m)
+		st := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: runs, Seeds: wm.Seeds, Bounds: wm.Bounds})
+		row(m.String(), st)
+	}
+}
+
+func parseMode(s string) (hotg.Mode, bool) {
+	for _, m := range []hotg.Mode{
+		hotg.ModeStatic, hotg.ModeUnsound, hotg.ModeSound,
+		hotg.ModeSoundDelayed, hotg.ModeHigherOrder,
+	} {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}

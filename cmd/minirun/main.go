@@ -1,0 +1,85 @@
+// Command minirun executes a mini program concretely.
+//
+// Usage:
+//
+//	minirun prog.mini 3 42          # run file with inputs 3, 42
+//	minirun -workload foo 567 42    # run a registered workload
+//	minirun -trace prog.mini 1      # also print the branch trace
+//
+// The native registry provides hash (arity 1) and hashstr (arity 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hotg"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "run a registered workload instead of a file")
+		trace    = flag.Bool("trace", false, "print the branch trace")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	var prog *hotg.Program
+	switch {
+	case *workload != "":
+		w, ok := hotg.GetWorkload(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "minirun: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		prog = w.Build()
+	case len(args) > 0:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minirun:", err)
+			os.Exit(2)
+		}
+		args = args[1:]
+		prog, err = hotg.Compile(string(src), hotg.DefaultNatives())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minirun:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: minirun [-workload name | file.mini] input...")
+		os.Exit(2)
+	}
+
+	shape := prog.Shape()
+	if len(args) != len(shape.Names) {
+		fmt.Fprintf(os.Stderr, "minirun: program needs %d inputs (%v), got %d\n",
+			len(shape.Names), shape.Names, len(args))
+		os.Exit(2)
+	}
+	input := make([]int64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minirun: bad input %q: %v\n", a, err)
+			os.Exit(2)
+		}
+		input[i] = v
+	}
+
+	res := hotg.Run(prog, input)
+	fmt.Printf("stop: %s\n", res.Kind)
+	switch {
+	case res.ErrorMsg != "":
+		fmt.Printf("error site %d: %q\n", res.ErrorSite, res.ErrorMsg)
+	case res.RuntimeMsg != "":
+		fmt.Printf("fault: %s\n", res.RuntimeMsg)
+	default:
+		fmt.Printf("return: %d\n", res.Return)
+	}
+	fmt.Printf("steps: %d, branch events: %d\n", res.Steps, len(res.Branches))
+	if *trace {
+		fmt.Printf("trace: %s\n", res.Path())
+	}
+}

@@ -1,0 +1,82 @@
+package hotg_test
+
+import (
+	"fmt"
+
+	"hotg"
+)
+
+// Example_obscure reproduces the paper's introductory claim: dynamic test
+// generation cracks a hash guard that static test generation cannot touch.
+func Example_obscure() {
+	prog, _ := hotg.Compile(`
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		error("guarded");
+	}
+}`, hotg.DefaultNatives())
+
+	static := hotg.Explore(hotg.NewEngine(prog, hotg.ModeStatic),
+		hotg.SearchOptions{MaxRuns: 20, Seeds: [][]int64{{33, 42}}})
+	dynamic := hotg.Explore(hotg.NewEngine(prog, hotg.ModeHigherOrder),
+		hotg.SearchOptions{MaxRuns: 20, Seeds: [][]int64{{33, 42}}})
+
+	fmt.Println("static found bugs:", len(static.ErrorSitesFound()))
+	fmt.Println("dynamic found bugs:", len(dynamic.ErrorSitesFound()))
+	// Output:
+	// static found bugs: 0
+	// dynamic found bugs: 1
+}
+
+// Example_multistep shows Example 7's two-step generation: the strategy
+// produced by the validity proof needs a sample the program has not yet
+// computed, so resolution reports a probe.
+func Example_multistep() {
+	prog, _ := hotg.Compile(`
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`, hotg.DefaultNatives())
+
+	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	hv, _ := eng.NativeEval("hash", []int64{42})
+	ex := eng.Run([]int64{hv, 42}) // then-branch of the first guard
+
+	alt := ex.Alt(len(ex.PC) - 1) // flip y ≠ 10
+	strat, outcome := hotg.ProveValidity(alt, eng.Samples, hotg.ProveOptions{
+		Pool:     eng.Pool,
+		Fallback: map[int]int64{eng.InputVars[0].ID: hv, eng.InputVars[1].ID: 42},
+	})
+	fmt.Println("outcome:", outcome)
+	fmt.Println("strategy:", strat)
+
+	res := strat.Resolve(eng.Samples)
+	fmt.Println("resolved:", res.Complete)
+	fmt.Println("needs:", res.Probes[0])
+	// Output:
+	// outcome: proved
+	// strategy: y := 10; x := hash(10)
+	// resolved: false
+	// needs: hash(10)=?
+}
+
+// Example_workloads runs the paper's bar() example, where higher-order
+// generation correctly proves the guard unreachable-for-all-hashes instead
+// of generating a divergent test.
+func Example_workloads() {
+	w, _ := hotg.GetWorkload("bar")
+	eng := hotg.NewEngine(w.Build(), hotg.ModeHigherOrder)
+	st := hotg.Explore(eng, hotg.SearchOptions{
+		MaxRuns: 20, Seeds: w.Seeds, Refute: true,
+	})
+	fmt.Println("bugs:", len(st.ErrorSitesFound()))
+	fmt.Println("divergences:", st.Divergences)
+	fmt.Println("invalidity proofs:", st.ProverInvalid > 0)
+	// Output:
+	// bugs: 0
+	// divergences: 0
+	// invalidity proofs: true
+}

@@ -1,0 +1,84 @@
+// Lexerfuzz reproduces the Section 7 application study interactively: a
+// flex-style lexer recognizes command-language keywords by comparing hash
+// values, which defeats both random testing and classic dynamic test
+// generation — higher-order test generation inverts the hash through its
+// recorded samples and drives execution into the parser, finding the deep
+// bugs behind well-formed keyword sequences.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hotg"
+	"hotg/internal/lexapp"
+)
+
+func main() {
+	budget := flag.Int("budget", 600, "execution budget per technique")
+	flag.Parse()
+
+	fmt.Printf("The program under test: a lexer hashing %d keywords (%s)\n",
+		len(lexapp.Keywords), keywordList())
+	fmt.Printf("followed by a parser with 5 deep error sites. Budget: %d executions.\n\n", *budget)
+
+	w := lexapp.Lexer()
+	fmt.Println("seeds (keyword-free junk):")
+	for _, s := range w.Seeds {
+		fmt.Printf("  %q\n", lexapp.DecodeInput(s))
+	}
+	fmt.Println()
+
+	type row struct {
+		name string
+		st   *hotg.Stats
+	}
+	var rows []row
+
+	fz := hotg.Fuzz(w.Build(), hotg.FuzzOptions{
+		MaxRuns: *budget, Seeds: w.Seeds, Bounds: w.Bounds, Rand: rand.New(rand.NewSource(1)),
+	})
+	rows = append(rows, row{"blackbox-random", fz})
+
+	for _, mode := range []hotg.Mode{hotg.ModeUnsound, hotg.ModeHigherOrder} {
+		wm := lexapp.Lexer()
+		eng := hotg.NewEngine(wm.Build(), mode)
+		st := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: *budget, Seeds: wm.Seeds, Bounds: wm.Bounds})
+		rows = append(rows, row{mode.String(), st})
+	}
+
+	kwIDs := lexapp.KeywordBranchIDs(w.Build())
+	fmt.Printf("%-18s %-10s %-12s %-12s %s\n", "technique", "coverage", "keywords", "parser bugs", "divergences")
+	for _, r := range rows {
+		kw := 0
+		for _, id := range kwIDs {
+			if r.st.SideCovered(id, true) {
+				kw++
+			}
+		}
+		fmt.Printf("%-18s %3d/%-6d %2d/%-9d %-12d %d\n", r.name,
+			r.st.BranchSidesCovered(), r.st.BranchSidesTotal(),
+			kw, len(kwIDs), len(r.st.ErrorSitesFound()), r.st.Divergences)
+	}
+
+	fmt.Println("\nbugs found by higher-order test generation:")
+	ho := rows[len(rows)-1].st
+	if len(ho.Bugs) == 0 {
+		fmt.Println("  (none at this budget — try -budget 1500)")
+	}
+	for _, b := range ho.Bugs {
+		fmt.Printf("  run %-5d %-20q input=%q\n", b.Run, b.Msg, lexapp.DecodeInput(b.Input))
+	}
+	fmt.Println("\nNo seed contained a keyword: every keyword above was synthesized by")
+	fmt.Println("inverting hashstr through its recorded input–output samples (Section 7).")
+}
+
+func keywordList() string {
+	words := make([]string, len(lexapp.Keywords))
+	for i, kw := range lexapp.Keywords {
+		words[i] = kw.Word
+	}
+	return strings.Join(words, ", ")
+}

@@ -1,0 +1,98 @@
+// Multistep walks through Example 7 of the paper step by step, driving the
+// engine and the validity prover by hand:
+//
+//	int foo(int x, int y) {
+//	    if (x == hash(y)) {
+//	        ...
+//	        if (y == 10) return -1; // error
+//	    }
+//	    ...
+//	}
+//
+// Reaching the error requires *two-step* test generation: the proved strategy
+// "set y := 10, set x := h(10)" cannot be interpreted until the value of
+// h(10) is observed, so an intermediate test is run purely to sample it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotg"
+)
+
+const src = `
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`
+
+func main() {
+	prog, err := hotg.Compile(src, hotg.DefaultNatives())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
+	hashOf := func(v int64) int64 {
+		out, _ := eng.NativeEval("hash", []int64{v})
+		return out
+	}
+
+	// Run 1: start where the paper does — on the then-branch of the first
+	// guard, i.e. with x = hash(42), y = 42.
+	in1 := []int64{hashOf(42), 42}
+	ex1 := eng.Run(in1)
+	fmt.Printf("run 1: input (x=%d, y=%d)\n", in1[0], in1[1])
+	fmt.Printf("  path constraint: %v\n", ex1.Formula())
+	fmt.Printf("  IOF samples recorded: %d\n", eng.Samples.Len())
+
+	// Negate the last constraint (y ≠ 10) and post-process.
+	alt := ex1.Alt(len(ex1.PC) - 1)
+	fmt.Printf("\ntarget: ALT(pc) = %v\n", alt)
+	fmt.Printf("POST(ALT) = %s\n", hotg.PostDescription(alt, eng.Samples))
+
+	fallback := map[int]int64{}
+	for i, v := range eng.InputVars {
+		fallback[v.ID] = in1[i]
+	}
+	strategy, outcome := hotg.ProveValidity(alt, eng.Samples, hotg.ProveOptions{
+		Pool: eng.Pool, Fallback: fallback,
+	})
+	if outcome != hotg.OutcomeProved {
+		log.Fatalf("expected a validity proof, got %v", outcome)
+	}
+	fmt.Printf("validity proof found; strategy: %v\n", strategy)
+	for _, step := range strategy.Proof {
+		fmt.Printf("  proof step: %s\n", step)
+	}
+
+	res := strategy.Resolve(eng.Samples)
+	if res.Complete {
+		log.Fatal("expected resolution to be blocked on a missing sample")
+	}
+	fmt.Printf("resolution blocked: need %v — time for an intermediate test\n", res.Probes)
+
+	// Run 2 (intermediate): keep x, set the resolved y := 10 so the program
+	// itself computes hash(10) and the engine records the sample.
+	in2 := []int64{in1[0], res.Values[eng.InputVars[1].ID]}
+	eng.Run(in2)
+	fmt.Printf("\nrun 2 (intermediate): input (x=%d, y=%d) — observed hash(10)=%d\n",
+		in2[0], in2[1], hashOf(10))
+
+	// Re-resolve: the strategy now interprets fully.
+	res = strategy.Resolve(eng.Samples)
+	if !res.Complete {
+		log.Fatalf("resolution still blocked: %v", res.Probes)
+	}
+	in3 := []int64{res.Values[eng.InputVars[0].ID], res.Values[eng.InputVars[1].ID]}
+	ex3 := eng.Run(in3)
+	fmt.Printf("run 3 (final): input (x=%d, y=%d) → %s", in3[0], in3[1], ex3.Result.Kind)
+	if ex3.Result.ErrorMsg != "" {
+		fmt.Printf(" %q", ex3.Result.ErrorMsg)
+	}
+	fmt.Println()
+	fmt.Println("\ntwo-step test generation, exactly as in Example 7 of the paper")
+}

@@ -1,0 +1,3 @@
+module hotg
+
+go 1.22

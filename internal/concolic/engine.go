@@ -1,0 +1,246 @@
+// Package concolic implements side-by-side concrete and symbolic execution of
+// mini programs — the executeSymbolic procedure of Figures 1–3 of the paper —
+// parameterized by how imprecision in symbolic execution is handled:
+//
+//	ModeStatic      static test generation: no concrete fallback; an unknown
+//	                value poisons everything it touches (King-style symbolic
+//	                execution, helpless on programs like obscure()).
+//	ModeUnsound     DART's default concretization (Figure 1 without line 14):
+//	                replace the unknown value by its runtime value and keep
+//	                going. Path constraints may be unsound → divergences.
+//	ModeSound       sound concretization (Figure 1 with line 14): additionally
+//	                pin every symbolic variable occurring in the concretized
+//	                expression with a concretization constraint x_i = I_i.
+//	ModeSoundDelayed the Section 3.3 variant: concretization constraints are
+//	                injected only when the concretized value actually flows
+//	                into a branch condition.
+//	ModeHigherOrder Figure 3: unknown functions/instructions become
+//	                uninterpreted function applications, and concrete
+//	                input–output samples are recorded in the IOF store.
+//
+// Sources of imprecision (the "default case" of Figure 1) are: calls to
+// native functions, products of two symbolic terms, division/modulo with a
+// symbolic operand, and array accesses at symbolic indices. The first three
+// are deterministic functions of their arguments and are representable as
+// uninterpreted functions in ModeHigherOrder; symbolic array indexing is
+// handled by sound index concretization in every sound mode (cf. Section 6:
+// only some sources of imprecision need be tracked as uninterpreted
+// functions).
+package concolic
+
+import (
+	"fmt"
+
+	"hotg/internal/mini"
+	"hotg/internal/sym"
+)
+
+// Mode selects the imprecision-handling strategy.
+type Mode int
+
+const (
+	// ModeStatic is static test generation (no runtime values).
+	ModeStatic Mode = iota
+	// ModeUnsound is DART's default unsound concretization.
+	ModeUnsound
+	// ModeSound is sound concretization (line 14 of Figure 1).
+	ModeSound
+	// ModeSoundDelayed delays concretization constraints until use.
+	ModeSoundDelayed
+	// ModeHigherOrder is symbolic execution with uninterpreted functions
+	// and sample recording (Figure 3).
+	ModeHigherOrder
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStatic:
+		return "static"
+	case ModeUnsound:
+		return "dart-unsound"
+	case ModeSound:
+		return "dart-sound"
+	case ModeSoundDelayed:
+		return "dart-sound-delayed"
+	case ModeHigherOrder:
+		return "higher-order"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Constraint is one conjunct of a path constraint.
+type Constraint struct {
+	// Expr is the constraint formula over the input variables (and, in
+	// ModeHigherOrder, uninterpreted function applications).
+	Expr sym.Expr
+	// IsConcretization marks a concretization constraint x_i = I_i; such
+	// constraints must never be negated by the search (Section 3.3).
+	IsConcretization bool
+	// EventIndex is the index into Result.Branches of the branch event this
+	// constraint was generated at, or -1 for concretization constraints.
+	EventIndex int
+	// Pos is the source position of the branch or concretization site.
+	Pos mini.Pos
+}
+
+func (c Constraint) String() string {
+	if c.IsConcretization {
+		return fmt.Sprintf("[conc] %v", c.Expr)
+	}
+	return fmt.Sprintf("[b%d] %v", c.EventIndex, c.Expr)
+}
+
+// Execution is the outcome of one concolic run.
+type Execution struct {
+	Input  []int64
+	Result *mini.Result
+	// PC is the path constraint, in generation order.
+	PC []Constraint
+	// Incomplete reports that at least one branch on a symbolic-but-unknown
+	// value produced no constraint (always false outside ModeStatic; this is
+	// DART's "completeness flag", Section 3.1).
+	Incomplete bool
+	// Concretizations counts imprecision events resolved by concretization.
+	Concretizations int
+	// UFApps counts uninterpreted applications created (ModeHigherOrder).
+	UFApps int
+	// NewSamples counts input–output pairs newly added to the IOF store.
+	NewSamples int
+}
+
+// Formula returns the conjunction of the whole path constraint.
+func (ex *Execution) Formula() sym.Expr {
+	parts := make([]sym.Expr, len(ex.PC))
+	for i, c := range ex.PC {
+		parts[i] = c.Expr
+	}
+	return sym.AndExpr(parts...)
+}
+
+// Alt builds the alternate path constraint ALT(pc_k) of Section 5.2: the
+// conjunction of all constraints before position k with the negation of the
+// k-th constraint. It panics if PC[k] is a concretization constraint, which
+// must never be negated.
+func (ex *Execution) Alt(k int) sym.Expr {
+	if ex.PC[k].IsConcretization {
+		panic("concolic: Alt on a concretization constraint")
+	}
+	parts := make([]sym.Expr, 0, k+1)
+	for i := 0; i < k; i++ {
+		parts = append(parts, ex.PC[i].Expr)
+	}
+	parts = append(parts, sym.NotExpr(ex.PC[k].Expr))
+	return sym.AndExpr(parts...)
+}
+
+// ExpectedTrace returns the branch trace an input satisfying Alt(k) is
+// predicted to follow: the executed prefix up to the k-th constraint's branch
+// event, with that event flipped.
+func (ex *Execution) ExpectedTrace(k int) []mini.BranchEvent {
+	idx := ex.PC[k].EventIndex
+	out := make([]mini.BranchEvent, idx+1)
+	copy(out, ex.Result.Branches[:idx])
+	ev := ex.Result.Branches[idx]
+	ev.Taken = !ev.Taken
+	out[idx] = ev
+	return out
+}
+
+// Engine executes one program under one mode, owning the symbolic input
+// variables (stable across runs, so path constraints from different runs
+// share a vocabulary) and, in ModeHigherOrder, the persistent IOF store.
+type Engine struct {
+	Prog *mini.Program
+	Mode Mode
+	Pool *sym.Pool
+	// InputVars are the symbolic variables x_i, aligned with Prog.Shape().
+	InputVars []*sym.Var
+	// Samples is the IOF store; it persists and grows across Run calls.
+	Samples *sym.SampleStore
+	// Summaries, when non-nil, enables compositional path summaries for
+	// eligible user-function calls (ModeHigherOrder only); see summary.go.
+	Summaries *SummaryCache
+
+	MaxSteps int
+	MaxDepth int
+
+	shape mini.InputShape
+	opFns map[string]*sym.Func
+	// vmCode is the optimized bytecode form of the program, compiled lazily
+	// for the summary machinery's concrete probe passes.
+	vmCode *mini.Compiled
+}
+
+// compiled returns the lazily built optimized bytecode of the program.
+func (e *Engine) compiled() *mini.Compiled {
+	if e.vmCode == nil {
+		e.vmCode = mini.CompileVM(e.Prog).Optimize()
+	}
+	return e.vmCode
+}
+
+// New creates an engine for the checked program under the given mode.
+func New(prog *mini.Program, mode Mode) *Engine {
+	e := &Engine{
+		Prog:     prog,
+		Mode:     mode,
+		Pool:     &sym.Pool{},
+		Samples:  sym.NewSampleStore(),
+		MaxSteps: 200000,
+		MaxDepth: 256,
+		opFns:    make(map[string]*sym.Func),
+	}
+	e.shape = prog.Shape()
+	for _, name := range e.shape.Names {
+		e.InputVars = append(e.InputVars, e.Pool.NewVar(name))
+	}
+	return e
+}
+
+// Shape returns the program's flattened input shape.
+func (e *Engine) Shape() mini.InputShape { return e.shape }
+
+// FuncFor returns the uninterpreted function symbol standing for the native
+// function of that name (creating it on first use).
+func (e *Engine) FuncFor(name string) *sym.Func {
+	nat := e.Prog.Natives[name]
+	if nat == nil {
+		panic("concolic: no native named " + name)
+	}
+	return e.Pool.FuncSym(name, nat.Arity)
+}
+
+// opFunc returns the uninterpreted function symbol for an unknown
+// instruction kind ($mul, $div, $mod), per footnote 3 of the paper.
+func (e *Engine) opFunc(name string, arity int) *sym.Func {
+	if f, ok := e.opFns[name]; ok {
+		return f
+	}
+	f := e.Pool.FuncSym(name, arity)
+	e.opFns[name] = f
+	return f
+}
+
+// NativeEval evaluates a native function concretely; it is the ground-truth
+// interpretation of the corresponding uninterpreted function symbol.
+func (e *Engine) NativeEval(name string, args []int64) (int64, bool) {
+	switch name {
+	case "$mul":
+		return args[0] * args[1], true
+	case "$div":
+		if args[1] == 0 {
+			return 0, false
+		}
+		return args[0] / args[1], true
+	case "$mod":
+		if args[1] == 0 {
+			return 0, false
+		}
+		return args[0] % args[1], true
+	}
+	if nat, ok := e.Prog.Natives[name]; ok {
+		return nat.Fn(args), true
+	}
+	return 0, false
+}

@@ -1,0 +1,277 @@
+package concolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotg/internal/mini"
+	"hotg/internal/sym"
+)
+
+const classifySrc = `
+fn classify(c int) int {
+	if (c < 48) {
+		return 0;
+	}
+	if (c < 58) {
+		return 1;
+	}
+	if (c == hash(c)) {
+		return 3;
+	}
+	return 2;
+}
+fn main(a int, b int, c int) {
+	var total = classify(a) + classify(b) + classify(c);
+	if (total == 3) {
+		error("all-digits");
+	}
+}`
+
+func TestSummaryHitMissCounters(t *testing.T) {
+	p := prog(t, classifySrc)
+	e := New(p, ModeHigherOrder)
+	e.Summaries = NewSummaryCache()
+
+	// First run: three calls along (at most two distinct) paths.
+	e.Run([]int64{50, 51, 30})
+	if e.Summaries.Misses == 0 {
+		t.Fatalf("expected misses on first run: %+v", e.Summaries)
+	}
+	if e.Summaries.Hits == 0 {
+		t.Fatalf("repeated intra-run paths should hit: %+v", e.Summaries)
+	}
+	misses := e.Summaries.Misses
+
+	// Second identical run: every call is a hit.
+	e.Run([]int64{50, 51, 30})
+	if e.Summaries.Misses != misses {
+		t.Fatalf("second run should add no misses: %+v", e.Summaries)
+	}
+	if e.Summaries.Cases() == 0 {
+		t.Fatal("no cases memoized")
+	}
+}
+
+func TestSummaryMatchesInline(t *testing.T) {
+	p := prog(t, classifySrc)
+	inline := New(p, ModeHigherOrder)
+	summ := New(p, ModeHigherOrder)
+	summ.Summaries = NewSummaryCache()
+
+	inputs := [][]int64{
+		{50, 51, 30},  // mixed classes
+		{50, 51, 52},  // all digits → error
+		{10, 200, 48}, // below/above/digit
+		{50, 51, 30},  // repeat: pure-hit run
+	}
+	for _, in := range inputs {
+		exI := inline.Run(in)
+		exS := summ.Run(in)
+		if exI.Result.Kind != exS.Result.Kind || exI.Result.Return != exS.Result.Return ||
+			exI.Result.Path() != exS.Result.Path() {
+			t.Fatalf("input %v: results differ: %+v vs %+v", in, exI.Result, exS.Result)
+		}
+		if exI.Formula().Key() != exS.Formula().Key() {
+			t.Fatalf("input %v: path constraints differ\ninline:  %v\nsummary: %v",
+				in, exI.Formula(), exS.Formula())
+		}
+		if len(exI.PC) != len(exS.PC) {
+			t.Fatalf("input %v: pc lengths differ: %d vs %d", in, len(exI.PC), len(exS.PC))
+		}
+		for k := range exI.PC {
+			if exI.PC[k].EventIndex != exS.PC[k].EventIndex {
+				t.Fatalf("input %v: pc[%d] event index %d vs %d",
+					in, k, exI.PC[k].EventIndex, exS.PC[k].EventIndex)
+			}
+		}
+	}
+}
+
+func TestSummaryFallbackOnError(t *testing.T) {
+	src := `
+fn risky(c int) int {
+	if (c == 7) {
+		error("inside-callee");
+	}
+	return c + 1;
+}
+fn main(a int) {
+	var v = risky(a);
+	if (v == 100) {
+		error("outside");
+	}
+}`
+	p := prog(t, src)
+	e := New(p, ModeHigherOrder)
+	e.Summaries = NewSummaryCache()
+
+	ex := e.Run([]int64{7})
+	if ex.Result.Kind != mini.StopError || ex.Result.ErrorMsg != "inside-callee" {
+		t.Fatalf("result = %+v", ex.Result)
+	}
+	if e.Summaries.Fallbacks == 0 {
+		t.Fatalf("error exit should fall back to inlining: %+v", e.Summaries)
+	}
+
+	// Normal path still summarized; constraints still sound.
+	ex = e.Run([]int64{99})
+	if ex.Result.Kind != mini.StopError || ex.Result.ErrorMsg != "outside" {
+		t.Fatalf("result = %+v", ex.Result)
+	}
+}
+
+func TestSummaryFallbackOnFault(t *testing.T) {
+	src := `
+fn divide(a int, b int) int {
+	return a / b;
+}
+fn main(x int) {
+	var v = divide(10, x);
+	if (v == 5) {
+		error("five");
+	}
+}`
+	p := prog(t, src)
+	e := New(p, ModeHigherOrder)
+	e.Summaries = NewSummaryCache()
+	ex := e.Run([]int64{0})
+	if ex.Result.Kind != mini.StopRuntime {
+		t.Fatalf("division by zero should fault: %+v", ex.Result)
+	}
+	if e.Summaries.Fallbacks == 0 {
+		t.Fatalf("fault should fall back: %+v", e.Summaries)
+	}
+}
+
+func TestSummaryConstArgsFold(t *testing.T) {
+	src := `
+fn double(c int) int {
+	return c * c;
+}
+fn main(x int) {
+	var k = double(6);
+	if (x == k) {
+		error("hit");
+	}
+}`
+	p := prog(t, src)
+	inline := New(p, ModeHigherOrder)
+	summ := New(p, ModeHigherOrder)
+	summ.Summaries = NewSummaryCache()
+	exI := inline.Run([]int64{1})
+	exS := summ.Run([]int64{1})
+	if exI.Formula().Key() != exS.Formula().Key() {
+		t.Fatalf("const-arg call should fold identically:\ninline:  %v\nsummary: %v",
+			exI.Formula(), exS.Formula())
+	}
+	// The constraint must reference the folded constant 36, not $mul(6,6).
+	if sym.HasApply(exS.Formula()) {
+		t.Fatalf("summary pc still contains an application: %v", exS.Formula())
+	}
+}
+
+func TestSummaryArrayCalleeExcluded(t *testing.T) {
+	src := `
+fn buffered(c int) int {
+	var tmp [4];
+	tmp[0] = c;
+	return tmp[0] + 1;
+}
+fn main(x int) {
+	if (buffered(x) == 5) {
+		error("e");
+	}
+}`
+	p := prog(t, src)
+	e := New(p, ModeHigherOrder)
+	e.Summaries = NewSummaryCache()
+	ex := e.Run([]int64{4})
+	if ex.Result.Kind != mini.StopError {
+		t.Fatalf("result = %+v", ex.Result)
+	}
+	if e.Summaries.Hits+e.Summaries.Misses != 0 {
+		t.Fatalf("array-using callee must be excluded: %+v", e.Summaries)
+	}
+}
+
+func TestSummaryRecursion(t *testing.T) {
+	src := `
+fn tri(n int) int {
+	if (n <= 0) {
+		return 0;
+	}
+	return n + tri(n - 1);
+}
+fn main(x int) {
+	if (tri(x) == 6) {
+		error("triangle");
+	}
+}`
+	p := prog(t, src)
+	inline := New(p, ModeHigherOrder)
+	summ := New(p, ModeHigherOrder)
+	summ.Summaries = NewSummaryCache()
+	for _, in := range [][]int64{{3}, {5}, {3}} {
+		exI := inline.Run(in)
+		exS := summ.Run(in)
+		if exI.Result.Kind != exS.Result.Kind || exI.Result.Path() != exS.Result.Path() {
+			t.Fatalf("input %v: %+v vs %+v", in, exI.Result, exS.Result)
+		}
+		if exI.Formula().Key() != exS.Formula().Key() {
+			t.Fatalf("input %v: pcs differ\ninline:  %v\nsummary: %v", in, exI.Formula(), exS.Formula())
+		}
+	}
+}
+
+// TestSummaryEquivalenceProperty is the headline property test: on random
+// programs with helper functions, higher-order execution with compositional
+// summaries is observationally identical to classic inlining — same concrete
+// results, same branch traces, and syntactically identical path constraints —
+// across repeated runs (exercising both hits and misses).
+func TestSummaryEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 80; iter++ {
+		src := mini.GenProgram(r, mini.GenConfig{Natives: []string{"hash"}, NumHelpers: 2})
+		p, err := mini.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		if err := mini.Check(p, natives()); err != nil {
+			t.Fatalf("check: %v\n%s", err, src)
+		}
+		for _, mode := range []Mode{ModeHigherOrder} {
+			inline := New(p, mode)
+			summ := New(p, mode)
+			summ.Summaries = NewSummaryCache()
+			for rep := 0; rep < 3; rep++ {
+				in := []int64{int64(r.Intn(21) - 10), int64(r.Intn(21) - 10), int64(r.Intn(21) - 10)}
+				exI := inline.Run(in)
+				exS := summ.Run(in)
+				if exI.Result.Kind != exS.Result.Kind || exI.Result.Return != exS.Result.Return ||
+					exI.Result.ErrorSite != exS.Result.ErrorSite || exI.Result.Path() != exS.Result.Path() {
+					t.Fatalf("iter %d mode %v input %v: results differ\n%+v\n%+v\n%s",
+						iter, mode, in, exI.Result, exS.Result, src)
+				}
+				if exI.Formula().Key() != exS.Formula().Key() {
+					t.Fatalf("iter %d mode %v input %v: path constraints differ\ninline:  %v\nsummary: %v\n%s",
+						iter, mode, in, exI.Formula(), exS.Formula(), src)
+				}
+			}
+		}
+	}
+}
+
+// TestSummaryModesRestricted: every non-higher-order mode must ignore the
+// cache (concretized summaries would be stale for other arguments).
+func TestSummaryModesRestricted(t *testing.T) {
+	p := prog(t, classifySrc)
+	for _, mode := range []Mode{ModeSound, ModeSoundDelayed, ModeStatic, ModeUnsound} {
+		e := New(p, mode)
+		e.Summaries = NewSummaryCache()
+		e.Run([]int64{50, 51, 30})
+		if e.Summaries.Hits+e.Summaries.Misses+e.Summaries.Fallbacks != 0 {
+			t.Fatalf("mode %v must not use summaries: %+v", mode, e.Summaries)
+		}
+	}
+}

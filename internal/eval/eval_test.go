@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick config for CI-speed experiment regression.
+func quick() Config { return Config{Quick: true, Budget: 300, Seed: 1} }
+
+// TestAllExperimentsClaimsHold runs every experiment in quick mode and
+// asserts that each machine-checked paper claim holds.
+func TestAllExperimentsClaimsHold(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(quick())
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %s != %s", tab.ID, e.ID)
+			}
+			for _, c := range tab.Failed() {
+				t.Errorf("claim failed: %s", c.Text)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if out := tab.Render(); !strings.Contains(out, tab.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+func TestGetExperiment(t *testing.T) {
+	if _, ok := Get("E12"); !ok {
+		t.Fatal("E12 missing")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bbb"}}
+	tab.addRow("xxxx", "y")
+	tab.note("hello %d", 7)
+	tab.claim(true, "fine")
+	tab.claim(false, "broken")
+	out := tab.Render()
+	for _, want := range []string{"T — demo", "xxxx", "note: hello 7", "[PASS]: fine", "[FAIL]: broken"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if len(tab.Failed()) != 1 {
+		t.Fatalf("Failed() = %v", tab.Failed())
+	}
+}

@@ -1,0 +1,409 @@
+package fol
+
+import (
+	"strings"
+	"testing"
+
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// TestObscureStrategy reproduces Section 4.2: ∃x,y: x = h(y) is valid with
+// strategy "fix y, set x := h(y)".
+func TestObscureStrategy(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{42}, 567)
+
+	pc := sym.Eq(sym.VarTerm(x), sym.ApplyTerm(h, sym.VarTerm(y)))
+	// "Fix y" at its current concrete value 42, per the paper's strategy.
+	st, out := Prove(pc, samples, Options{Pool: &p, Fallback: map[int]int64{y.ID: 42}})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete {
+		t.Fatalf("resolution incomplete: %+v", res)
+	}
+	if res.Values[x.ID] != 567 || res.Values[y.ID] != 42 {
+		t.Fatalf("witness = %v, want x=567 y=42", res.Values)
+	}
+	// The witness must actually satisfy the constraint under the samples.
+	holds, probes := Holds(pc, res.Values, samples)
+	if len(probes) != 0 || !holds {
+		t.Fatalf("witness check: holds=%v probes=%v values=%v", holds, probes, res.Values)
+	}
+}
+
+// TestExample4SamplesNeeded reproduces Example 4: ∃x,y: h(x) > 0 ∧ y = 10 is
+// invalid without samples (h ≡ 0 refutes it) but proved with h(1)=5 in the
+// antecedent.
+func TestExample4SamplesNeeded(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	pc := sym.AndExpr(
+		sym.Gt(sym.ApplyTerm(h, sym.VarTerm(x)), sym.Int(0)),
+		sym.Eq(sym.VarTerm(y), sym.Int(10)),
+	)
+
+	empty := sym.NewSampleStore()
+	if _, out := Prove(pc, empty, Options{Pool: &p}); out != OutcomeInvalid {
+		t.Fatalf("without samples: outcome = %v, want invalid", out)
+	}
+
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{1}, 5)
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("with samples: outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete {
+		t.Fatalf("resolution: %+v", res)
+	}
+	if res.Values[x.ID] != 1 || res.Values[y.ID] != 10 {
+		t.Fatalf("witness = %v, want x=1 y=10", res.Values)
+	}
+}
+
+// TestExample5EUF reproduces Example 5: ∃x,y: f(x) = f(y) is valid via the
+// theory of equality with uninterpreted functions (strategy: set x = y).
+func TestExample5EUF(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	f := p.FuncSym("f", 1)
+	pc := sym.Eq(sym.ApplyTerm(f, sym.VarTerm(x)), sym.ApplyTerm(f, sym.VarTerm(y)))
+
+	st, out := Prove(pc, sym.NewSampleStore(), Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(sym.NewSampleStore())
+	if !res.Complete {
+		t.Fatalf("resolution: %+v", res)
+	}
+	if res.Values[x.ID] != res.Values[y.ID] {
+		t.Fatalf("strategy must set x = y, got %v", res.Values)
+	}
+}
+
+// TestExample6SamplePairs reproduces Example 6: ∃x,y: f(x) = f(y)+1 is
+// invalid alone (f ≡ 0) but valid given samples f(0)=0, f(1)=1 with witness
+// x=1, y=0.
+func TestExample6SamplePairs(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	f := p.FuncSym("f", 1)
+	pc := sym.Eq(
+		sym.ApplyTerm(f, sym.VarTerm(x)),
+		sym.AddSum(sym.ApplyTerm(f, sym.VarTerm(y)), sym.Int(1)),
+	)
+
+	if _, out := Prove(pc, sym.NewSampleStore(), Options{Pool: &p}); out != OutcomeInvalid {
+		t.Fatalf("without samples: outcome = %v, want invalid", out)
+	}
+
+	samples := sym.NewSampleStore()
+	samples.Add(f, []int64{0}, 0)
+	samples.Add(f, []int64{1}, 1)
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("with samples: outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete || res.Values[x.ID] != 1 || res.Values[y.ID] != 0 {
+		t.Fatalf("witness = %+v, want x=1 y=0", res)
+	}
+}
+
+// TestExample3BarInvalid reproduces Example 3: ∃x,y: x = h(y) ∧ y = h(x) is
+// invalid — higher-order test generation correctly generates no test, where
+// unsound concretization would produce a divergent one.
+func TestExample3BarInvalid(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{42}, 567)
+	samples.Add(h, []int64{33}, 123)
+
+	pc := sym.AndExpr(
+		sym.Eq(sym.VarTerm(x), sym.ApplyTerm(h, sym.VarTerm(y))),
+		sym.Eq(sym.VarTerm(y), sym.ApplyTerm(h, sym.VarTerm(x))),
+	)
+	_, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeInvalid {
+		t.Fatalf("outcome = %v, want invalid", out)
+	}
+}
+
+// TestExample7MultiStep reproduces Example 7: proving
+// ∃x,y: (h(42)=567) ⇒ (x = h(y) ∧ y = 10) yields the strategy
+// "y := 10, x := h(10)", whose resolution requires the unsampled value h(10):
+// a probe, answered by an intermediate test, after which resolution finishes.
+func TestExample7MultiStep(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{42}, 567)
+
+	pc := sym.AndExpr(
+		sym.Eq(sym.VarTerm(x), sym.ApplyTerm(h, sym.VarTerm(y))),
+		sym.Eq(sym.VarTerm(y), sym.Int(10)),
+	)
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if res.Complete {
+		t.Fatalf("resolution should be blocked on h(10): %+v", res)
+	}
+	if res.Values[y.ID] != 10 {
+		t.Fatalf("y should be resolved to 10: %v", res.Values)
+	}
+	if len(res.Probes) != 1 || res.Probes[0].Fn != h || res.Probes[0].Args[0] != 10 {
+		t.Fatalf("probes = %v, want h(10)", res.Probes)
+	}
+
+	// The intermediate test ran and h(10) was observed to be 66.
+	samples.Add(h, []int64{10}, 66)
+	res = st.Resolve(samples)
+	if !res.Complete || res.Values[x.ID] != 66 || res.Values[y.ID] != 10 {
+		t.Fatalf("after probe: %+v, want x=66 y=10", res)
+	}
+}
+
+// TestNegatedEquality checks the definitional rule on disequalities: flipping
+// x == hash(y) needs a witness with x ≠ h(y) for every h.
+func TestNegatedEquality(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{42}, 567)
+
+	pc := sym.Ne(sym.VarTerm(x), sym.ApplyTerm(h, sym.VarTerm(y)))
+	st, out := Prove(pc, samples, Options{Pool: &p, Fallback: map[int]int64{y.ID: 42}})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete {
+		t.Fatalf("resolution: %+v (strategy %v)", res, st)
+	}
+	holds, probes := Holds(pc, res.Values, samples)
+	if len(probes) != 0 {
+		t.Fatalf("probes = %v", probes)
+	}
+	if !holds {
+		t.Fatalf("witness does not satisfy pc: %v", res.Values)
+	}
+}
+
+// TestInequalityWithApply checks Le constraints against applications.
+func TestInequalityWithApply(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{3}, 700)
+
+	// x ≥ h(y) + 5
+	pc := sym.Ge(sym.VarTerm(x), sym.AddSum(sym.ApplyTerm(h, sym.VarTerm(y)), sym.Int(5)))
+	st, out := Prove(pc, samples, Options{Pool: &p, Fallback: map[int]int64{y.ID: 3}})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete {
+		t.Fatalf("resolution: %+v (strategy %v)", res, st)
+	}
+	holds, _ := Holds(pc, res.Values, samples)
+	if !holds {
+		t.Fatalf("witness fails: %v", res.Values)
+	}
+}
+
+// TestHashInversion is the Section 7 core move: h(c0,c1) = K with a sample
+// for the keyword bytes inverts the hash.
+func TestHashInversion(t *testing.T) {
+	var p sym.Pool
+	c0, c1 := p.NewVar("c0"), p.NewVar("c1")
+	h := p.FuncSym("hashstr", 2)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{'i', 'f'}, 52)
+	samples.Add(h, []int64{'d', 'o'}, 99)
+
+	pc := sym.Eq(sym.ApplyTerm(h, sym.VarTerm(c0), sym.VarTerm(c1)), sym.Int(52))
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete || res.Values[c0.ID] != 'i' || res.Values[c1.ID] != 'f' {
+		t.Fatalf("inversion = %+v, want (i,f)", res)
+	}
+
+	// A target value no keyword hashes to: the completion "samples, else 0"
+	// has no preimage of 1000, so the post-processed formula is invalid and
+	// no test is generated — the correct higher-order verdict.
+	pcMiss := sym.Eq(sym.ApplyTerm(h, sym.VarTerm(c0), sym.VarTerm(c1)), sym.Int(1000))
+	if _, out := Prove(pcMiss, samples, Options{Pool: &p}); out != OutcomeInvalid {
+		t.Fatalf("missing preimage: outcome = %v, want invalid", out)
+	}
+}
+
+// TestHashCollisions checks that inversion enumerates colliding samples
+// ("to handle hash collisions", Section 7).
+func TestHashCollisions(t *testing.T) {
+	var p sym.Pool
+	c := p.NewVar("c")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{7}, 52)
+	samples.Add(h, []int64{9}, 52)
+
+	// h(c) = 52 ∧ c ≠ 7 forces the second preimage.
+	pc := sym.AndExpr(
+		sym.Eq(sym.ApplyTerm(h, sym.VarTerm(c)), sym.Int(52)),
+		sym.Ne(sym.VarTerm(c), sym.Int(7)),
+	)
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete || res.Values[c.ID] != 9 {
+		t.Fatalf("witness = %+v, want c=9", res)
+	}
+}
+
+func TestVarBoundsRespected(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	pc := sym.Ge(sym.VarTerm(x), sym.Int(10))
+	_, out := Prove(pc, sym.NewSampleStore(), Options{
+		Pool:      &p,
+		VarBounds: map[int]smt.Bound{x.ID: {Lo: 0, Hi: 5, HasLo: true, HasHi: true}},
+	})
+	if out != OutcomeInvalid {
+		t.Fatalf("outcome = %v, want invalid (pure formula unsat in domain)", out)
+	}
+}
+
+func TestPostString(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{42}, 567)
+	pc := sym.Eq(sym.VarTerm(x), sym.ApplyTerm(h, sym.VarTerm(y)))
+	s := PostString(pc, samples)
+	for _, want := range []string{"∀h", "∃x,y", "h(42)=567", "⇒"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("PostString = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestAntecedent(t *testing.T) {
+	var p sym.Pool
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{1}, 5)
+	samples.Add(h, []int64{2}, 6)
+	a := Antecedent(samples)
+	cs := sym.Conjuncts(a)
+	if len(cs) != 2 {
+		t.Fatalf("antecedent = %v", a)
+	}
+	env := sym.Env{Fn: samples.FnEval}
+	ok, err := sym.EvalBool(a, env)
+	if err != nil || !ok {
+		t.Fatalf("antecedent must hold under its own samples: %v %v", ok, err)
+	}
+}
+
+func TestHoldsProbes(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	h := p.FuncSym("h", 1)
+	pc := sym.Eq(sym.ApplyTerm(h, sym.VarTerm(x)), sym.Int(5))
+	_, probes := Holds(pc, map[int]int64{x.ID: 3}, sym.NewSampleStore())
+	if len(probes) != 1 || probes[0].Args[0] != 3 {
+		t.Fatalf("probes = %v", probes)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	h := p.FuncSym("h", 1)
+	st := &Strategy{Defs: []Def{
+		{Var: x, Term: sym.ApplyTerm(h, sym.Int(10))},
+	}}
+	if got := st.String(); got != "x := h(10)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestDisjunction checks the prover on explicit disjunctions (as produced by
+// the Section 7 preprocessing encoding).
+func TestDisjunction(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	pc := sym.AndExpr(
+		sym.OrExpr(sym.Eq(sym.VarTerm(x), sym.Int(3)), sym.Eq(sym.VarTerm(x), sym.Int(8))),
+		sym.Ne(sym.VarTerm(x), sym.Int(3)),
+	)
+	st, out := Prove(pc, sym.NewSampleStore(), Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(sym.NewSampleStore())
+	if !res.Complete || res.Values[x.ID] != 8 {
+		t.Fatalf("witness = %+v, want x=8", res)
+	}
+}
+
+// TestNestedApplies checks strategies through nested applications.
+func TestNestedApplies(t *testing.T) {
+	var p sym.Pool
+	x, y := p.NewVar("x"), p.NewVar("y")
+	h := p.FuncSym("h", 1)
+	samples := sym.NewSampleStore()
+	samples.Add(h, []int64{5}, 7)
+	samples.Add(h, []int64{7}, 11)
+
+	// x = h(h(y)): definitional on x after grounding y via sample choice,
+	// or x := h(h(y)) with y free — either way resolution must succeed for
+	// some strategy; we force y=5 to exercise nested resolution.
+	pc := sym.AndExpr(
+		sym.Eq(sym.VarTerm(x), sym.ApplyTerm(h, sym.ApplyTerm(h, sym.VarTerm(y)))),
+		sym.Eq(sym.VarTerm(y), sym.Int(5)),
+	)
+	st, out := Prove(pc, samples, Options{Pool: &p})
+	if out != OutcomeProved {
+		t.Fatalf("outcome = %v", out)
+	}
+	res := st.Resolve(samples)
+	if !res.Complete || res.Values[x.ID] != 11 {
+		t.Fatalf("witness = %+v, want x=11", res)
+	}
+}
+
+// TestRefuteNotFooledBySatisfiable: a satisfiable pure formula must not be
+// reported invalid.
+func TestRefuteNotFooledBySatisfiable(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	pc := sym.Eq(sym.VarTerm(x), sym.Int(5))
+	if Refute(pc, sym.NewSampleStore(), Options{Pool: &p}) {
+		t.Fatal("satisfiable formula refuted")
+	}
+}

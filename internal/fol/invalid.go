@@ -1,0 +1,77 @@
+package fol
+
+import (
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// Refute tries to prove POST(pc) = ∃X: A ⇒ pc *invalid* by exhibiting one
+// interpretation of the unknown functions — consistent with every recorded
+// sample — under which pc is unsatisfiable. It returns true when such a
+// completion is found.
+//
+// Each candidate interpretation agrees with the IOF store on sampled points
+// and falls back to a simple default elsewhere: the constant functions 0 and
+// 1, the first-argument projection, its successor, and its negated successor.
+// These are exactly the counter-interpretations the paper reaches for
+// ("consider the function h such that h(x)=0 for all x", Example 4; a
+// successor-style h refutes Example 3's x = h(y) ∧ y = h(x)).
+func Refute(pc sym.Expr, samples *sym.SampleStore, opts Options) bool {
+	if !sym.HasApply(pc) {
+		st, _ := smt.Solve(pc, smt.Options{Pool: opts.Pool, VarBounds: opts.VarBounds})
+		return st == smt.StatusUnsat
+	}
+	defaults := []func(args []*sym.Sum) *sym.Sum{
+		func([]*sym.Sum) *sym.Sum { return sym.Int(0) },
+		func([]*sym.Sum) *sym.Sum { return sym.Int(1) },
+		func(a []*sym.Sum) *sym.Sum { return a[0] },
+		func(a []*sym.Sum) *sym.Sum { return sym.AddSum(a[0], sym.Int(1)) },
+		func(a []*sym.Sum) *sym.Sum { return sym.SubSum(sym.Int(-1), a[0]) },
+	}
+	for _, def := range defaults {
+		if completionUnsat(pc, samples, def, opts) {
+			return true
+		}
+	}
+	return false
+}
+
+// completionUnsat checks whether pc is unsatisfiable when every unknown
+// function f is interpreted as "its samples, else default(args)".
+func completionUnsat(pc sym.Expr, samples *sym.SampleStore, def func([]*sym.Sum) *sym.Sum, opts Options) bool {
+	pool := opts.Pool
+	if pool == nil {
+		pool = &sym.Pool{}
+	}
+	var side []sym.Expr
+	// Replace applications innermost-first by fresh variables constrained to
+	// the completed interpretation.
+	seen := map[string]*sym.Var{}
+	replaced := sym.RewriteApplies(pc, func(a *sym.Apply) (*sym.Sum, bool) {
+		key := a.Key()
+		if v, ok := seen[key]; ok {
+			return sym.VarTerm(v), true
+		}
+		v := pool.NewVar("$" + a.Fn.Name)
+		seen[key] = v
+
+		smps := samples.ForFunc(a.Fn)
+		var cases []sym.Expr
+		var notSampled []sym.Expr
+		for _, s := range smps {
+			match := make([]sym.Expr, len(a.Args))
+			for i := range a.Args {
+				match[i] = sym.Eq(a.Args[i], sym.Int(s.Args[i]))
+			}
+			cases = append(cases, sym.AndExpr(append(match, sym.Eq(sym.VarTerm(v), sym.Int(s.Out)))...))
+			notSampled = append(notSampled, sym.NotExpr(sym.AndExpr(match...)))
+		}
+		elseCase := sym.AndExpr(append(notSampled, sym.Eq(sym.VarTerm(v), def(a.Args)))...)
+		side = append(side, sym.OrExpr(append(cases, elseCase)...))
+		return sym.VarTerm(v), true
+	})
+
+	formula := sym.AndExpr(append(side, replaced)...)
+	st, _ := smt.Solve(formula, smt.Options{Pool: pool, VarBounds: opts.VarBounds})
+	return st == smt.StatusUnsat
+}

@@ -1,0 +1,121 @@
+// Package fol implements the higher-order half of higher-order test
+// generation (Sections 4.2–4.3 and 5.3 of the paper): given an (alternate)
+// path constraint pc over input variables X and uninterpreted functions F,
+// and the IOF store of recorded samples A, it attempts a constructive
+// validity proof of the first-order formula
+//
+//	POST(pc) = ∃X : A ⇒ pc        (every f ∈ F implicitly ∀-quantified)
+//
+// A successful proof is returned as a *test strategy*: an ordered list of
+// definitions x_i := t_i whose right-hand sides are ground terms over
+// constants and uninterpreted applications. Interpreting a strategy against
+// the sample store yields concrete input values — or *probes*, requests for
+// samples that have not been observed yet, which drive the multi-step test
+// generation of Example 7.
+//
+// The prover is deliberately constructive, exactly as test generation
+// requires ("we have no choice": satisfying assignments invent functions,
+// Section 4.2). Three proof rules are used, each sound for every
+// interpretation of F consistent with A:
+//
+//	definitional   a conjunct c·x ⋈ R with c ∈ {−1,+1} and x ∉ R defines
+//	               x := term(R); valid because x is existential.
+//	euf            f(s̄) = f(t̄) is implied by s̄ = t̄ (functionality).
+//	sample         f(ā) may be replaced by v when (ā, v) ∈ A, binding ā to
+//	               the sampled argument tuple — the Section 7 preprocessing
+//	               generalized to arbitrary constraint shapes and to sample
+//	               pairs (Example 6).
+//
+// Failure to find a proof is reported as Unknown; a separate refutation pass
+// (invalid.go) tries to show the formula outright invalid by exhibiting a
+// completion of the samples under which pc is unsatisfiable.
+package fol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hotg/internal/sym"
+)
+
+// Antecedent builds the formula A: the conjunction of equality constraints
+// c = f(args) for every recorded sample (Section 4.3).
+func Antecedent(samples *sym.SampleStore) sym.Expr {
+	all := samples.All()
+	parts := make([]sym.Expr, 0, len(all))
+	for _, s := range all {
+		args := make([]*sym.Sum, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = sym.Int(a)
+		}
+		parts = append(parts, sym.Eq(sym.ApplyTerm(s.Fn, args...), sym.Int(s.Out)))
+	}
+	return sym.AndExpr(parts...)
+}
+
+// PostString renders POST(pc) in the paper's notation, for reports and
+// examples: "∀f,g ∃x,y: (f(0)=0 ∧ f(1)=1) ⇒ (pc)". Only samples of functions
+// actually occurring in pc are shown.
+func PostString(pc sym.Expr, samples *sym.SampleStore) string {
+	fns := map[*sym.Func]bool{}
+	for _, a := range sym.Applies(pc) {
+		fns[a.Fn] = true
+	}
+	var fnNames []string
+	for f := range fns {
+		fnNames = append(fnNames, f.Name)
+	}
+	sort.Strings(fnNames)
+
+	vars := sym.Vars(pc)
+	varNames := make([]string, len(vars))
+	for i, v := range vars {
+		varNames[i] = v.Name
+	}
+
+	var ante []string
+	for _, s := range samples.All() {
+		if fns[s.Fn] {
+			ante = append(ante, s.String())
+		}
+	}
+
+	var b strings.Builder
+	if len(fnNames) > 0 {
+		fmt.Fprintf(&b, "∀%s ", strings.Join(fnNames, ","))
+	}
+	if len(varNames) > 0 {
+		fmt.Fprintf(&b, "∃%s: ", strings.Join(varNames, ","))
+	}
+	if len(ante) > 0 {
+		fmt.Fprintf(&b, "(%s) ⇒ ", strings.Join(ante, " ∧ "))
+	}
+	fmt.Fprintf(&b, "(%v)", pc)
+	return b.String()
+}
+
+// Outcome classifies a Prove result.
+type Outcome int
+
+const (
+	// OutcomeUnknown: no constructive proof was found within budget (the
+	// formula may still be valid).
+	OutcomeUnknown Outcome = iota
+	// OutcomeProved: a strategy (constructive validity proof) was found.
+	OutcomeProved
+	// OutcomeInvalid: a sample-consistent completion of F falsifies
+	// ∃X: A ⇒ pc, so the formula is invalid and no test exists for all F.
+	OutcomeInvalid
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeProved:
+		return "proved"
+	case OutcomeInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}

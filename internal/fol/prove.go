@@ -1,0 +1,395 @@
+package fol
+
+import (
+	"fmt"
+
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// Options configures Prove.
+type Options struct {
+	// VarBounds restricts input domains (keyed by variable ID); the bounds
+	// are enforced on the residual arithmetic solve and checked on resolved
+	// strategy values by callers.
+	VarBounds map[int]smt.Bound
+	// MaxNodes caps the backtracking search (default 20000).
+	MaxNodes int
+	// MaxDepth caps proof depth (default 64).
+	MaxDepth int
+	// Pool supplies fresh variables for the refutation pass and for
+	// residual solving; optional (a private pool is used when nil).
+	Pool *sym.Pool
+	// NoRefute skips the invalidity check (used by ablations).
+	NoRefute bool
+	// Fallback supplies concrete values (typically the current test input)
+	// for variables the proof leaves unconstrained — the paper's "fix y"
+	// step. Unconstrained variables without a fallback default to 0.
+	Fallback map[int]int64
+}
+
+// Prove attempts a constructive validity proof of POST(pc) = ∃X: A ⇒ pc,
+// where A is the sample store's antecedent. On OutcomeProved the returned
+// strategy builds witness inputs; on OutcomeInvalid no test input works for
+// every interpretation of the unknown functions; OutcomeUnknown means the
+// proof search was exhausted without a verdict.
+func Prove(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outcome) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 20000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 64
+	}
+	if opts.Pool == nil {
+		opts.Pool = &sym.Pool{}
+	}
+	p := &prover{samples: samples, opts: opts, budget: opts.MaxNodes}
+	st := p.search(sym.Conjuncts(pc), nil, 0)
+	if st != nil {
+		// "Fix" every variable the proof left unconstrained at its current
+		// concrete value (or 0), so the strategy resolves to a full input.
+		defined := map[int]bool{}
+		for _, d := range st.Defs {
+			defined[d.Var.ID] = true
+		}
+		for _, v := range sym.Vars(pc) {
+			if !defined[v.ID] {
+				st.Defs = append(st.Defs, Def{Var: v, Term: sym.Int(opts.Fallback[v.ID])})
+				defined[v.ID] = true
+			}
+		}
+		return st, OutcomeProved
+	}
+	if !opts.NoRefute && Refute(pc, samples, opts) {
+		return nil, OutcomeInvalid
+	}
+	return nil, OutcomeUnknown
+}
+
+type prover struct {
+	samples *sym.SampleStore
+	opts    Options
+	budget  int
+}
+
+// choice is one applicable proof step.
+type choice struct {
+	// definitional step:
+	defVar  *sym.Var
+	defTerm *sym.Sum
+	dropIdx int // conjunct consumed by the definition
+	// euf step:
+	eufIdx int
+	eufEqs []sym.Expr
+	// sample step:
+	sampApp *sym.Apply
+	sampVal sym.Sample
+	kind    int // 0=definitional 1=euf 2=sample 3=disjunct
+	disjIdx int
+	disj    sym.Expr
+}
+
+// search explores proof steps depth-first, returning a strategy or nil.
+func (p *prover) search(conjuncts []sym.Expr, defs []Def, depth int) *Strategy {
+	return p.searchT(conjuncts, defs, nil, depth)
+}
+
+func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []string, depth int) *Strategy {
+	if p.budget <= 0 || depth > p.opts.MaxDepth {
+		return nil
+	}
+	p.budget--
+
+	before := len(defs)
+	conjuncts, defs, ok := p.simplify(conjuncts, defs)
+	if !ok {
+		return nil
+	}
+	for _, d := range defs[before:] {
+		trace = append(trace, fmt.Sprintf("unit: %s", d))
+	}
+
+	// Find the first conjunct that still mentions an uninterpreted
+	// application or is a disjunction; if none, finish arithmetically.
+	target := -1
+	for i, c := range conjuncts {
+		if _, isOr := c.(*sym.Or); isOr || sym.HasApply(c) {
+			target = i
+			break
+		}
+	}
+	if target == -1 {
+		return p.finish(conjuncts, defs, trace)
+	}
+
+	for _, ch := range p.choices(conjuncts, target) {
+		next, ndefs, ok := p.apply(conjuncts, defs, ch)
+		if !ok {
+			continue
+		}
+		if st := p.searchT(next, ndefs, append(trace[:len(trace):len(trace)], ch.describe()), depth+1); st != nil {
+			return st
+		}
+	}
+	return nil
+}
+
+// describe renders one proof step for the derivation trace.
+func (ch choice) describe() string {
+	switch ch.kind {
+	case 0:
+		return fmt.Sprintf("definitional: %s := %v", ch.defVar, ch.defTerm)
+	case 1:
+		return "euf: unify arguments of equal applications"
+	case 2:
+		return fmt.Sprintf("sample: bind %v via %v", ch.sampApp, ch.sampVal)
+	case 3:
+		return fmt.Sprintf("disjunct: case %d", ch.disjIdx+1)
+	}
+	return "?"
+}
+
+// simplify applies sample rewriting of ground applications, constant folding,
+// and unit propagation (x = c) to a fixpoint.
+func (p *prover) simplify(conjuncts []sym.Expr, defs []Def) ([]sym.Expr, []Def, bool) {
+	cs := append([]sym.Expr(nil), conjuncts...)
+	ds := append([]Def(nil), defs...)
+	for {
+		changed := false
+		// Ground-application rewriting: f(42) → 567 when sampled.
+		for i, c := range cs {
+			nc := sym.RewriteApplies(c, func(a *sym.Apply) (*sym.Sum, bool) {
+				args := make([]int64, len(a.Args))
+				for k, arg := range a.Args {
+					v, isC := arg.IsConst()
+					if !isC {
+						return nil, false
+					}
+					args[k] = v
+				}
+				if out, ok := p.samples.Lookup(a.Fn, args); ok {
+					return sym.Int(out), true
+				}
+				return nil, false
+			})
+			if nc.Key() != c.Key() {
+				cs[i] = nc
+				changed = true
+			}
+		}
+		// Constant folding and unit propagation.
+		out := cs[:0]
+		var unit *Def
+		for _, c := range cs {
+			switch e := c.(type) {
+			case *sym.Bool:
+				if !e.V {
+					return nil, nil, false
+				}
+				changed = true
+				continue
+			case *sym.Cmp:
+				if unit == nil && e.Op == sym.OpEq && !sym.HasApply(e.S) {
+					if d, ok := solveForVar(e, sym.OpEq); ok {
+						if _, isC := d.Term.IsConst(); isC {
+							unit = d
+							changed = true
+							continue
+						}
+					}
+				}
+			}
+			out = append(out, c)
+		}
+		cs = out
+		if unit != nil {
+			ds = append(ds, *unit)
+			binding := map[int]*sym.Sum{unit.Var.ID: unit.Term}
+			for i, c := range cs {
+				cs[i] = sym.SubstVars(c, binding)
+			}
+		}
+		if !changed {
+			return cs, ds, true
+		}
+	}
+}
+
+// solveForVar tries to solve the (normalized) constraint S op 0 for some
+// variable with coefficient ±1 that does not occur in the remainder,
+// returning the definition that satisfies the constraint for every F:
+//
+//	Eq: x := −R   Ne: x := −R + 1   Le (coef +1): x := −R   Le (coef −1): x := R
+//
+// where S = c·x + R.
+func solveForVar(c *sym.Cmp, op sym.CmpOp) (*Def, bool) {
+	for _, t := range c.S.Terms {
+		v, isVar := t.Atom.(*sym.Var)
+		if !isVar || (t.Coef != 1 && t.Coef != -1) {
+			continue
+		}
+		r := sym.SubSum(c.S, &sym.Sum{Terms: []sym.Term{t}}) // R = S − c·x
+		occurs := false
+		for _, rv := range sym.Vars(r) {
+			if rv.ID == v.ID {
+				occurs = true
+				break
+			}
+		}
+		if occurs {
+			continue
+		}
+		var term *sym.Sum
+		switch op {
+		case sym.OpEq:
+			// c·x + R = 0 → x = −R/c; with c = ±1: x = −c·R.
+			term = sym.ScaleSum(-t.Coef, r)
+		case sym.OpNe:
+			term = sym.AddSum(sym.ScaleSum(-t.Coef, r), sym.Int(1))
+		case sym.OpLe:
+			// c·x + R ≤ 0: choosing x = −c·R gives S = 0 ≤ 0.
+			term = sym.ScaleSum(-t.Coef, r)
+		}
+		return &Def{Var: v, Term: term}, true
+	}
+	return nil, false
+}
+
+// choices enumerates the applicable proof steps on conjunct target.
+func (p *prover) choices(conjuncts []sym.Expr, target int) []choice {
+	var out []choice
+	switch c := conjuncts[target].(type) {
+	case *sym.Or:
+		for i, d := range c.Xs {
+			out = append(out, choice{kind: 3, dropIdx: target, disjIdx: i, disj: d})
+		}
+		return out
+	case *sym.Cmp:
+		// EUF functionality: f(s̄) − f(t̄) = 0 follows from s̄ = t̄.
+		if c.Op == sym.OpEq && len(c.S.Terms) == 2 && c.S.Const == 0 {
+			a0, ok0 := c.S.Terms[0].Atom.(*sym.Apply)
+			a1, ok1 := c.S.Terms[1].Atom.(*sym.Apply)
+			if ok0 && ok1 && a0.Fn == a1.Fn &&
+				c.S.Terms[0].Coef+c.S.Terms[1].Coef == 0 &&
+				(c.S.Terms[0].Coef == 1 || c.S.Terms[0].Coef == -1) {
+				eqs := make([]sym.Expr, len(a0.Args))
+				for i := range a0.Args {
+					eqs[i] = sym.Eq(a0.Args[i], a1.Args[i])
+				}
+				out = append(out, choice{kind: 1, eufIdx: target, eufEqs: eqs})
+			}
+		}
+		// Definitional: solve for a ±1-coefficient variable.
+		if d, ok := solveForVar(c, c.Op); ok {
+			out = append(out, choice{kind: 0, defVar: d.Var, defTerm: d.Term, dropIdx: target})
+		}
+		// Sample binding: for each application in the conjunct, each
+		// recorded sample of its function symbol is a candidate.
+		for _, app := range sym.Applies(c) {
+			for _, s := range p.samples.ForFunc(app.Fn) {
+				out = append(out, choice{kind: 2, sampApp: app, sampVal: s, dropIdx: target})
+			}
+		}
+	}
+	return out
+}
+
+// apply executes one proof step, returning the new goal state.
+func (p *prover) apply(conjuncts []sym.Expr, defs []Def, ch choice) ([]sym.Expr, []Def, bool) {
+	switch ch.kind {
+	case 0: // definitional
+		// Occurs-check against applications: x must not appear inside the
+		// defining term at all (solveForVar checked plain variables; applies
+		// in R may still hide x in their arguments).
+		for _, v := range sym.Vars(ch.defTerm) {
+			if v.ID == ch.defVar.ID {
+				return nil, nil, false
+			}
+		}
+		ndefs := append(append([]Def(nil), defs...), Def{Var: ch.defVar, Term: ch.defTerm})
+		binding := map[int]*sym.Sum{ch.defVar.ID: ch.defTerm}
+		next := make([]sym.Expr, 0, len(conjuncts)-1)
+		for i, c := range conjuncts {
+			if i == ch.dropIdx {
+				continue
+			}
+			next = append(next, sym.SubstVars(c, binding))
+		}
+		return next, ndefs, true
+
+	case 1: // euf
+		next := make([]sym.Expr, 0, len(conjuncts)+len(ch.eufEqs))
+		for i, c := range conjuncts {
+			if i == ch.eufIdx {
+				continue
+			}
+			next = append(next, c)
+		}
+		next = append(next, ch.eufEqs...)
+		return next, defs, true
+
+	case 2: // sample binding
+		app, s := ch.sampApp, ch.sampVal
+		next := make([]sym.Expr, 0, len(conjuncts)+len(app.Args))
+		key := app.Key()
+		for _, c := range conjuncts {
+			next = append(next, sym.RewriteApplies(c, func(a *sym.Apply) (*sym.Sum, bool) {
+				if a.Key() == key {
+					return sym.Int(s.Out), true
+				}
+				return nil, false
+			}))
+		}
+		for i, arg := range app.Args {
+			next = append(next, sym.Eq(arg, sym.Int(s.Args[i])))
+		}
+		return next, defs, true
+
+	case 3: // disjunct selection
+		next := make([]sym.Expr, 0, len(conjuncts))
+		for i, c := range conjuncts {
+			if i == ch.dropIdx {
+				continue
+			}
+			next = append(next, c)
+		}
+		next = append(next, sym.Conjuncts(ch.disj)...)
+		return next, defs, true
+	}
+	return nil, nil, false
+}
+
+// finish solves the residual apply-free conjuncts arithmetically and folds
+// the model into the strategy.
+func (p *prover) finish(conjuncts []sym.Expr, defs []Def, trace []string) *Strategy {
+	residual := sym.AndExpr(conjuncts...)
+	if residual == sym.False {
+		return nil
+	}
+	st := &Strategy{Defs: defs, Proof: trace}
+	if residual == sym.True {
+		return st
+	}
+	// Respect bounds only for variables not already defined by the strategy.
+	bounds := make(map[int]smt.Bound)
+	defined := map[int]bool{}
+	for _, d := range defs {
+		defined[d.Var.ID] = true
+	}
+	for id, b := range p.opts.VarBounds {
+		if !defined[id] {
+			bounds[id] = b
+		}
+	}
+	status, model := smt.Solve(residual, smt.Options{Pool: p.opts.Pool, VarBounds: bounds})
+	if status != smt.StatusSat {
+		return nil
+	}
+	for _, v := range sym.Vars(residual) {
+		if val, ok := model.Vars[v.ID]; ok {
+			st.Defs = append(st.Defs, Def{Var: v, Term: sym.Int(val)})
+			st.Proof = append(st.Proof, fmt.Sprintf("residual model: %s := %d", v, val))
+		}
+	}
+	return st
+}

@@ -1,0 +1,181 @@
+package fol
+
+import (
+	"fmt"
+	"strings"
+
+	"hotg/internal/sym"
+)
+
+// Def is one step of a test strategy: the input variable Var is assigned the
+// ground term Term, which may mention uninterpreted applications (whose
+// arguments are constants or earlier-defined variables).
+type Def struct {
+	Var  *sym.Var
+	Term *sym.Sum
+}
+
+func (d Def) String() string { return fmt.Sprintf("%s := %v", d.Var, d.Term) }
+
+// Strategy is a constructive validity proof of POST(pc), read as a recipe for
+// building a concrete test input (Section 4.2: "fix y, then set x to the
+// value h(y)").
+type Strategy struct {
+	Defs []Def
+	// Proof lists the derivation steps that established validity, in
+	// application order — a readable certificate of the proof.
+	Proof []string
+}
+
+func (s *Strategy) String() string {
+	parts := make([]string, len(s.Defs))
+	for i, d := range s.Defs {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Probe is a request for an uninterpreted-function sample that the strategy
+// needs but the IOF store does not contain: the trigger for multi-step test
+// generation (Example 7 — "a new intermediate test is necessary to learn the
+// value of h(10)").
+type Probe struct {
+	Fn   *sym.Func
+	Args []int64
+}
+
+func (p Probe) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return fmt.Sprintf("%s(%s)=?", p.Fn.Name, strings.Join(parts, ","))
+}
+
+// Resolution is the result of interpreting a strategy against a sample store.
+type Resolution struct {
+	// Values holds the concrete value of every resolved variable, keyed by
+	// variable ID.
+	Values map[int]int64
+	// Probes lists the missing samples blocking full resolution.
+	Probes []Probe
+	// Complete reports that every strategy variable was resolved.
+	Complete bool
+}
+
+// Resolve interprets the strategy under the sample store, computing concrete
+// values for as many defined variables as possible and collecting probes for
+// applications whose arguments are known but whose value has never been
+// observed. Definitions may reference one another in any order; resolution
+// iterates to a fixpoint.
+func (s *Strategy) Resolve(samples *sym.SampleStore) *Resolution {
+	res := &Resolution{Values: make(map[int]int64)}
+	resolved := make([]bool, len(s.Defs))
+	for {
+		progress := false
+		for i, d := range s.Defs {
+			if resolved[i] {
+				continue
+			}
+			v, ok := resolveSum(d.Term, res.Values, samples, nil)
+			if ok {
+				res.Values[d.Var.ID] = v
+				resolved[i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Collect probes from the still-unresolved definitions.
+	seen := map[string]bool{}
+	for i, d := range s.Defs {
+		if resolved[i] {
+			continue
+		}
+		var probes []Probe
+		resolveSum(d.Term, res.Values, samples, &probes)
+		for _, p := range probes {
+			k := p.String()
+			if !seen[k] {
+				seen[k] = true
+				res.Probes = append(res.Probes, p)
+			}
+		}
+	}
+	res.Complete = true
+	for _, r := range resolved {
+		if !r {
+			res.Complete = false
+			break
+		}
+	}
+	return res
+}
+
+// resolveSum evaluates a strategy term. When probes is non-nil, applications
+// with fully-known arguments but no recorded sample are appended to it.
+func resolveSum(s *sym.Sum, values map[int]int64, samples *sym.SampleStore, probes *[]Probe) (int64, bool) {
+	total := s.Const
+	ok := true
+	for _, t := range s.Terms {
+		switch a := t.Atom.(type) {
+		case *sym.Var:
+			v, have := values[a.ID]
+			if !have {
+				ok = false
+				continue
+			}
+			total += t.Coef * v
+		case *sym.Apply:
+			args := make([]int64, len(a.Args))
+			argsOK := true
+			for i, arg := range a.Args {
+				v, have := resolveSum(arg, values, samples, probes)
+				if !have {
+					argsOK = false
+					break
+				}
+				args[i] = v
+			}
+			if !argsOK {
+				ok = false
+				continue
+			}
+			out, have := samples.Lookup(a.Fn, args)
+			if !have {
+				if probes != nil {
+					*probes = append(*probes, Probe{Fn: a.Fn, Args: args})
+				}
+				ok = false
+				continue
+			}
+			total += t.Coef * out
+		}
+	}
+	return total, ok
+}
+
+// Holds evaluates pc under the given variable values, interpreting
+// uninterpreted functions by the sample store. The second result lists the
+// samples that would be needed to finish evaluation; when it is non-empty the
+// first result is meaningless.
+func Holds(pc sym.Expr, values map[int]int64, samples *sym.SampleStore) (bool, []Probe) {
+	var probes []Probe
+	env := sym.Env{
+		Vars: values,
+		Fn: func(f *sym.Func, args []int64) (int64, bool) {
+			if v, ok := samples.Lookup(f, args); ok {
+				return v, true
+			}
+			probes = append(probes, Probe{Fn: f, Args: args})
+			return 0, false
+		},
+	}
+	v, err := sym.EvalBool(pc, env)
+	if err != nil {
+		return false, probes
+	}
+	return v, nil
+}

@@ -1,0 +1,75 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotg/internal/lexapp"
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+)
+
+func testProg(t *testing.T, src string) *mini.Program {
+	t.Helper()
+	ns := mini.Natives{}
+	ns.Register("hash", 1, lexapp.ScrambledHash)
+	p, err := mini.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mini.Check(p, ns); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunBudgetAndSeeds(t *testing.T) {
+	p := testProg(t, `fn main(x int) { if (x == 77777) { error("needle"); } }`)
+	st := Run(p, Options{
+		MaxRuns: 25,
+		Seeds:   [][]int64{{77777}},
+		Rand:    rand.New(rand.NewSource(3)),
+	})
+	if st.Runs != 25 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+	// The seed itself triggers the bug on run 1.
+	if len(st.Bugs) != 1 || st.Bugs[0].Run != 1 {
+		t.Fatalf("bugs = %v", st.Bugs)
+	}
+}
+
+func TestRunRespectsBounds(t *testing.T) {
+	p := testProg(t, `fn main(x int) { if (x < 0 || x > 9) { error("oob"); } }`)
+	st := Run(p, Options{
+		MaxRuns: 200,
+		Bounds:  []smt.Bound{{Lo: 0, Hi: 9, HasLo: true, HasHi: true}},
+		Rand:    rand.New(rand.NewSource(4)),
+	})
+	if len(st.ErrorSitesFound()) != 0 {
+		t.Fatalf("bounded fuzzing escaped its domain: %v", st.Bugs)
+	}
+	if st.Paths() < 1 || st.Coverage() <= 0 {
+		t.Fatalf("stats look wrong: %s", st.Summary())
+	}
+}
+
+func TestRunDefaultDomain(t *testing.T) {
+	// Default domain is [-100, 100]: a guard at ±3 is hit quickly.
+	p := testProg(t, `fn main(x int) { if (x >= -3 && x <= 3) { error("near-zero"); } }`)
+	st := Run(p, Options{MaxRuns: 500, Rand: rand.New(rand.NewSource(5))})
+	if len(st.ErrorSitesFound()) != 1 {
+		t.Fatalf("near-zero guard not hit in 500 runs: %s", st.Summary())
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	p := testProg(t, `fn main(x int, y int) { if (x + y == 12) { error("sum"); } }`)
+	run := func() string {
+		st := Run(p, Options{MaxRuns: 100, Rand: rand.New(rand.NewSource(6))})
+		return st.Summary()
+	}
+	if run() != run() {
+		t.Fatal("fuzzing is not deterministic for a fixed seed")
+	}
+}

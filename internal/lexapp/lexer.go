@@ -1,0 +1,354 @@
+package lexapp
+
+import (
+	"fmt"
+	"strings"
+
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+)
+
+// The Section 7 application: a lexer in the style of flex's sym.c (Figure 4
+// of the paper). The input is a byte string; the lexer splits it into
+// space-delimited chunks, hashes each chunk with the unknown function
+// hashstr, and compares the hash against the precomputed hashes of the
+// language keywords — the exact pattern that defeats classic dynamic test
+// generation, because hash functions cannot be inverted by a constraint
+// solver. Recognized tokens feed a small command parser with deep seeded
+// bugs reachable only through well-formed keyword sequences.
+
+// LexerInputLen is the input buffer length (bytes).
+const LexerInputLen = 16
+
+// ChunkLen is the fixed chunk width hashed by hashstr (shorter chunks are
+// zero-padded, like flex's fixed-size hash of NUL-terminated names).
+const ChunkLen = 6
+
+// Token IDs produced by the lexer.
+const (
+	TokKwIf    = 1
+	TokKwDo    = 2
+	TokKwSet   = 3
+	TokKwWhile = 4
+	TokKwEnd   = 5
+	TokKwNot   = 6
+	TokKwOr    = 7
+	TokKwLet   = 8
+	TokNum     = 9
+	TokIdent   = 10
+)
+
+// Keywords maps each keyword to its token ID.
+var Keywords = []struct {
+	Word string
+	Tok  int
+}{
+	{"if", TokKwIf}, {"do", TokKwDo}, {"set", TokKwSet}, {"while", TokKwWhile},
+	{"end", TokKwEnd}, {"not", TokKwNot}, {"or", TokKwOr}, {"let", TokKwLet},
+}
+
+// HashStr is the unknown string-hash native (djb2-style over the padded
+// chunk), deterministic and practically non-invertible.
+func HashStr(a []int64) int64 {
+	h := uint64(5381)
+	for _, c := range a {
+		h = h*33 + uint64(c)
+	}
+	return int64(h % 4093)
+}
+
+// KeywordHash returns hashstr of the zero-padded keyword.
+func KeywordHash(word string) int64 {
+	args := make([]int64, ChunkLen)
+	for i := 0; i < len(word) && i < ChunkLen; i++ {
+		args[i] = int64(word[i])
+	}
+	return HashStr(args)
+}
+
+// EncodeInput converts a string into the lexer's flattened input vector
+// (zero-padded to LexerInputLen).
+func EncodeInput(s string) []int64 {
+	out := make([]int64, LexerInputLen)
+	for i := 0; i < len(s) && i < LexerInputLen; i++ {
+		out[i] = int64(s[i])
+	}
+	return out
+}
+
+// DecodeInput renders an input vector as a string (dots for non-printable).
+func DecodeInput(in []int64) string {
+	var b strings.Builder
+	for _, c := range in {
+		if c >= 32 && c < 127 {
+			b.WriteByte(byte(c))
+		} else if c == 0 {
+			b.WriteByte('·')
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// ByteBounds bounds every input byte to [0, 127].
+func ByteBounds() []smt.Bound {
+	out := make([]smt.Bound, LexerInputLen)
+	for i := range out {
+		out[i] = smt.Bound{Lo: 0, Hi: 127, HasLo: true, HasHi: true}
+	}
+	return out
+}
+
+// JunkSeeds are structurally diverse inputs containing no keywords: chunk
+// lengths vary (1–5 bytes) so the directed searches can reach every keyword
+// slot, but recognizing any keyword still requires inverting hashstr. All
+// techniques receive the same seeds.
+func JunkSeeds() [][]int64 {
+	return [][]int64{
+		EncodeInput("qp 4 xyz 5 abc"), // lengths 2,1,3,1,3
+		EncodeInput("vwxyz 4 qp abc"), // lengths 5,1,2,3
+		EncodeInput("xyz 7 ab"),       // lengths 3,1,2
+	}
+}
+
+// JunkSeed is the first junk seed (kept for small demos).
+func JunkSeed() []int64 { return EncodeInput("qp 4 xyz 5 abc") }
+
+// WellFormedSeeds is a small corpus of valid command-language inputs, used
+// to teach the IOF store the keyword hashes when they are hard-coded
+// (Section 7: "starting the testing session with a representative set of
+// well-formed inputs").
+// The corpus is deliberately benign: every seed lexes into keywords (so all
+// eight keyword hashes get sampled) but no seed matches a buggy command
+// form — composing those is the search's job.
+func WellFormedSeeds() [][]int64 {
+	return [][]int64{
+		EncodeInput("while do"),
+		EncodeInput("set"),
+		EncodeInput("end if"),
+		EncodeInput("not or"),
+		EncodeInput("let 5"),
+	}
+}
+
+// lexerNatives registers hashstr.
+func lexerNatives() mini.Natives {
+	ns := mini.Natives{}
+	ns.Register("hashstr", ChunkLen, HashStr)
+	return ns
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// chunkArgs renders "chunk[0], chunk[1], ..." for the generated source.
+func chunkArgs() string {
+	parts := make([]string, ChunkLen)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("chunk[%d]", i)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// keywordInit renders the addsym-style initialization: in the standard
+// variant the keyword hashes are computed by calling hashstr on the keyword
+// bytes (populating the IOF store during initialization, as described in
+// Section 7); in the hardcoded variant the precomputed values are inlined,
+// so samples can only come from lexing well-formed inputs.
+func keywordInit(hardcoded bool) string {
+	var b strings.Builder
+	for _, kw := range Keywords {
+		if hardcoded {
+			fmt.Fprintf(&b, "\tvar h%s = %d;\n", capitalize(kw.Word), KeywordHash(kw.Word))
+			continue
+		}
+		args := make([]string, ChunkLen)
+		for i := range args {
+			if i < len(kw.Word) {
+				args[i] = fmt.Sprintf("%d", kw.Word[i])
+			} else {
+				args[i] = "0"
+			}
+		}
+		fmt.Fprintf(&b, "\tvar h%s = hashstr(%s);\n", capitalize(kw.Word), strings.Join(args, ", "))
+	}
+	return b.String()
+}
+
+// keywordMatch renders the findsym logic of Figure 4: a hash comparison
+// followed by a byte-for-byte confirmation (flex's strcmp), so hash
+// collisions do not masquerade as keywords.
+func keywordMatch() string {
+	var b strings.Builder
+	for _, kw := range Keywords {
+		fmt.Fprintf(&b, "\t\t\tif (hv == h%s", capitalize(kw.Word))
+		for i := 0; i < ChunkLen; i++ {
+			c := int64(0)
+			if i < len(kw.Word) {
+				c = int64(kw.Word[i])
+			}
+			fmt.Fprintf(&b, " && chunk[%d] == %d", i, c)
+		}
+		fmt.Fprintf(&b, ") { tok = %d; }\n", kw.Tok)
+	}
+	return b.String()
+}
+
+// lexerSource generates the full mini program.
+func lexerSource(hardcoded bool) string {
+	return fmt.Sprintf(`
+// Flex-style lexer (cf. Figure 4 of the paper) + command parser.
+fn lex(s [%d]int, toks [8]int) int {
+	// addsym: populate the keyword hash table.
+%s	var ntok = 0;
+	var i = 0;
+	while (i < %d && ntok < 8) {
+		// skip separators
+		while (i < %d && s[i] == 32) {
+			i = i + 1;
+		}
+		if (i < %d && s[i] > 0) {
+			var chunk [%d];
+			var j = 0;
+			while (i < %d && j < %d && s[i] != 32 && s[i] > 0) {
+				chunk[j] = s[i];
+				i = i + 1;
+				j = j + 1;
+			}
+			// findsym: keyword recognition through the hash function.
+			var hv = hashstr(%s);
+			var tok = 0;
+%s			if (tok == 0) {
+				if (chunk[0] >= 48 && chunk[0] <= 57) {
+					tok = %d; // number
+				} else {
+					tok = %d; // identifier
+				}
+			}
+			toks[ntok] = tok;
+			ntok = ntok + 1;
+		} else {
+			i = i + 1;
+		}
+	}
+	return ntok;
+}
+
+// parse consumes the token stream; each recognized command form reaches one
+// deep error site — the bugs only well-formed inputs can trigger.
+fn parse(toks [8]int, n int) {
+	if (n >= 2 && toks[0] == %d && toks[1] == %d) {
+		error("parse-set-num");
+	}
+	if (n >= 5 && toks[0] == %d && toks[1] == %d && toks[2] == %d && toks[3] == %d && toks[4] == %d) {
+		error("parse-if-block");
+	}
+	if (n >= 4 && toks[0] == %d && toks[1] == %d && toks[2] == %d && toks[3] == %d) {
+		error("parse-while-loop");
+	}
+	if (n >= 2 && toks[0] == %d && toks[1] == %d) {
+		error("parse-double-not");
+	}
+	if (n >= 3 && toks[0] == %d && toks[1] == %d && toks[2] == %d) {
+		error("parse-let-binding");
+	}
+}
+
+fn main(s [%d]int) {
+	var toks [8];
+	var n = lex(s, toks);
+	parse(toks, n);
+}
+`,
+		LexerInputLen, keywordInit(hardcoded),
+		LexerInputLen, LexerInputLen, LexerInputLen,
+		ChunkLen, LexerInputLen, ChunkLen,
+		chunkArgs(), keywordMatch(), TokNum, TokIdent,
+		// parse-set-num: set NUM
+		TokKwSet, TokNum,
+		// parse-if-block: if NUM set NUM end
+		TokKwIf, TokNum, TokKwSet, TokNum, TokKwEnd,
+		// parse-while-loop: while NUM do end
+		TokKwWhile, TokNum, TokKwDo, TokKwEnd,
+		// parse-double-not: not not
+		TokKwNot, TokKwNot,
+		// parse-let-binding: let IDENT NUM
+		TokKwLet, TokIdent, TokNum,
+		LexerInputLen)
+}
+
+// Lexer is the standard Section 7 workload: keyword hashes are computed at
+// initialization, so higher-order mode observes every (hashvalue,
+// hash(keyword)) pair on each run.
+func Lexer() *Workload {
+	return &Workload{
+		Name:        "lexer",
+		Description: "Section 7: flex-style lexer + parser, hashes computed at init",
+		Source:      lexerSource(false),
+		Natives:     lexerNatives(),
+		Seeds:       JunkSeeds(),
+		Bounds:      ByteBounds(),
+	}
+}
+
+// LexerHardcoded is the Section 7 variant with precomputed hash values
+// hard-coded in the source: samples must be learned from well-formed inputs
+// over the testing session.
+func LexerHardcoded() *Workload {
+	return &Workload{
+		Name:        "lexer-hardcoded",
+		Description: "Section 7 variant: hard-coded keyword hashes, samples learned from seeds",
+		Source:      lexerSource(true),
+		Natives:     lexerNatives(),
+		Seeds:       append(JunkSeeds(), WellFormedSeeds()...),
+		Bounds:      ByteBounds(),
+	}
+}
+
+// KeywordBranchIDs returns the branch IDs of the keyword-recognition
+// conditionals (hash match confirmed by the strcmp chain) in the lexer
+// program, in keyword order. Their taken side fires only when an actual
+// keyword was lexed; these are the branches classic dynamic test generation
+// cannot flip.
+func KeywordBranchIDs(p *mini.Program) []int {
+	lex := p.Funcs["lex"]
+	var out []int
+	var mentionsHv func(e mini.Expr) bool
+	mentionsHv = func(e mini.Expr) bool {
+		switch x := e.(type) {
+		case *mini.Ident:
+			return x.Name == "hv"
+		case *mini.Binary:
+			return mentionsHv(x.X) || mentionsHv(x.Y)
+		case *mini.Unary:
+			return mentionsHv(x.X)
+		}
+		return false
+	}
+	var walk func(s mini.Stmt)
+	walk = func(s mini.Stmt) {
+		switch st := s.(type) {
+		case *mini.Block:
+			for _, inner := range st.Stmts {
+				walk(inner)
+			}
+		case *mini.If:
+			if mentionsHv(st.Cond) {
+				out = append(out, st.BranchID)
+			}
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *mini.While:
+			walk(st.Body)
+		}
+	}
+	walk(lex.Body)
+	return out
+}

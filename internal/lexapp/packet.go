@@ -1,0 +1,156 @@
+package lexapp
+
+import (
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+)
+
+// The second application: a packet parser whose header carries an 8-bit CRC
+// of the payload — "CRC-ing data" is on the paper's §6 list of unknown
+// functions that defeat symbolic execution. The parser validates the
+// checksum before dispatching on the packet type, so every deep bug sits
+// behind a constraint of the form crc8(payload...) == checksum, with
+// *additional* constraints on the hashed payload itself:
+//
+//   - plain DART can fix the payload and copy the observed CRC into the
+//     checksum byte (the §1 concretization trick) — but any later payload
+//     flip invalidates the checksum and diverges (unsound) or is blocked by
+//     the concretization pins (sound);
+//   - higher-order generation treats crc8 as an uninterpreted function:
+//     flipping a payload constraint keeps the symbolic link
+//     checksum = crc8(payload), and multi-step resolution runs one
+//     intermediate test to sample the new payload's CRC.
+
+// PacketLen is the packet buffer length.
+const PacketLen = 12
+
+// PayloadLen is the fixed payload window covered by the CRC.
+const PayloadLen = 8
+
+// Packet layout: [version, type, len, payload×8, checksum].
+const (
+	offVersion  = 0
+	offType     = 1
+	offLen      = 2
+	offPayload  = 3
+	offChecksum = offPayload + PayloadLen
+)
+
+// Packet type codes.
+const (
+	PktData    = 1
+	PktControl = 2
+	PktEcho    = 3
+)
+
+// Crc8 is the unknown checksum function: a CRC-8 (polynomial 0x07) over the
+// length byte and the fixed payload window.
+func Crc8(a []int64) int64 {
+	crc := uint8(0)
+	for _, b := range a {
+		crc ^= uint8(b)
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return int64(crc)
+}
+
+// Crc8Of computes the checksum the parser expects for a packet.
+func Crc8Of(pkt []int64) int64 {
+	args := make([]int64, 1+PayloadLen)
+	args[0] = pkt[offLen]
+	copy(args[1:], pkt[offPayload:offPayload+PayloadLen])
+	return Crc8(args)
+}
+
+// EncodePacket builds a well-formed packet with a correct checksum.
+func EncodePacket(typ int64, payload string) []int64 {
+	pkt := make([]int64, PacketLen)
+	pkt[offVersion] = 2
+	pkt[offType] = typ
+	pkt[offLen] = int64(len(payload))
+	for i := 0; i < len(payload) && i < PayloadLen; i++ {
+		pkt[offPayload+i] = int64(payload[i])
+	}
+	pkt[offChecksum] = Crc8Of(pkt)
+	return pkt
+}
+
+func packetNatives() mini.Natives {
+	ns := mini.Natives{}
+	ns.Register("crc8", 1+PayloadLen, Crc8)
+	return ns
+}
+
+// PacketBounds bounds every packet byte to [0, 255].
+func PacketBounds() []smt.Bound {
+	out := make([]smt.Bound, PacketLen)
+	for i := range out {
+		out[i] = smt.Bound{Lo: 0, Hi: 255, HasLo: true, HasHi: true}
+	}
+	return out
+}
+
+const packetSrc = `
+// Checksummed packet parser. Layout: [version, type, len, payload[8], crc].
+fn main(p [12]int) {
+	// Header validation.
+	if (p[0] != 2) {
+		return;
+	}
+	if (p[2] > 8) {
+		return;
+	}
+	// Checksum validation: crc8 over the length byte and payload window.
+	var want = crc8(p[2], p[3], p[4], p[5], p[6], p[7], p[8], p[9], p[10]);
+	if (p[11] != want) {
+		return;
+	}
+	// Dispatch. Every error site below requires BOTH a valid checksum and
+	// specific payload content — the coupling that separates the techniques.
+	if (p[1] == 1) {
+		// DATA: oversized writes.
+		if (p[2] >= 7) {
+			error("data-overflow");
+		}
+	}
+	if (p[1] == 2) {
+		// CONTROL: 'R' commands a reboot.
+		if (p[3] == 82 && p[2] >= 1) {
+			error("control-reboot");
+		}
+	}
+	if (p[1] == 3) {
+		// ECHO: the magic greeting.
+		if (p[3] == 104 && p[4] == 105) {
+			error("echo-magic");
+		}
+	}
+}`
+
+// Packet is the checksummed packet-parser workload. The seed is a valid
+// CONTROL packet with an innocuous payload: parsing it samples crc8 once and
+// exercises the happy path, but no error site.
+func Packet() *Workload {
+	return &Workload{
+		Name:        "packet",
+		Description: "checksummed packet parser: deep bugs behind crc8(payload) == checksum",
+		Source:      packetSrc,
+		Natives:     packetNatives(),
+		Seeds: [][]int64{
+			EncodePacket(PktControl, "x"),
+			// An invalid-checksum packet exercising the reject path.
+			func() []int64 {
+				pkt := EncodePacket(PktData, "ab")
+				pkt[offChecksum] = (pkt[offChecksum] + 1) % 256
+				return pkt
+			}(),
+		},
+		Bounds: PacketBounds(),
+	}
+}

@@ -1,0 +1,347 @@
+// Package lexapp contains the programs under test used throughout the
+// reproduction: every worked example of the paper (obscure, foo, foo-bis,
+// bar, pub, the EUF examples, the multi-step chains) and the Section 7
+// application — a flex-style lexer that recognizes keywords by hashing,
+// feeding a small command parser with seeded deep bugs.
+package lexapp
+
+import (
+	"fmt"
+
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+)
+
+// Workload is one program under test with everything a search needs.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string
+	Natives     mini.Natives
+	Seeds       [][]int64
+	Bounds      []smt.Bound
+
+	prog *mini.Program
+}
+
+// Build parses and checks the workload's program (memoized).
+func (w *Workload) Build() *mini.Program {
+	if w.prog == nil {
+		w.prog = mini.MustCheck(mini.MustParse(w.Source), w.Natives)
+	}
+	return w.prog
+}
+
+// ScrambledHash is the default "unknown" hash function: deterministic,
+// avalanching, and practically non-invertible by a constraint solver.
+func ScrambledHash(a []int64) int64 {
+	x := uint64(a[0]) * 2654435761
+	x ^= x >> 13
+	x *= 2246822519
+	x ^= x >> 16
+	return int64(x % 1000)
+}
+
+func scrambledNatives() mini.Natives {
+	ns := mini.Natives{}
+	ns.Register("hash", 1, ScrambledHash)
+	return ns
+}
+
+// succNatives gives a hash with h(0)=0 and h(1)=1 so that Example 6's sample
+// pair exists, scrambled elsewhere.
+func succNatives() mini.Natives {
+	ns := mini.Natives{}
+	ns.Register("hash", 1, func(a []int64) int64 {
+		switch a[0] {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		default:
+			return 100 + ScrambledHash(a)
+		}
+	})
+	return ns
+}
+
+// Obscure is the introduction's example: a single hash guard.
+func Obscure() *Workload {
+	return &Workload{
+		Name:        "obscure",
+		Description: "Section 1: if (x == hash(y)) — static TG helpless, dynamic TG trivial",
+		Source: `
+fn main(x int, y int) int {
+	if (x == hash(y)) {
+		error("obscure");
+	}
+	return 0;
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{33, 42}},
+	}
+}
+
+// Foo is the Section 3.2 program: the divergence (unsound) / missed bug
+// (sound) / two-step generation (higher-order) example.
+func Foo() *Workload {
+	h42 := ScrambledHash([]int64{42})
+	return &Workload{
+		Name:        "foo",
+		Description: "Section 3.2 / Example 7: nested hash guard, two-step generation",
+		Source: `
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{h42, 42}},
+	}
+}
+
+// FooBis is Example 2: the "good divergence" program.
+func FooBis() *Workload {
+	return &Workload{
+		Name:        "foo-bis",
+		Description: "Example 2: sound concretization misses the bug a good divergence finds",
+		Source: `
+fn main(x int, y int) {
+	if (x != hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{33, 42}},
+	}
+}
+
+// Bar is Example 3: the hash cycle no test can reach uniformly.
+func Bar() *Workload {
+	return &Workload{
+		Name:        "bar",
+		Description: "Example 3: x == hash(y) && y == hash(x) — invalid, unsound TG diverges",
+		Source: `
+fn main(x int, y int) {
+	if (x == hash(y) && y == hash(x)) {
+		error("cycle");
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{33, 42}},
+	}
+}
+
+// Pub is Example 4: the program whose flip needs the sample antecedent.
+func Pub() *Workload {
+	return &Workload{
+		Name:        "pub",
+		Description: "Example 4: hash(x) > 0 && y == 10 — provable only with samples",
+		Source: `
+fn main(x int, y int) {
+	if (hash(x) > 0 && y == 10) {
+		error("pub");
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{1, 2}},
+	}
+}
+
+// EqPair is Example 5 as a program: reaching the branch requires proving
+// ∃x,y: hash(x) = hash(y) via EUF (strategy x := y).
+func EqPair() *Workload {
+	return &Workload{
+		Name:        "eq-pair",
+		Description: "Example 5: hash(x) == hash(y) — valid by EUF, x := y",
+		Source: `
+fn main(x int, y int) {
+	if (hash(x) == hash(y)) {
+		error("eq");
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{3, 8}},
+	}
+}
+
+// SuccPair is Example 6 as a program: hash(x) == hash(y) + 1 needs a sample
+// pair with outputs differing by one.
+func SuccPair() *Workload {
+	return &Workload{
+		Name:        "succ-pair",
+		Description: "Example 6: hash(x) == hash(y) + 1 — needs the sample antecedent",
+		Source: `
+fn main(x int, y int) {
+	if (hash(x) == hash(y) + 1) {
+		error("succ");
+	}
+}`,
+		Natives: succNatives(),
+		// The seeds walk hash over 0 and 1, teaching h(0)=0 and h(1)=1.
+		Seeds: [][]int64{{0, 1}},
+	}
+}
+
+// KStep builds a k-level nested hash chain generalizing Example 7.
+func KStep(k int) *Workload {
+	if k < 1 || k > 3 {
+		panic("lexapp: KStep supports 1..3 levels")
+	}
+	var src string
+	switch k {
+	case 1:
+		src = `
+fn main(x int, y int, z int) {
+	if (x == hash(y)) {
+		error("deep1");
+	}
+}`
+	case 2:
+		src = `
+fn main(x int, y int, z int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep2");
+		}
+	}
+}`
+	case 3:
+		src = `
+fn main(x int, y int, z int) {
+	if (x == hash(y)) {
+		if (y == hash(z)) {
+			if (z == 7) {
+				error("deep3");
+			}
+		}
+	}
+}`
+	}
+	return &Workload{
+		Name:        fmt.Sprintf("kstep-%d", k),
+		Description: fmt.Sprintf("Example 7 generalized: %d-step test generation", k),
+		Source:      src,
+		Natives:     scrambledNatives(),
+		Seeds:       [][]int64{{1, 2, 3}},
+	}
+}
+
+// Delayed is the Section 3.3 closing example: x := hash(y); if (y == 10).
+func Delayed() *Workload {
+	return &Workload{
+		Name:        "delayed",
+		Description: "Section 3.3 variant: delaying concretization constraints recovers the flip",
+		Source: `
+fn main(y int) {
+	var x = hash(y);
+	if (y == 10) {
+		error("e");
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{42}},
+	}
+}
+
+// PaperExamples returns every non-lexer workload.
+func PaperExamples() []*Workload {
+	return []*Workload{
+		Obscure(), Foo(), FooBis(), Bar(), Pub(), EqPair(), SuccPair(),
+		KStep(2), KStep(3), Delayed(),
+	}
+}
+
+// Get returns a workload by name (paper examples and lexer variants).
+func Get(name string) (*Workload, bool) {
+	for _, w := range PaperExamples() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range []*Workload{Lexer(), LexerHardcoded(), Packet(), Scanner()} {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// All returns every workload: paper examples, lexers, packet parser, and the
+// call-heavy scanner.
+func All() []*Workload {
+	return append(PaperExamples(), Lexer(), LexerHardcoded(), Packet(), Scanner())
+}
+
+// Scanner is a call-heavy workload for the compositional-summary machinery:
+// a byte scanner that classifies every input byte through a helper function
+// (one call per byte per run, so path summaries get reused heavily), with a
+// hash-guarded deep bug.
+func Scanner() *Workload {
+	return &Workload{
+		Name:        "scanner",
+		Description: "call-heavy byte scanner: classify() per byte, summary-friendly",
+		Source: `
+fn classify(c int) int {
+	// A deliberately nontrivial classifier: the accumulator loop is pure
+	// symbolic work that a path summary absorbs entirely on reuse.
+	var acc = c;
+	var i = 0;
+	while (i < 8) {
+		acc = acc * 3 + i;
+		i = i + 1;
+	}
+	if (c == 32) {
+		return 0; // space
+	}
+	if (c >= 48 && c <= 57) {
+		return 1; // digit
+	}
+	if (c >= 97 && c <= 122) {
+		return 2; // letter
+	}
+	if (c >= 123 && hash(acc) % 2 == 0) {
+		return 4; // high byte with even accumulator hash
+	}
+	return 3; // other
+}
+fn main(s [10]int) {
+	var digits = 0;
+	var letters = 0;
+	var evens = 0;
+	var i = 0;
+	while (i < 10) {
+		var k = classify(s[i]);
+		if (k == 1) {
+			digits = digits + 1;
+		}
+		if (k == 2) {
+			letters = letters + 1;
+		}
+		if (k == 4) {
+			evens = evens + 1;
+		}
+		i = i + 1;
+	}
+	if (digits >= 1 && letters >= 2) {
+		error("mixed");
+	}
+	if (evens >= 1) {
+		error("even-hash-byte");
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{113, 119, 32, 101, 114, 32, 116, 122, 117, 105}}, // "qw er tzui"
+		Bounds: func() []smt.Bound {
+			out := make([]smt.Bound, 10)
+			for i := range out {
+				out[i] = smt.Bound{Lo: 0, Hi: 255, HasLo: true, HasHi: true}
+			}
+			return out
+		}(),
+	}
+}

@@ -1,0 +1,313 @@
+package mini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates mini types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TBool
+	TArray // fixed-length int array
+)
+
+// Type is a mini type. Arrays are always arrays of int with a fixed length.
+type Type struct {
+	Kind TypeKind
+	Len  int // for TArray
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TArray:
+		return fmt.Sprintf("[%d]int", t.Len)
+	}
+	return "?"
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Pos() Pos
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P Pos
+	V int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	P Pos
+	V bool
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	P    Pos
+	Name string
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	P  Pos
+	Op TokKind
+	X  Expr
+}
+
+// Binary is a binary operation. For the short-circuit operators && and ||,
+// BranchID identifies the implicit branch point that decides whether the
+// right operand is evaluated — exactly the conditional jump such operators
+// compile to, which is the granularity at which binary-level concolic
+// executors like SAGE observe branching.
+type Binary struct {
+	P        Pos
+	Op       TokKind
+	X, Y     Expr
+	BranchID int
+}
+
+// Call is a function call. The checker resolves it to either a user function
+// (Fn != nil) or a native (Native true).
+type Call struct {
+	P      Pos
+	Name   string
+	Args   []Expr
+	Fn     *FuncDecl // user-defined callee, or nil
+	Native bool
+}
+
+// Index is an array element read a[i].
+type Index struct {
+	P    Pos
+	Name string
+	Idx  Expr
+}
+
+// Pos implements Expr.
+func (e *IntLit) Pos() Pos  { return e.P }
+func (e *BoolLit) Pos() Pos { return e.P }
+func (e *Ident) Pos() Pos   { return e.P }
+func (e *Unary) Pos() Pos   { return e.P }
+func (e *Binary) Pos() Pos  { return e.P }
+func (e *Call) Pos() Pos    { return e.P }
+func (e *Index) Pos() Pos   { return e.P }
+
+func (*IntLit) exprNode()  {}
+func (*BoolLit) exprNode() {}
+func (*Ident) exprNode()   {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}
+func (*Call) exprNode()    {}
+func (*Index) exprNode()   {}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+// VarDecl declares and initializes a scalar: var x = e;
+type VarDecl struct {
+	P    Pos
+	Name string
+	Init Expr
+}
+
+// ArrDecl declares a zero-initialized array: var a [8];
+type ArrDecl struct {
+	P    Pos
+	Name string
+	Len  int
+}
+
+// Assign is x = e;
+type Assign struct {
+	P    Pos
+	Name string
+	Val  Expr
+}
+
+// IndexAssign is a[i] = e;
+type IndexAssign struct {
+	P    Pos
+	Name string
+	Idx  Expr
+	Val  Expr
+}
+
+// If is a conditional; Else is nil, *Block, or *If (else-if chain).
+// BranchID identifies this static branch point; it is assigned by Check.
+type If struct {
+	P        Pos
+	Cond     Expr
+	Then     *Block
+	Else     Stmt
+	BranchID int
+}
+
+// While is a loop. Its condition is a branch point like an if condition.
+type While struct {
+	P        Pos
+	Cond     Expr
+	Body     *Block
+	BranchID int
+}
+
+// Return exits the current function; Val may be nil in void functions.
+type Return struct {
+	P   Pos
+	Val Expr
+}
+
+// ErrorStmt marks a reachable bug, the analogue of the paper's
+// "return -1; // error" sites. SiteID is assigned by Check.
+type ErrorStmt struct {
+	P      Pos
+	Msg    string
+	SiteID int
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	P Pos
+	X Expr
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	P     Pos
+	Stmts []Stmt
+}
+
+// Pos implements Stmt.
+func (s *VarDecl) Pos() Pos     { return s.P }
+func (s *ArrDecl) Pos() Pos     { return s.P }
+func (s *Assign) Pos() Pos      { return s.P }
+func (s *IndexAssign) Pos() Pos { return s.P }
+func (s *If) Pos() Pos          { return s.P }
+func (s *While) Pos() Pos       { return s.P }
+func (s *Return) Pos() Pos      { return s.P }
+func (s *ErrorStmt) Pos() Pos   { return s.P }
+func (s *ExprStmt) Pos() Pos    { return s.P }
+func (s *Block) Pos() Pos       { return s.P }
+
+func (*VarDecl) stmtNode()     {}
+func (*ArrDecl) stmtNode()     {}
+func (*Assign) stmtNode()      {}
+func (*IndexAssign) stmtNode() {}
+func (*If) stmtNode()          {}
+func (*While) stmtNode()       {}
+func (*Return) stmtNode()      {}
+func (*ErrorStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()    {}
+func (*Block) stmtNode()       {}
+
+// Param is a formal parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition. HasRet reports whether the function is
+// declared to return an int (the only return type).
+type FuncDecl struct {
+	P      Pos
+	Name   string
+	Params []Param
+	HasRet bool
+	Body   *Block
+}
+
+// Program is a checked mini program.
+type Program struct {
+	Funcs map[string]*FuncDecl
+	Order []string // declaration order, for deterministic iteration
+
+	// Filled in by Check:
+	NumBranches int      // number of static branch points (if/while conditions)
+	ErrorSites  []string // SiteID → message
+	Natives     Natives  // the registry the program was checked against
+}
+
+// Main returns the entry function.
+func (p *Program) Main() *FuncDecl { return p.Funcs["main"] }
+
+// InputShape describes the flattened input vector of a program: one entry per
+// scalar input parameter and one per array element, in declaration order.
+type InputShape struct {
+	Names []string // e.g. "x", "s[0]", "s[1]"
+	// ParamOf[i] is the index of the parameter that flat input i belongs to.
+	ParamOf []int
+}
+
+// Shape computes the input shape of the program's main function.
+func (p *Program) Shape() InputShape {
+	var sh InputShape
+	m := p.Main()
+	for pi, prm := range m.Params {
+		switch prm.Type.Kind {
+		case TArray:
+			for i := 0; i < prm.Type.Len; i++ {
+				sh.Names = append(sh.Names, fmt.Sprintf("%s[%d]", prm.Name, i))
+				sh.ParamOf = append(sh.ParamOf, pi)
+			}
+		default:
+			sh.Names = append(sh.Names, prm.Name)
+			sh.ParamOf = append(sh.ParamOf, pi)
+		}
+	}
+	return sh
+}
+
+// Native is a host-provided function opaque to symbolic execution — the
+// paper's "unknown function". It must be deterministic (Theorem 3).
+type Native struct {
+	Name  string
+	Arity int
+	Fn    func(args []int64) int64
+}
+
+// Natives is a registry of native functions by name.
+type Natives map[string]*Native
+
+// Register adds a native function.
+func (ns Natives) Register(name string, arity int, fn func([]int64) int64) {
+	ns[name] = &Native{Name: name, Arity: arity, Fn: fn}
+}
+
+func opString(op TokKind) string { return op.String() }
+
+// FormatExpr renders an expression as source text (for diagnostics).
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", x.V)
+	case *BoolLit:
+		return fmt.Sprintf("%v", x.V)
+	case *Ident:
+		return x.Name
+	case *Unary:
+		return opString(x.Op) + FormatExpr(x.X)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.X), opString(x.Op), FormatExpr(x.Y))
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", x.Name, FormatExpr(x.Idx))
+	}
+	return "?"
+}

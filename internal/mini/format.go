@@ -1,0 +1,233 @@
+package mini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical source text. Formatting
+// then re-parsing yields a structurally identical program (checked by the
+// round-trip property tests), which makes Format suitable for shrinking and
+// reporting generated programs.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, name := range p.Order {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		formatFunc(&b, p.Funcs[name])
+	}
+	return b.String()
+}
+
+func formatFunc(b *strings.Builder, fd *FuncDecl) {
+	fmt.Fprintf(b, "fn %s(", fd.Name)
+	for i, prm := range fd.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", prm.Name, prm.Type)
+	}
+	b.WriteString(")")
+	if fd.HasRet {
+		b.WriteString(" int")
+	}
+	b.WriteString(" ")
+	formatBlock(b, fd.Body, 0)
+	b.WriteString("\n")
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("\t")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case *VarDecl:
+		fmt.Fprintf(b, "var %s = %s;\n", st.Name, FormatExpr(st.Init))
+	case *ArrDecl:
+		fmt.Fprintf(b, "var %s [%d];\n", st.Name, st.Len)
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;\n", st.Name, FormatExpr(st.Val))
+	case *IndexAssign:
+		fmt.Fprintf(b, "%s[%s] = %s;\n", st.Name, FormatExpr(st.Idx), FormatExpr(st.Val))
+	case *If:
+		formatIf(b, st, depth)
+		b.WriteString("\n")
+	case *While:
+		fmt.Fprintf(b, "while (%s) ", FormatExpr(st.Cond))
+		formatBlock(b, st.Body, depth)
+		b.WriteString("\n")
+	case *Return:
+		if st.Val == nil {
+			b.WriteString("return;\n")
+		} else {
+			fmt.Fprintf(b, "return %s;\n", FormatExpr(st.Val))
+		}
+	case *ErrorStmt:
+		fmt.Fprintf(b, "error(%s);\n", QuoteString(st.Msg))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", FormatExpr(st.X))
+	case *Block:
+		formatBlock(b, st, depth)
+		b.WriteString("\n")
+	}
+}
+
+func formatIf(b *strings.Builder, st *If, depth int) {
+	fmt.Fprintf(b, "if (%s) ", FormatExpr(st.Cond))
+	formatBlock(b, st.Then, depth)
+	switch e := st.Else.(type) {
+	case nil:
+	case *Block:
+		b.WriteString(" else ")
+		formatBlock(b, e, depth)
+	case *If:
+		b.WriteString(" else ")
+		formatIf(b, e, depth)
+	}
+}
+
+// EqualAST reports whether two checked programs are structurally identical
+// (ignoring positions). It is the equivalence used by the format/parse
+// round-trip tests.
+func EqualAST(a, b *Program) bool {
+	if len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+		if !equalFunc(a.Funcs[a.Order[i]], b.Funcs[b.Order[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFunc(a, b *FuncDecl) bool {
+	if a.Name != b.Name || a.HasRet != b.HasRet || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return equalBlock(a.Body, b.Body)
+}
+
+func equalBlock(a, b *Block) bool {
+	if len(a.Stmts) != len(b.Stmts) {
+		return false
+	}
+	for i := range a.Stmts {
+		if !equalStmt(a.Stmts[i], b.Stmts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStmt(a, b Stmt) bool {
+	switch x := a.(type) {
+	case *VarDecl:
+		y, ok := b.(*VarDecl)
+		return ok && x.Name == y.Name && equalExpr(x.Init, y.Init)
+	case *ArrDecl:
+		y, ok := b.(*ArrDecl)
+		return ok && x.Name == y.Name && x.Len == y.Len
+	case *Assign:
+		y, ok := b.(*Assign)
+		return ok && x.Name == y.Name && equalExpr(x.Val, y.Val)
+	case *IndexAssign:
+		y, ok := b.(*IndexAssign)
+		return ok && x.Name == y.Name && equalExpr(x.Idx, y.Idx) && equalExpr(x.Val, y.Val)
+	case *If:
+		y, ok := b.(*If)
+		if !ok || !equalExpr(x.Cond, y.Cond) || !equalBlock(x.Then, y.Then) {
+			return false
+		}
+		switch xe := x.Else.(type) {
+		case nil:
+			return y.Else == nil
+		case *Block:
+			ye, ok := y.Else.(*Block)
+			return ok && equalBlock(xe, ye)
+		case *If:
+			ye, ok := y.Else.(*If)
+			return ok && equalStmt(xe, ye)
+		}
+		return false
+	case *While:
+		y, ok := b.(*While)
+		return ok && equalExpr(x.Cond, y.Cond) && equalBlock(x.Body, y.Body)
+	case *Return:
+		y, ok := b.(*Return)
+		if !ok {
+			return false
+		}
+		if x.Val == nil || y.Val == nil {
+			return x.Val == nil && y.Val == nil
+		}
+		return equalExpr(x.Val, y.Val)
+	case *ErrorStmt:
+		y, ok := b.(*ErrorStmt)
+		return ok && x.Msg == y.Msg
+	case *ExprStmt:
+		y, ok := b.(*ExprStmt)
+		return ok && equalExpr(x.X, y.X)
+	case *Block:
+		y, ok := b.(*Block)
+		return ok && equalBlock(x, y)
+	}
+	return false
+}
+
+func equalExpr(a, b Expr) bool {
+	switch x := a.(type) {
+	case *IntLit:
+		y, ok := b.(*IntLit)
+		return ok && x.V == y.V
+	case *BoolLit:
+		y, ok := b.(*BoolLit)
+		return ok && x.V == y.V
+	case *Ident:
+		y, ok := b.(*Ident)
+		return ok && x.Name == y.Name
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && equalExpr(x.X, y.X)
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && equalExpr(x.X, y.X) && equalExpr(x.Y, y.Y)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !equalExpr(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Index:
+		y, ok := b.(*Index)
+		return ok && x.Name == y.Name && equalExpr(x.Idx, y.Idx)
+	}
+	return false
+}

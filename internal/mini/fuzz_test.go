@@ -1,0 +1,80 @@
+package mini
+
+import (
+	"testing"
+)
+
+// FuzzParser: arbitrary input must never panic the lexer/parser/checker, and
+// anything that parses must survive the format/parse round trip.
+func FuzzParser(f *testing.F) {
+	f.Add(`fn main(x int) { if (x > 0) { error("p"); } }`)
+	f.Add(`fn f(a [3]int) int { return a[0]; } fn main(y int) int { var a [3]; a[0] = y; return f(a); }`)
+	f.Add(`fn main() { while (true) { } }`)
+	f.Add("fn main(\x00")
+	f.Add(`fn main() { var x = "unterminated`)
+	f.Add(`fn main() { var x = 9223372036854775807 + 1; }`)
+	ns := Natives{}
+	ns.Register("hash", 1, func(a []int64) int64 { return a[0] })
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(p)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output failed to parse: %v\n%s", err, text)
+		}
+		if !EqualAST(p, p2) {
+			t.Fatalf("round trip changed AST:\n%s", text)
+		}
+		// If it also checks, it must compile and run without panicking.
+		if err := Check(p, ns); err != nil {
+			return
+		}
+		sh := p.Shape()
+		input := make([]int64, len(sh.Names))
+		res := Run(p, input, RunOptions{MaxSteps: 20000, MaxDepth: 64})
+		resVM := RunVM(CompileVM(p), input, RunOptions{MaxSteps: 20000, MaxDepth: 64})
+		// Budget faults may trigger at different instruction counts; all
+		// other outcomes must agree.
+		if res.Kind != StopRuntime && resVM.Kind != StopRuntime {
+			if res.Kind != resVM.Kind || res.Return != resVM.Return || res.Path() != resVM.Path() {
+				t.Fatalf("interp/vm disagree on %q: %+v vs %+v", src, res, resVM)
+			}
+		}
+	})
+}
+
+// FuzzLexRoundTrip: the token stream of any accepted input reassembles into
+// an equally lexable string.
+func FuzzLexRoundTrip(f *testing.F) {
+	f.Add("fn main ( x int ) { }")
+	f.Add("== != <= >= && || ! - + * / %")
+	f.Add(`"str" 123 ident`)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("missing EOF token in %q", src)
+		}
+		rejoined := ""
+		for _, tok := range toks[:len(toks)-1] {
+			rejoined += tok.String() + " "
+		}
+		toks2, err := Lex(rejoined)
+		if err != nil {
+			t.Fatalf("rejoined token text failed to lex: %v\n%q", err, rejoined)
+		}
+		if len(toks2) != len(toks) {
+			t.Fatalf("token count changed: %d vs %d\n%q vs %q", len(toks), len(toks2), src, rejoined)
+		}
+		for i := range toks {
+			if toks[i].Kind != toks2[i].Kind {
+				t.Fatalf("token %d kind changed: %v vs %v", i, toks[i].Kind, toks2[i].Kind)
+			}
+		}
+	})
+}

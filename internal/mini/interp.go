@@ -1,0 +1,457 @@
+package mini
+
+import (
+	"fmt"
+)
+
+// StopKind says how an execution ended.
+type StopKind int
+
+const (
+	// StopReturn: main returned normally.
+	StopReturn StopKind = iota
+	// StopError: an error("...") site was reached — a bug was found.
+	StopError
+	// StopRuntime: a runtime fault (division by zero, index out of bounds,
+	// step or recursion budget exceeded).
+	StopRuntime
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopReturn:
+		return "return"
+	case StopError:
+		return "error"
+	case StopRuntime:
+		return "runtime-fault"
+	default:
+		return "?"
+	}
+}
+
+// BranchEvent records one dynamic evaluation of a branch point.
+type BranchEvent struct {
+	ID    int  // static branch point (If/While BranchID)
+	Taken bool // condition value
+}
+
+// Result is the outcome of one concrete execution.
+type Result struct {
+	Kind       StopKind
+	Return     int64
+	ErrorSite  int // valid when Kind == StopError
+	ErrorMsg   string
+	RuntimeMsg string
+	Branches   []BranchEvent // the executed control path w
+	Steps      int
+}
+
+// Path returns the branch trace as a compact string, for comparing paths.
+func (r *Result) Path() string {
+	buf := make([]byte, len(r.Branches))
+	for i, b := range r.Branches {
+		if b.Taken {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// RunOptions bounds an execution.
+type RunOptions struct {
+	MaxSteps int // default 200000
+	MaxDepth int // default 256
+	// OnNativeCall, if set, observes every native (unknown-function) call.
+	// This is the hook used to learn input–output samples across runs
+	// (Section 7: observing keyword hashes from well-formed seed inputs).
+	OnNativeCall func(name string, args []int64, result int64)
+}
+
+type runtimeFault struct{ msg string }
+
+func (f runtimeFault) Error() string { return f.msg }
+
+type errorReached struct {
+	site int
+	msg  string
+}
+
+func (errorReached) Error() string { return "error site reached" }
+
+type value struct {
+	i   int64
+	b   bool
+	arr []int64
+	t   TypeKind
+}
+
+type frame map[string]value
+
+type interp struct {
+	prog  *Program
+	opts  RunOptions
+	steps int
+	depth int
+	res   *Result
+}
+
+// Run executes the checked program's main function on the flattened input
+// vector (see Program.Shape). The input length must match the shape.
+func Run(prog *Program, input []int64, opts RunOptions) *Result {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 256
+	}
+	in := &interp{prog: prog, opts: opts, res: &Result{}}
+	main := prog.Main()
+
+	fr := frame{}
+	k := 0
+	for _, prm := range main.Params {
+		switch prm.Type.Kind {
+		case TArray:
+			arr := make([]int64, prm.Type.Len)
+			copy(arr, input[k:k+prm.Type.Len])
+			k += prm.Type.Len
+			fr[prm.Name] = value{t: TArray, arr: arr}
+		default:
+			fr[prm.Name] = value{t: TInt, i: input[k]}
+			k++
+		}
+	}
+	if k != len(input) {
+		panic(fmt.Sprintf("mini.Run: input length %d does not match shape %d", len(input), k))
+	}
+
+	ret, err := in.execBlock(main.Body, fr)
+	in.res.Steps = in.steps
+	switch e := err.(type) {
+	case nil:
+		in.res.Kind = StopReturn
+		if ret != nil {
+			in.res.Return = ret.i
+		}
+	case errorReached:
+		in.res.Kind = StopError
+		in.res.ErrorSite = e.site
+		in.res.ErrorMsg = e.msg
+	case runtimeFault:
+		in.res.Kind = StopRuntime
+		in.res.RuntimeMsg = e.msg
+	default:
+		panic(err)
+	}
+	return in.res
+}
+
+// RunFunc executes a single function of the checked program concretely on
+// int arguments (the function must not take array parameters). The Result's
+// branch trace covers only the callee's execution. It is the probe pass of
+// the compositional-summary machinery: a cheap concrete run that determines
+// the intraprocedural path before any symbolic work is spent.
+func RunFunc(prog *Program, name string, args []int64, opts RunOptions) *Result {
+	fd := prog.Funcs[name]
+	if fd == nil {
+		panic(fmt.Sprintf("mini.RunFunc: no function %s", name))
+	}
+	if len(args) != len(fd.Params) {
+		panic(fmt.Sprintf("mini.RunFunc: %s takes %d args, got %d", name, len(fd.Params), len(args)))
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 256
+	}
+	in := &interp{prog: prog, opts: opts, res: &Result{}}
+	fr := frame{}
+	for i, prm := range fd.Params {
+		if prm.Type.Kind != TInt {
+			panic(fmt.Sprintf("mini.RunFunc: %s has a non-int parameter", name))
+		}
+		fr[prm.Name] = value{t: TInt, i: args[i]}
+	}
+	ret, err := in.execBlock(fd.Body, fr)
+	in.res.Steps = in.steps
+	switch e := err.(type) {
+	case nil:
+		in.res.Kind = StopReturn
+		if ret != nil {
+			in.res.Return = ret.i
+		}
+	case errorReached:
+		in.res.Kind = StopError
+		in.res.ErrorSite = e.site
+		in.res.ErrorMsg = e.msg
+	case runtimeFault:
+		in.res.Kind = StopRuntime
+		in.res.RuntimeMsg = e.msg
+	default:
+		panic(err)
+	}
+	return in.res
+}
+
+func (in *interp) tick() error {
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		return runtimeFault{"step budget exceeded (possible non-termination)"}
+	}
+	return nil
+}
+
+// execBlock runs a block; a non-nil *value return means a `return` statement
+// fired with that value (value{t:TBool} unused; void return = &value{}).
+func (in *interp) execBlock(b *Block, fr frame) (*value, error) {
+	for _, s := range b.Stmts {
+		ret, err := in.execStmt(s, fr)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+	}
+	return nil, nil
+}
+
+func (in *interp) execStmt(s Stmt, fr frame) (*value, error) {
+	if err := in.tick(); err != nil {
+		return nil, err
+	}
+	switch st := s.(type) {
+	case *VarDecl:
+		v, err := in.eval(st.Init, fr)
+		if err != nil {
+			return nil, err
+		}
+		fr[st.Name] = v
+		return nil, nil
+	case *ArrDecl:
+		fr[st.Name] = value{t: TArray, arr: make([]int64, st.Len)}
+		return nil, nil
+	case *Assign:
+		v, err := in.eval(st.Val, fr)
+		if err != nil {
+			return nil, err
+		}
+		fr[st.Name] = v
+		return nil, nil
+	case *IndexAssign:
+		iv, err := in.eval(st.Idx, fr)
+		if err != nil {
+			return nil, err
+		}
+		arr := fr[st.Name].arr
+		if iv.i < 0 || iv.i >= int64(len(arr)) {
+			return nil, runtimeFault{fmt.Sprintf("%s: index %d out of bounds [0,%d)", st.P, iv.i, len(arr))}
+		}
+		v, err := in.eval(st.Val, fr)
+		if err != nil {
+			return nil, err
+		}
+		arr[iv.i] = v.i
+		return nil, nil
+	case *If:
+		cv, err := in.eval(st.Cond, fr)
+		if err != nil {
+			return nil, err
+		}
+		in.res.Branches = append(in.res.Branches, BranchEvent{ID: st.BranchID, Taken: cv.b})
+		if cv.b {
+			return in.execBlock(st.Then, fr)
+		}
+		switch e := st.Else.(type) {
+		case nil:
+			return nil, nil
+		case *Block:
+			return in.execBlock(e, fr)
+		case *If:
+			return in.execStmt(e, fr)
+		}
+		return nil, nil
+	case *While:
+		for {
+			cv, err := in.eval(st.Cond, fr)
+			if err != nil {
+				return nil, err
+			}
+			in.res.Branches = append(in.res.Branches, BranchEvent{ID: st.BranchID, Taken: cv.b})
+			if !cv.b {
+				return nil, nil
+			}
+			ret, err := in.execBlock(st.Body, fr)
+			if err != nil || ret != nil {
+				return ret, err
+			}
+			if err := in.tick(); err != nil {
+				return nil, err
+			}
+		}
+	case *Return:
+		if st.Val == nil {
+			return &value{}, nil
+		}
+		v, err := in.eval(st.Val, fr)
+		if err != nil {
+			return nil, err
+		}
+		return &v, nil
+	case *ErrorStmt:
+		return nil, errorReached{site: st.SiteID, msg: st.Msg}
+	case *ExprStmt:
+		_, err := in.eval(st.X, fr)
+		return nil, err
+	case *Block:
+		return in.execBlock(st, fr)
+	}
+	panic(fmt.Sprintf("mini: execStmt: unhandled %T", s))
+}
+
+func (in *interp) eval(e Expr, fr frame) (value, error) {
+	if err := in.tick(); err != nil {
+		return value{}, err
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		return value{t: TInt, i: x.V}, nil
+	case *BoolLit:
+		return value{t: TBool, b: x.V}, nil
+	case *Ident:
+		return fr[x.Name], nil
+	case *Index:
+		iv, err := in.eval(x.Idx, fr)
+		if err != nil {
+			return value{}, err
+		}
+		arr := fr[x.Name].arr
+		if iv.i < 0 || iv.i >= int64(len(arr)) {
+			return value{}, runtimeFault{fmt.Sprintf("%s: index %d out of bounds [0,%d)", x.P, iv.i, len(arr))}
+		}
+		return value{t: TInt, i: arr[iv.i]}, nil
+	case *Unary:
+		v, err := in.eval(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case TokBang:
+			return value{t: TBool, b: !v.b}, nil
+		case TokMinus:
+			return value{t: TInt, i: -v.i}, nil
+		}
+	case *Binary:
+		l, err := in.eval(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		// && and || are short-circuit, like C: the right operand is not
+		// evaluated (and can therefore not fault) when the left decides.
+		// Each evaluation is an implicit branch event (the conditional jump
+		// the operator compiles to), recorded for path comparison.
+		switch x.Op {
+		case TokAndAnd:
+			in.res.Branches = append(in.res.Branches, BranchEvent{ID: x.BranchID, Taken: l.b})
+			if !l.b {
+				return value{t: TBool, b: false}, nil
+			}
+			return in.eval(x.Y, fr)
+		case TokOrOr:
+			in.res.Branches = append(in.res.Branches, BranchEvent{ID: x.BranchID, Taken: l.b})
+			if l.b {
+				return value{t: TBool, b: true}, nil
+			}
+			return in.eval(x.Y, fr)
+		}
+		r, err := in.eval(x.Y, fr)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case TokPlus:
+			return value{t: TInt, i: l.i + r.i}, nil
+		case TokMinus:
+			return value{t: TInt, i: l.i - r.i}, nil
+		case TokStar:
+			return value{t: TInt, i: l.i * r.i}, nil
+		case TokSlash:
+			if r.i == 0 {
+				return value{}, runtimeFault{fmt.Sprintf("%s: division by zero", x.P)}
+			}
+			return value{t: TInt, i: l.i / r.i}, nil
+		case TokPercent:
+			if r.i == 0 {
+				return value{}, runtimeFault{fmt.Sprintf("%s: modulo by zero", x.P)}
+			}
+			return value{t: TInt, i: l.i % r.i}, nil
+		case TokEq:
+			return value{t: TBool, b: l.i == r.i}, nil
+		case TokNe:
+			return value{t: TBool, b: l.i != r.i}, nil
+		case TokLt:
+			return value{t: TBool, b: l.i < r.i}, nil
+		case TokLe:
+			return value{t: TBool, b: l.i <= r.i}, nil
+		case TokGt:
+			return value{t: TBool, b: l.i > r.i}, nil
+		case TokGe:
+			return value{t: TBool, b: l.i >= r.i}, nil
+		}
+	case *Call:
+		return in.evalCall(x, fr)
+	}
+	panic(fmt.Sprintf("mini: eval: unhandled %T", e))
+}
+
+func (in *interp) evalCall(x *Call, fr frame) (value, error) {
+	if x.Native {
+		nat := in.prog.Natives[x.Name]
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(a, fr)
+			if err != nil {
+				return value{}, err
+			}
+			args[i] = v.i
+		}
+		res := nat.Fn(args)
+		if in.opts.OnNativeCall != nil {
+			in.opts.OnNativeCall(x.Name, args, res)
+		}
+		return value{t: TInt, i: res}, nil
+	}
+	fd := x.Fn
+	in.depth++
+	if in.depth > in.opts.MaxDepth {
+		in.depth--
+		return value{}, runtimeFault{fmt.Sprintf("%s: recursion budget exceeded", x.P)}
+	}
+	callee := frame{}
+	for i, prm := range fd.Params {
+		if prm.Type.Kind == TArray {
+			// Arrays are passed by reference, like Go slices.
+			id := x.Args[i].(*Ident)
+			callee[prm.Name] = fr[id.Name]
+			continue
+		}
+		v, err := in.eval(x.Args[i], fr)
+		if err != nil {
+			in.depth--
+			return value{}, err
+		}
+		callee[prm.Name] = v
+	}
+	ret, err := in.execBlock(fd.Body, callee)
+	in.depth--
+	if err != nil {
+		return value{}, err
+	}
+	if ret == nil {
+		// Fell off the end: void functions return nothing; int functions
+		// default to 0 (the checker does not prove all paths return).
+		return value{t: TInt, i: 0}, nil
+	}
+	return *ret, nil
+}

@@ -1,0 +1,166 @@
+package mini
+
+import (
+	"strconv"
+)
+
+var keywords = map[string]TokKind{
+	"fn": TokFn, "var": TokVar, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"return": TokReturn, "error": TokError, "true": TokTrue, "false": TokFalse,
+	"int": TokIntType, "bool": TokBoolType,
+}
+
+// Lex tokenizes src. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	pos := func() Pos { return Pos{Line: line, Col: col} }
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isDigit(c):
+			p := pos()
+			j := i
+			for j < n && isDigit(src[j]) {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, errf(p, "bad integer literal %q", src[i:j])
+			}
+			toks = append(toks, Token{Kind: TokInt, Pos: p, Int: v})
+			advance(j - i)
+		case isAlpha(c):
+			p := pos()
+			j := i
+			for j < n && (isAlpha(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[word]; ok {
+				toks = append(toks, Token{Kind: k, Pos: p, Text: word})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Pos: p, Text: word})
+			}
+			advance(j - i)
+		case c == '"':
+			p := pos()
+			j := i + 1
+			var buf []byte
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+					switch src[j] {
+					case 'n':
+						buf = append(buf, '\n')
+					case 't':
+						buf = append(buf, '\t')
+					case '\\':
+						buf = append(buf, '\\')
+					case '"':
+						buf = append(buf, '"')
+					default:
+						return nil, errf(p, "bad escape \\%c", src[j])
+					}
+				} else {
+					buf = append(buf, src[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, errf(p, "unterminated string")
+			}
+			toks = append(toks, Token{Kind: TokString, Pos: p, Text: string(buf)})
+			advance(j + 1 - i)
+		default:
+			p := pos()
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			var k TokKind
+			size := 1
+			switch two {
+			case "==":
+				k, size = TokEq, 2
+			case "!=":
+				k, size = TokNe, 2
+			case "<=":
+				k, size = TokLe, 2
+			case ">=":
+				k, size = TokGe, 2
+			case "&&":
+				k, size = TokAndAnd, 2
+			case "||":
+				k, size = TokOrOr, 2
+			default:
+				switch c {
+				case '(':
+					k = TokLParen
+				case ')':
+					k = TokRParen
+				case '{':
+					k = TokLBrace
+				case '}':
+					k = TokRBrace
+				case '[':
+					k = TokLBrack
+				case ']':
+					k = TokRBrack
+				case ',':
+					k = TokComma
+				case ';':
+					k = TokSemi
+				case '=':
+					k = TokAssign
+				case '<':
+					k = TokLt
+				case '>':
+					k = TokGt
+				case '+':
+					k = TokPlus
+				case '-':
+					k = TokMinus
+				case '*':
+					k = TokStar
+				case '/':
+					k = TokSlash
+				case '%':
+					k = TokPercent
+				case '!':
+					k = TokBang
+				default:
+					return nil, errf(p, "unexpected character %q", string(c))
+				}
+			}
+			toks = append(toks, Token{Kind: k, Pos: p})
+			advance(size)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: pos()})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

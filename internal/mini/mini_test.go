@@ -1,0 +1,368 @@
+package mini
+
+import (
+	"strings"
+	"testing"
+)
+
+func stdNatives() Natives {
+	ns := Natives{}
+	ns.Register("hash", 1, func(a []int64) int64 { return (a[0]*a[0]*7 + 13) % 1000 })
+	return ns
+}
+
+func mustProg(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(p, stdNatives()); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`fn main(x int) { if (x == 42) { error("hit"); } } // done`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokFn, TokIdent, TokLParen, TokIdent, TokIntType, TokRParen,
+		TokLBrace, TokIf, TokLParen, TokIdent, TokEq, TokInt, TokRParen, TokLBrace,
+		TokError, TokLParen, TokString, TokRParen, TokSemi, TokRBrace, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositionsAndErrors(t *testing.T) {
+	toks, err := Lex("fn\nmain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 1 {
+		t.Fatalf("pos = %v", toks[1].Pos)
+	}
+	if _, err := Lex("@"); err == nil {
+		t.Fatal("expected error for @")
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+	if _, err := Lex(`"bad \q escape"`); err == nil {
+		t.Fatal("expected error for bad escape")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\n\t\"\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\n\t\"\\" {
+		t.Fatalf("text = %q", toks[0].Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,                               // no main
+		`fn f() {}`,                      // no main
+		`fn main( {}`,                    // bad params
+		`fn main() { var x = ; }`,        // bad expr
+		`fn main() { if x { } }`,         // missing parens
+		`fn main() { x = 1 }`,            // missing semicolon
+		`fn main() {`,                    // unterminated
+		`fn main() {} fn main() {}`,      // duplicate
+		`fn main(a [0]int) {}`,           // zero-length array
+		`fn main() { var a [70000]; }`,   // oversize array
+		`fn main() { 1 + 2; }`,           // non-call statement
+		`fn main() { var a [3]; a[0]; }`, // index without assignment
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := []struct{ src, want string }{
+		{`fn main() { x = 1; }`, "undefined"},
+		{`fn main() { var x = 1; var x = 2; }`, "redeclared"},
+		{`fn main() { var x = true + 1; }`, "bool"},
+		{`fn main() { if (1) {} }`, "must be bool"},
+		{`fn main() { while (2) {} }`, "must be bool"},
+		{`fn main() { var x = hash(1, 2); }`, "expects 1 arguments"},
+		{`fn main() { var x = nosuch(1); }`, "undefined function"},
+		{`fn main() { var a [3]; var x = a; }`, "without an index"},
+		{`fn main() { var x = 1; x[0] = 2; }`, "not an array"},
+		{`fn main() { var a [3]; a[true] = 1; }`, "index must be int"},
+		{`fn f() {} fn main() { var x = f(); }`, "no return value"},
+		{`fn f() int { return 1; } fn main() { var x = f(1); }`, "expects 0 arguments"},
+		{`fn main() int { return; }`, "must return int"},
+		{`fn main() { return 1; }`, "no return value"},
+		{`fn f(a [4]int) {} fn main() { var a [3]; f(a); }`, "array length 3, want 4"},
+		{`fn f(a [4]int) {} fn main() { f(1); }`, "must be an array"},
+		{`fn main() { var hash = 1; }`, "conflicts with a native"},
+		{`fn f() {} fn main() { var f = 1; }`, "conflicts with a function"},
+		{`fn main() { var x = true < false; }`, "compares ints"},
+		{`fn main() { var x = 1 && 2; }`, "needs bool"},
+		{`fn main() { var x = !3; }`, "needs bool"},
+		{`fn main() { var x = -true; }`, "needs int"},
+	}
+	for _, c := range bad {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed at parse time: %v", c.src, err)
+			continue
+		}
+		err = Check(p, stdNatives())
+		if err == nil {
+			t.Errorf("Check(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Check(%q) error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckAssignsIDs(t *testing.T) {
+	p := mustProg(t, `
+fn main(x int) {
+	if (x > 0) {
+		error("a");
+	} else {
+		if (x < -5) { error("b"); }
+	}
+	while (x > 0) { x = x - 1; }
+}`)
+	if p.NumBranches != 3 {
+		t.Fatalf("NumBranches = %d, want 3", p.NumBranches)
+	}
+	if len(p.ErrorSites) != 2 || p.ErrorSites[0] != "a" || p.ErrorSites[1] != "b" {
+		t.Fatalf("ErrorSites = %v", p.ErrorSites)
+	}
+}
+
+func TestShape(t *testing.T) {
+	p := mustProg(t, `fn main(x int, s [3]int, y int) {}`)
+	sh := p.Shape()
+	want := []string{"x", "s[0]", "s[1]", "s[2]", "y"}
+	if len(sh.Names) != len(want) {
+		t.Fatalf("shape = %v", sh.Names)
+	}
+	for i := range want {
+		if sh.Names[i] != want[i] {
+			t.Fatalf("shape[%d] = %s, want %s", i, sh.Names[i], want[i])
+		}
+	}
+	if sh.ParamOf[2] != 1 || sh.ParamOf[4] != 2 {
+		t.Fatalf("ParamOf = %v", sh.ParamOf)
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	p := mustProg(t, `
+fn main(x int, y int) int {
+	var s = x + y * 2 - 3;
+	var q = x / y;
+	var r = x % y;
+	return s * 10 + q * 100 + r;
+}`)
+	res := Run(p, []int64{7, 2}, RunOptions{})
+	if res.Kind != StopReturn {
+		t.Fatalf("kind = %v (%s)", res.Kind, res.RuntimeMsg)
+	}
+	want := int64((7+2*2-3)*10 + (7/2)*100 + 7%2)
+	if res.Return != want {
+		t.Fatalf("return = %d, want %d", res.Return, want)
+	}
+}
+
+func TestRunBranchTrace(t *testing.T) {
+	p := mustProg(t, `
+fn main(x int) {
+	if (x > 0) { x = 1; }
+	if (x == 1) { x = 2; }
+}`)
+	res := Run(p, []int64{5}, RunOptions{})
+	if res.Path() != "11" {
+		t.Fatalf("path = %q", res.Path())
+	}
+	res = Run(p, []int64{-1}, RunOptions{})
+	if res.Path() != "00" {
+		t.Fatalf("path = %q", res.Path())
+	}
+}
+
+func TestRunWhileAndArrays(t *testing.T) {
+	p := mustProg(t, `
+fn main(n int) int {
+	var a [10];
+	var i = 0;
+	while (i < n) {
+		a[i] = i * i;
+		i = i + 1;
+	}
+	var s = 0;
+	i = 0;
+	while (i < n) {
+		s = s + a[i];
+		i = i + 1;
+	}
+	return s;
+}`)
+	res := Run(p, []int64{5}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 0+1+4+9+16 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunErrorSite(t *testing.T) {
+	p := mustProg(t, `
+fn main(x int) {
+	if (x == hash(7)) { error("gotcha"); }
+}`)
+	h := stdNatives()["hash"].Fn([]int64{7})
+	res := Run(p, []int64{h}, RunOptions{})
+	if res.Kind != StopError || res.ErrorMsg != "gotcha" || res.ErrorSite != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	res = Run(p, []int64{h + 1}, RunOptions{})
+	if res.Kind != StopReturn {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunRuntimeFaults(t *testing.T) {
+	cases := []struct {
+		src   string
+		input []int64
+		want  string
+	}{
+		{`fn main(x int) int { return 1 / x; }`, []int64{0}, "division by zero"},
+		{`fn main(x int) int { return 1 % x; }`, []int64{0}, "modulo by zero"},
+		{`fn main(x int) int { var a [3]; return a[x]; }`, []int64{5}, "out of bounds"},
+		{`fn main(x int) { var a [3]; a[x] = 1; }`, []int64{-1}, "out of bounds"},
+		{`fn main(x int) { while (x == x) { } }`, []int64{1}, "step budget"},
+	}
+	for _, c := range cases {
+		p := mustProg(t, c.src)
+		res := Run(p, c.input, RunOptions{MaxSteps: 10000})
+		if res.Kind != StopRuntime || !strings.Contains(res.RuntimeMsg, c.want) {
+			t.Fatalf("src %q: res = %+v", c.src, res)
+		}
+	}
+}
+
+func TestRunRecursion(t *testing.T) {
+	p := mustProg(t, `
+fn fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+fn main(n int) int { return fib(n); }`)
+	res := Run(p, []int64{10}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 55 {
+		t.Fatalf("fib(10) = %+v", res)
+	}
+	p = mustProg(t, `
+fn loop(n int) int { return loop(n); }
+fn main(n int) int { return loop(n); }`)
+	res = Run(p, []int64{1}, RunOptions{MaxDepth: 32})
+	if res.Kind != StopRuntime || !strings.Contains(res.RuntimeMsg, "recursion") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunArrayByReference(t *testing.T) {
+	p := mustProg(t, `
+fn fill(a [4]int, v int) {
+	var i = 0;
+	while (i < 4) { a[i] = v; i = i + 1; }
+}
+fn main(v int) int {
+	var a [4];
+	fill(a, v);
+	return a[0] + a[3];
+}`)
+	res := Run(p, []int64{21}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 42 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunShortCircuit(t *testing.T) {
+	p := mustProg(t, `
+fn main(i int) int {
+	var a [3];
+	a[0] = 7;
+	// Without short-circuit &&, i==5 would fault on a[i].
+	if (i < 3 && a[i] > 0) { return 1; }
+	if (i >= 3 || a[i] == 0) { return 2; }
+	return 3;
+}`)
+	res := Run(p, []int64{5}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	res = Run(p, []int64{0}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunNativeObserver(t *testing.T) {
+	p := mustProg(t, `fn main(x int) int { return hash(x) + hash(3); }`)
+	var calls []string
+	res := Run(p, []int64{2}, RunOptions{
+		OnNativeCall: func(name string, args []int64, result int64) {
+			calls = append(calls, name)
+			if len(args) != 1 {
+				t.Fatalf("args = %v", args)
+			}
+		},
+	})
+	if res.Kind != StopReturn {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestRunFallOffEndReturnsZero(t *testing.T) {
+	p := mustProg(t, `
+fn f(x int) int { if (x > 0) { return 1; } }
+fn main(x int) int { return f(x); }`)
+	res := Run(p, []int64{-1}, RunOptions{})
+	if res.Kind != StopReturn || res.Return != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFormatExpr(t *testing.T) {
+	p := mustProg(t, `fn main(x int) { if (x + 1 == hash(x) * 2) { error("e"); } }`)
+	ifStmt := p.Main().Body.Stmts[0].(*If)
+	got := FormatExpr(ifStmt.Cond)
+	if got != "((x + 1) == (hash(x) * 2))" {
+		t.Fatalf("FormatExpr = %q", got)
+	}
+}
+
+func TestMustParseAndCheckPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad source")
+		}
+	}()
+	MustParse("not a program")
+}

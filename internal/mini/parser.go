@@ -1,0 +1,495 @@
+package mini
+
+import "fmt"
+
+// Parse lexes and parses src into an unchecked Program. Call Check before
+// executing it.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Funcs: make(map[string]*FuncDecl)}
+	for p.peek().Kind != TokEOF {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Funcs[fd.Name]; dup {
+			return nil, errf(fd.P, "function %s redeclared", fd.Name)
+		}
+		prog.Funcs[fd.Name] = fd
+		prog.Order = append(prog.Order, fd.Name)
+	}
+	if prog.Funcs["main"] == nil {
+		return nil, errf(Pos{1, 1}, "no main function")
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for embedded workload sources.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("mini.MustParse: %v", err))
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	t, err := p.expect(TokFn)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{P: t.Pos, Name: name.Text}
+	for p.peek().Kind != TokRParen {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, Param{Name: pn.Text, Type: ty})
+	}
+	p.next() // )
+	if p.peek().Kind == TokIntType {
+		p.next()
+		fd.HasRet = true
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseType() (Type, error) {
+	switch t := p.peek(); t.Kind {
+	case TokIntType:
+		p.next()
+		return Type{Kind: TInt}, nil
+	case TokBoolType:
+		p.next()
+		return Type{Kind: TBool}, nil
+	case TokLBrack:
+		p.next()
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokRBrack); err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokIntType); err != nil {
+			return Type{}, err
+		}
+		if n.Int <= 0 || n.Int > 1<<16 {
+			return Type{}, errf(n.Pos, "array length %d out of range", n.Int)
+		}
+		return Type{Kind: TArray, Len: int(n.Int)}, nil
+	default:
+		return Type{}, errf(t.Pos, "expected type, found %s", t)
+	}
+}
+
+func (p *parser) block() (*Block, error) {
+	t, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{P: t.Pos}
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, errf(p.peek().Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch t := p.peek(); t.Kind {
+	case TokVar:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().Kind == TokLBrack {
+			p.next()
+			n, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrack); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			if n.Int <= 0 || n.Int > 1<<16 {
+				return nil, errf(n.Pos, "array length %d out of range", n.Int)
+			}
+			return &ArrDecl{P: t.Pos, Name: name.Text, Len: int(n.Int)}, nil
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &VarDecl{P: t.Pos, Name: name.Text, Init: init}, nil
+
+	case TokIf:
+		return p.ifStmt()
+
+	case TokWhile:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{P: t.Pos, Cond: cond, Body: body}, nil
+
+	case TokReturn:
+		p.next()
+		if p.peek().Kind == TokSemi {
+			p.next()
+			return &Return{P: t.Pos}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &Return{P: t.Pos, Val: v}, nil
+
+	case TokError:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		msg, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ErrorStmt{P: t.Pos, Msg: msg.Text}, nil
+
+	case TokIdent:
+		// assignment, index assignment, or call statement
+		name := p.next()
+		switch p.peek().Kind {
+		case TokAssign:
+			p.next()
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &Assign{P: t.Pos, Name: name.Text, Val: v}, nil
+		case TokLBrack:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrack); err != nil {
+				return nil, err
+			}
+			if p.peek().Kind == TokAssign {
+				p.next()
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+				return &IndexAssign{P: t.Pos, Name: name.Text, Idx: idx, Val: v}, nil
+			}
+			return nil, errf(p.peek().Pos, "expected = after index expression")
+		case TokLParen:
+			call, err := p.callRest(name)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{P: t.Pos, X: call}, nil
+		default:
+			return nil, errf(p.peek().Pos, "expected statement, found %s after %s", p.peek(), name)
+		}
+
+	default:
+		return nil, errf(t.Pos, "expected statement, found %s", t)
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t, err := p.expect(TokIf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{P: t.Pos, Cond: cond, Then: then}
+	if p.peek().Kind == TokElse {
+		p.next()
+		if p.peek().Kind == TokIf {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) callRest(name Token) (*Call, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	c := &Call{P: name.Pos, Name: name.Text}
+	for p.peek().Kind != TokRParen {
+		if len(c.Args) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+	}
+	p.next() // )
+	return c, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// expr := orExpr
+// orExpr := andExpr ("||" andExpr)*
+// andExpr := cmpExpr ("&&" cmpExpr)*
+// cmpExpr := addExpr ((==|!=|<|<=|>|>=) addExpr)?
+// addExpr := mulExpr ((+|-) mulExpr)*
+// mulExpr := unary ((*|/|%) unary)*
+// unary := (!|-) unary | primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOrOr {
+		op := p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: op.Pos, Op: TokOrOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokAndAnd {
+		op := p.next()
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: op.Pos, Op: TokAndAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		op := p.next()
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokPlus || p.peek().Kind == TokMinus {
+		op := p.next()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokStar || p.peek().Kind == TokSlash || p.peek().Kind == TokPercent {
+		op := p.next()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch t := p.peek(); t.Kind {
+	case TokBang, TokMinus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{P: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch t := p.peek(); t.Kind {
+	case TokInt:
+		p.next()
+		return &IntLit{P: t.Pos, V: t.Int}, nil
+	case TokTrue:
+		p.next()
+		return &BoolLit{P: t.Pos, V: true}, nil
+	case TokFalse:
+		p.next()
+		return &BoolLit{P: t.Pos, V: false}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		name := p.next()
+		switch p.peek().Kind {
+		case TokLParen:
+			return p.callRest(name)
+		case TokLBrack:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrack); err != nil {
+				return nil, err
+			}
+			return &Index{P: name.Pos, Name: name.Text, Idx: idx}, nil
+		}
+		return &Ident{P: name.Pos, Name: name.Text}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", t)
+	}
+}

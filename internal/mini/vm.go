@@ -1,0 +1,300 @@
+package mini
+
+import "fmt"
+
+// VM executes compiled bytecode. Results are identical to the tree-walking
+// interpreter except for Steps (instructions vs AST visits) and the wording
+// of fault messages (no source positions in bytecode).
+
+type vm struct {
+	c     *Compiled
+	opts  RunOptions
+	res   *Result
+	steps int
+	depth int
+}
+
+// RunVM executes the compiled program's main function on the flattened input
+// vector, like Run.
+func RunVM(c *Compiled, input []int64, opts RunOptions) *Result {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 256
+	}
+	m := &vm{c: c, opts: opts, res: &Result{}}
+
+	main := c.prog.Main()
+	fnIx := c.byName["main"]
+	ints := make([]int64, c.fns[fnIx].numInts)
+	arrs := make([][]int64, c.fns[fnIx].numArrs)
+
+	// Distribute the flattened input over parameter slots. Int parameters
+	// occupy the first int slots and array parameters the first array slots,
+	// in declaration order (mirroring the compiler's declare order).
+	k, intSlot, arrSlot := 0, 0, 0
+	for _, prm := range main.Params {
+		if prm.Type.Kind == TArray {
+			a := make([]int64, prm.Type.Len)
+			copy(a, input[k:k+prm.Type.Len])
+			k += prm.Type.Len
+			arrs[arrSlot] = a
+			arrSlot++
+		} else {
+			ints[intSlot] = input[k]
+			intSlot++
+			k++
+		}
+	}
+	if k != len(input) {
+		panic(fmt.Sprintf("mini.RunVM: input length %d does not match shape %d", len(input), k))
+	}
+
+	ret, err := m.exec(fnIx, ints, arrs)
+	m.res.Steps = m.steps
+	switch e := err.(type) {
+	case nil:
+		m.res.Kind = StopReturn
+		m.res.Return = ret
+	case errorReached:
+		m.res.Kind = StopError
+		m.res.ErrorSite = e.site
+		m.res.ErrorMsg = e.msg
+	case runtimeFault:
+		m.res.Kind = StopRuntime
+		m.res.RuntimeMsg = e.msg
+	default:
+		panic(err)
+	}
+	return m.res
+}
+
+// exec runs one function frame to completion.
+func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64) (int64, error) {
+	fn := &m.c.fns[fnIx]
+	code := fn.code
+	stack := make([]int64, 0, 16)
+	pc := 0
+
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	for pc < len(code) {
+		m.steps++
+		if m.steps > m.opts.MaxSteps {
+			return 0, runtimeFault{"step budget exceeded (possible non-termination)"}
+		}
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case OpPush:
+			stack = append(stack, in.A)
+		case OpLoad:
+			stack = append(stack, ints[in.A])
+		case OpStore:
+			ints[in.A] = pop()
+		case OpPop:
+			stack = stack[:len(stack)-1]
+		case OpALoad:
+			idx := pop()
+			a := arrs[in.A]
+			if idx < 0 || idx >= int64(len(a)) {
+				return 0, runtimeFault{fmt.Sprintf("vm: index %d out of bounds [0,%d)", idx, len(a))}
+			}
+			stack = append(stack, a[idx])
+		case OpAStore:
+			val := pop()
+			idx := pop()
+			a := arrs[in.A]
+			if idx < 0 || idx >= int64(len(a)) {
+				return 0, runtimeFault{fmt.Sprintf("vm: index %d out of bounds [0,%d)", idx, len(a))}
+			}
+			a[idx] = val
+		case OpNewArr:
+			arrs[in.A] = make([]int64, in.B)
+
+		case OpAdd:
+			r := pop()
+			stack[len(stack)-1] += r
+		case OpSub:
+			r := pop()
+			stack[len(stack)-1] -= r
+		case OpMul:
+			r := pop()
+			stack[len(stack)-1] *= r
+		case OpDiv:
+			r := pop()
+			if r == 0 {
+				return 0, runtimeFault{"vm: division by zero"}
+			}
+			stack[len(stack)-1] /= r
+		case OpMod:
+			r := pop()
+			if r == 0 {
+				return 0, runtimeFault{"vm: modulo by zero"}
+			}
+			stack[len(stack)-1] %= r
+		case OpNeg:
+			stack[len(stack)-1] = -stack[len(stack)-1]
+
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			r := pop()
+			l := stack[len(stack)-1]
+			var b bool
+			switch in.Op {
+			case OpEq:
+				b = l == r
+			case OpNe:
+				b = l != r
+			case OpLt:
+				b = l < r
+			case OpLe:
+				b = l <= r
+			case OpGt:
+				b = l > r
+			case OpGe:
+				b = l >= r
+			}
+			if b {
+				stack[len(stack)-1] = 1
+			} else {
+				stack[len(stack)-1] = 0
+			}
+		case OpNot:
+			if stack[len(stack)-1] == 0 {
+				stack[len(stack)-1] = 1
+			} else {
+				stack[len(stack)-1] = 0
+			}
+
+		case OpJmp:
+			pc = int(in.A)
+		case OpBrF:
+			c := pop()
+			m.res.Branches = append(m.res.Branches, BranchEvent{ID: int(in.B), Taken: c != 0})
+			if c == 0 {
+				pc = int(in.A)
+			}
+		case OpAnd:
+			c := pop()
+			m.res.Branches = append(m.res.Branches, BranchEvent{ID: int(in.B), Taken: c != 0})
+			if c == 0 {
+				stack = append(stack, 0)
+				pc = int(in.A)
+			}
+		case OpOr:
+			c := pop()
+			m.res.Branches = append(m.res.Branches, BranchEvent{ID: int(in.B), Taken: c != 0})
+			if c != 0 {
+				stack = append(stack, 1)
+				pc = int(in.A)
+			}
+
+		case OpCallNat:
+			nat := m.c.nats[in.A]
+			n := int(in.B)
+			args := make([]int64, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			out := nat.Fn(args)
+			if m.opts.OnNativeCall != nil {
+				m.opts.OnNativeCall(nat.Name, args, out)
+			}
+			stack = append(stack, out)
+
+		case OpCall:
+			m.depth++
+			if m.depth > m.opts.MaxDepth {
+				return 0, runtimeFault{"vm: recursion budget exceeded"}
+			}
+			callee := &m.c.fns[in.A]
+			site := m.c.sites[in.B]
+			cints := make([]int64, callee.numInts)
+			carrs := make([][]int64, callee.numArrs)
+			// Int args are on the stack in evaluation order; pop them into
+			// the parameter slots in reverse.
+			for i := site.intArgs - 1; i >= 0; i-- {
+				cints[callee.intParam[i]] = pop()
+			}
+			for i, from := range site.arrFrom {
+				carrs[i] = arrs[from]
+			}
+			ret, err := m.exec(int(in.A), cints, carrs)
+			m.depth--
+			if err != nil {
+				return 0, err
+			}
+			stack = append(stack, ret)
+
+		case OpRet:
+			return pop(), nil
+		case OpRetVoid:
+			return 0, nil
+		case OpError:
+			return 0, errorReached{site: int(in.A), msg: m.c.prog.ErrorSites[in.A]}
+		default:
+			panic(fmt.Sprintf("mini: vm: bad opcode %v", in.Op))
+		}
+	}
+	return 0, nil
+}
+
+// Disasm renders the compiled form of one function, for debugging and tests.
+func (c *Compiled) Disasm(fn string) string {
+	ix, ok := c.byName[fn]
+	if !ok {
+		return "<no function " + fn + ">"
+	}
+	out := ""
+	for i, in := range c.fns[ix].code {
+		out += fmt.Sprintf("%4d  %-8s %d %d\n", i, in.Op, in.A, in.B)
+	}
+	return out
+}
+
+// RunFuncVM executes a single function of the compiled program on int
+// arguments, like RunFunc but on the VM. It is the fast probe pass of the
+// summary machinery.
+func RunFuncVM(c *Compiled, name string, args []int64, opts RunOptions) *Result {
+	ix, ok := c.byName[name]
+	if !ok {
+		panic("mini.RunFuncVM: no function " + name)
+	}
+	fn := &c.fns[ix]
+	if len(args) != len(fn.intParam) || fn.arrParam != 0 {
+		panic("mini.RunFuncVM: " + name + " signature mismatch (int params only)")
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 256
+	}
+	m := &vm{c: c, opts: opts, res: &Result{}}
+	ints := make([]int64, fn.numInts)
+	for i, slot := range fn.intParam {
+		ints[slot] = args[i]
+	}
+	arrs := make([][]int64, fn.numArrs)
+	ret, err := m.exec(ix, ints, arrs)
+	m.res.Steps = m.steps
+	switch e := err.(type) {
+	case nil:
+		m.res.Kind = StopReturn
+		m.res.Return = ret
+	case errorReached:
+		m.res.Kind = StopError
+		m.res.ErrorSite = e.site
+		m.res.ErrorMsg = e.msg
+	case runtimeFault:
+		m.res.Kind = StopRuntime
+		m.res.RuntimeMsg = e.msg
+	default:
+		panic(err)
+	}
+	return m.res
+}

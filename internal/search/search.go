@@ -1,0 +1,350 @@
+package search
+
+import (
+	"fmt"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fol"
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// Options configures a directed search.
+type Options struct {
+	// MaxRuns bounds the number of program executions (default 100).
+	MaxRuns int
+	// Seeds are the initial inputs; at least one is required.
+	Seeds [][]int64
+	// Bounds restricts each flat input's domain, aligned with the program
+	// shape (nil entries or a nil slice mean the solver default domain).
+	Bounds []smt.Bound
+	// MaxMultiStep bounds the intermediate tests per target (default 3;
+	// the paper bounds k by the number of program inputs).
+	MaxMultiStep int
+	// StopAtFirstBug ends the search as soon as any error site is reached.
+	StopAtFirstBug bool
+	// Refute enables the invalidity prover, which distinguishes provably
+	// invalid targets from unknown ones. The distinction is reporting-only
+	// (neither produces a test), so it is off by default for speed.
+	Refute bool
+	// ProverNodes caps the validity-proof search per target (default 4000).
+	ProverNodes int
+}
+
+// item is one unit of search work: an input to execute, with the trace
+// prediction used for divergence checking and the generational bound.
+type item struct {
+	input    []int64
+	expected []mini.BranchEvent
+	bound    int
+	pending  *pendingTarget
+	// noExpand marks sample-collection (intermediate) runs, which are not
+	// expanded into new targets.
+	noExpand bool
+}
+
+// pendingTarget is a multi-step continuation: a proved strategy whose
+// resolution is blocked on unobserved samples.
+type pendingTarget struct {
+	strategy *fol.Strategy
+	alt      sym.Expr
+	expected []mini.BranchEvent
+	fallback []int64
+	bound    int
+	retries  int
+	hot      bool
+}
+
+// Run performs the directed search and returns its statistics.
+func Run(eng *concolic.Engine, opts Options) *Stats {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 100
+	}
+	if opts.MaxMultiStep <= 0 {
+		opts.MaxMultiStep = 3
+	}
+	if opts.ProverNodes <= 0 {
+		opts.ProverNodes = 4000
+	}
+	if len(opts.Seeds) == 0 {
+		panic("search: at least one seed input is required")
+	}
+	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
+	s.varBounds = make(map[int]smt.Bound)
+	for i, v := range eng.InputVars {
+		if i < len(opts.Bounds) {
+			b := opts.Bounds[i]
+			if b.HasLo || b.HasHi {
+				s.varBounds[v.ID] = b
+			}
+		}
+	}
+	for _, seed := range opts.Seeds {
+		s.hot = append(s.hot, item{input: seed})
+	}
+	s.run()
+	s.stats.SamplesLearned = eng.Samples.Len()
+	return s.stats
+}
+
+type searcher struct {
+	eng   *concolic.Engine
+	opts  Options
+	stats *Stats
+	// Two-tier work queue (SAGE-style generational scoring): children of
+	// runs that covered new branch sides are processed before the rest, so
+	// productive chains — extend a chunk, invert its hash, classify the next
+	// chunk — stay hot instead of drowning in breadth-first noise.
+	hot, cold []item
+	varBounds map[int]smt.Bound
+	tried     map[string]bool
+	targeted  map[string]bool
+	// curHot marks whether children of the run being expanded go to the
+	// hot queue.
+	curHot bool
+}
+
+func inputKey(in []int64) string { return fmt.Sprint(in) }
+
+func (s *searcher) pop() (item, bool) {
+	if len(s.hot) > 0 {
+		it := s.hot[0]
+		s.hot = s.hot[1:]
+		return it, true
+	}
+	if len(s.cold) > 0 {
+		it := s.cold[0]
+		s.cold = s.cold[1:]
+		return it, true
+	}
+	return item{}, false
+}
+
+func (s *searcher) run() {
+	s.tried = map[string]bool{}
+	s.targeted = map[string]bool{}
+	for s.stats.Runs < s.opts.MaxRuns {
+		it, ok := s.pop()
+		if !ok {
+			s.stats.Exhausted = true
+			return
+		}
+
+		if it.pending != nil {
+			if !s.resumePending(it.pending) {
+				continue
+			}
+			// resumePending enqueued follow-up work.
+			continue
+		}
+
+		key := inputKey(it.input)
+		if s.tried[key] {
+			continue
+		}
+		s.tried[key] = true
+
+		ex := s.eng.Run(it.input)
+		gained := s.stats.recordRun(ex.Result, it.input)
+		if ex.Incomplete {
+			s.stats.Incomplete = true
+		}
+		if it.expected != nil && diverged(ex.Result.Branches, it.expected) {
+			s.stats.Divergences++
+		}
+		if s.opts.StopAtFirstBug && len(s.stats.ErrorSitesFound()) > 0 {
+			return
+		}
+		if !it.noExpand {
+			s.curHot = gained > 0
+			s.expand(ex, it.bound)
+		}
+	}
+}
+
+// diverged reports whether the actual trace fails to realize the prediction.
+func diverged(actual, expected []mini.BranchEvent) bool {
+	if len(actual) < len(expected) {
+		return true
+	}
+	for i := range expected {
+		if actual[i] != expected[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// expand generates new work items by negating each negatable constraint of
+// the execution from the generational bound onward. Each target is sliced to
+// its related constraints and deduplicated before any solver work.
+func (s *searcher) expand(ex *concolic.Execution, bound int) {
+	prefix := make([]sym.Expr, 0, len(ex.PC))
+	for i := 0; i < bound && i < len(ex.PC); i++ {
+		prefix = append(prefix, ex.PC[i].Expr)
+	}
+	for k := bound; k < len(ex.PC); k++ {
+		c := ex.PC[k]
+		if c.IsConcretization {
+			prefix = append(prefix, c.Expr)
+			continue
+		}
+		negated := sym.NotExpr(c.Expr)
+		expected := ex.ExpectedTrace(k)
+		key := targetKey(expected, negated)
+		if !s.targeted[key] {
+			s.targeted[key] = true
+			alt := sliceAlt(prefix, negated)
+			if s.eng.Mode == concolic.ModeHigherOrder {
+				s.targetHigherOrder(alt, expected, ex.Input, k)
+			} else {
+				s.targetSat(alt, expected, ex.Input, k)
+			}
+		}
+		prefix = append(prefix, c.Expr)
+	}
+}
+
+// targetSat is classic test generation: a satisfiability check of ALT(pc).
+func (s *searcher) targetSat(alt sym.Expr, expected []mini.BranchEvent, fallback []int64, k int) {
+	s.stats.SolverCalls++
+	st, model := smt.Solve(alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds})
+	if st != smt.StatusSat {
+		return
+	}
+	s.stats.SolverSat++
+	input := make([]int64, len(fallback))
+	copy(input, fallback)
+	for i, v := range s.eng.InputVars {
+		if val, ok := model.Vars[v.ID]; ok {
+			input[i] = val
+		}
+	}
+	s.enqueueTest(input, expected, k+1, s.curHot)
+}
+
+// targetHigherOrder derives a test from a validity proof of POST(ALT(pc)).
+func (s *searcher) targetHigherOrder(alt sym.Expr, expected []mini.BranchEvent, fallback []int64, k int) {
+	s.stats.ProverCalls++
+	fb := make(map[int]int64, len(fallback))
+	for i, v := range s.eng.InputVars {
+		fb[v.ID] = fallback[i]
+	}
+	strategy, outcome := fol.Prove(alt, s.eng.Samples, fol.Options{
+		Pool:      s.eng.Pool,
+		VarBounds: s.varBounds,
+		Fallback:  fb,
+		NoRefute:  !s.opts.Refute,
+		MaxNodes:  s.opts.ProverNodes,
+	})
+	switch outcome {
+	case fol.OutcomeInvalid:
+		s.stats.ProverInvalid++
+		return
+	case fol.OutcomeUnknown:
+		s.stats.ProverUnknown++
+		return
+	}
+	s.stats.ProverProved++
+	pt := &pendingTarget{
+		strategy: strategy,
+		alt:      alt,
+		expected: expected,
+		fallback: fallback,
+		bound:    k + 1,
+		retries:  s.opts.MaxMultiStep,
+		hot:      s.curHot,
+	}
+	if !s.resolveAndEnqueue(pt, true) {
+		return
+	}
+}
+
+// resolveAndEnqueue tries to turn a proved strategy into a concrete test; on
+// missing samples it schedules an intermediate test plus a continuation.
+// first marks the initial attempt (for multi-step accounting).
+func (s *searcher) resolveAndEnqueue(pt *pendingTarget, first bool) bool {
+	res := pt.strategy.Resolve(s.eng.Samples)
+	if res.Complete {
+		input := s.inputFrom(res.Values, pt.fallback)
+		if !s.inBounds(input) {
+			return false
+		}
+		// Final sanity check against the samples: the strategy is a proof,
+		// so this must hold; it guards the implementation.
+		values := map[int]int64{}
+		for i, v := range s.eng.InputVars {
+			values[v.ID] = input[i]
+		}
+		if ok, probes := fol.Holds(pt.alt, values, s.eng.Samples); len(probes) == 0 && !ok {
+			return false
+		}
+		s.enqueueTest(input, pt.expected, pt.bound, pt.hot)
+		return true
+	}
+	if pt.retries <= 0 {
+		return false
+	}
+	// Multi-step test generation (Example 7): run an intermediate test with
+	// the resolved values filled in, hoping the program samples the probes.
+	if first {
+		s.stats.MultiStepChains++
+	}
+	pt.retries--
+	intermediate := s.inputFrom(res.Values, pt.fallback)
+	if !s.inBounds(intermediate) {
+		return false
+	}
+	s.stats.IntermediateTests++
+	// Intermediate sample-collection runs and their continuations always go
+	// hot: they complete a proof already in hand.
+	s.hot = append(s.hot, item{input: intermediate, noExpand: true})
+	s.hot = append(s.hot, item{pending: pt})
+	return true
+}
+
+// resumePending re-resolves a blocked strategy after intermediate tests.
+func (s *searcher) resumePending(pt *pendingTarget) bool {
+	return s.resolveAndEnqueue(pt, false)
+}
+
+func (s *searcher) inputFrom(values map[int]int64, fallback []int64) []int64 {
+	input := make([]int64, len(fallback))
+	copy(input, fallback)
+	for i, v := range s.eng.InputVars {
+		if val, ok := values[v.ID]; ok {
+			input[i] = val
+		}
+	}
+	return input
+}
+
+func (s *searcher) inBounds(input []int64) bool {
+	for i, v := range s.eng.InputVars {
+		b, ok := s.varBounds[v.ID]
+		if !ok {
+			continue
+		}
+		if b.HasLo && input[i] < b.Lo {
+			return false
+		}
+		if b.HasHi && input[i] > b.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound int, hot bool) {
+	if s.tried[inputKey(input)] {
+		return
+	}
+	s.stats.TestsGenerated++
+	it := item{input: input, expected: expected, bound: bound}
+	if hot {
+		s.hot = append(s.hot, it)
+	} else {
+		s.cold = append(s.cold, it)
+	}
+}

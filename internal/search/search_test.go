@@ -1,0 +1,339 @@
+package search_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fuzz"
+	"hotg/internal/mini"
+	"hotg/internal/search"
+)
+
+func testHash(a []int64) int64 {
+	x := uint64(a[0]) * 2654435761
+	x ^= x >> 13
+	x *= 2246822519
+	x ^= x >> 16
+	return int64(x % 1000)
+}
+
+func natives() mini.Natives {
+	ns := mini.Natives{}
+	ns.Register("hash", 1, testHash)
+	return ns
+}
+
+func prog(t testing.TB, src string) *mini.Program {
+	t.Helper()
+	p, err := mini.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := mini.Check(p, natives()); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+const obscureSrc = `
+fn main(x int, y int) int {
+	if (x == hash(y)) {
+		error("obscure");
+	}
+	return 0;
+}`
+
+const fooSrc = `
+fn main(x int, y int) {
+	if (x == hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`
+
+const fooBisSrc = `
+fn main(x int, y int) {
+	if (x != hash(y)) {
+		if (y == 10) {
+			error("deep");
+		}
+	}
+}`
+
+const barSrc = `
+fn main(x int, y int) {
+	if (x == hash(y) && y == hash(x)) {
+		error("cycle");
+	}
+}`
+
+func searchMode(t *testing.T, src string, mode concolic.Mode, seeds [][]int64, maxRuns int) *search.Stats {
+	t.Helper()
+	p := prog(t, src)
+	eng := concolic.New(p, mode)
+	return search.Run(eng, search.Options{MaxRuns: maxRuns, Seeds: seeds})
+}
+
+// TestObscure reproduces the introduction (E1): static test generation is
+// helpless; every dynamic variant covers the error branch.
+func TestObscure(t *testing.T) {
+	seeds := [][]int64{{33, 42}}
+
+	st := searchMode(t, obscureSrc, concolic.ModeStatic, seeds, 50)
+	if len(st.ErrorSitesFound()) != 0 {
+		t.Fatalf("static should be helpless, got %v", st.Bugs)
+	}
+	if !st.Incomplete {
+		t.Fatal("static search should be flagged incomplete")
+	}
+
+	for _, mode := range []concolic.Mode{concolic.ModeUnsound, concolic.ModeSound, concolic.ModeHigherOrder} {
+		st := searchMode(t, obscureSrc, mode, seeds, 50)
+		if len(st.ErrorSitesFound()) != 1 {
+			t.Fatalf("%v should find the bug, got %+v", mode, st.Summary())
+		}
+		if st.Runs > 3 {
+			t.Fatalf("%v needed %d runs, want ≤ 3", mode, st.Runs)
+		}
+	}
+}
+
+// TestFooDivergence reproduces Section 3.2 (E2): unsound concretization
+// diverges on foo; sound concretization does not (E3) but cannot reach the
+// deep error either; higher-order generation reaches it via a two-step
+// sequence (E9) with no divergence.
+func TestFooDivergence(t *testing.T) {
+	h42 := testHash([]int64{42})
+	seeds := [][]int64{{h42, 42}}
+
+	un := searchMode(t, fooSrc, concolic.ModeUnsound, seeds, 50)
+	if un.Divergences == 0 {
+		t.Fatalf("unsound mode should diverge: %s", un.Summary())
+	}
+
+	so := searchMode(t, fooSrc, concolic.ModeSound, seeds, 50)
+	if so.Divergences != 0 {
+		t.Fatalf("sound mode must not diverge: %s", so.Summary())
+	}
+	if len(so.ErrorSitesFound()) != 0 {
+		t.Fatalf("sound mode should miss the deep bug: %s", so.Summary())
+	}
+
+	ho := searchMode(t, fooSrc, concolic.ModeHigherOrder, seeds, 50)
+	if len(ho.ErrorSitesFound()) != 1 {
+		t.Fatalf("higher-order should reach the deep bug: %s", ho.Summary())
+	}
+	if ho.Divergences != 0 {
+		t.Fatalf("higher-order must not diverge: %s", ho.Summary())
+	}
+	if ho.MultiStepChains == 0 {
+		t.Fatalf("expected a multi-step chain: %s", ho.Summary())
+	}
+}
+
+// TestFooBisGoodDivergence reproduces Example 2 (E4): on foo-bis, sound
+// concretization misses the bug while unsound concretization finds it through
+// a "good divergence"; higher-order generation also finds it.
+func TestFooBisGoodDivergence(t *testing.T) {
+	seeds := [][]int64{{33, 42}}
+
+	so := searchMode(t, fooBisSrc, concolic.ModeSound, seeds, 50)
+	if len(so.ErrorSitesFound()) != 0 {
+		t.Fatalf("sound mode should miss the bug: %s", so.Summary())
+	}
+
+	un := searchMode(t, fooBisSrc, concolic.ModeUnsound, seeds, 50)
+	if len(un.ErrorSitesFound()) != 1 {
+		t.Fatalf("unsound mode should find the bug: %s", un.Summary())
+	}
+
+	ho := searchMode(t, fooBisSrc, concolic.ModeHigherOrder, seeds, 50)
+	if len(ho.ErrorSitesFound()) != 1 {
+		t.Fatalf("higher-order should find the bug: %s", ho.Summary())
+	}
+	if ho.Divergences != 0 {
+		t.Fatalf("higher-order must not diverge: %s", ho.Summary())
+	}
+}
+
+// TestBarIncomparable reproduces Example 3 (E5): on bar, unsound
+// concretization generates a divergent test, while higher-order generation
+// proves the alternate constraint invalid and generates nothing bogus.
+func TestBarIncomparable(t *testing.T) {
+	seeds := [][]int64{{33, 42}}
+
+	un := searchMode(t, barSrc, concolic.ModeUnsound, seeds, 50)
+	if un.Divergences == 0 {
+		t.Fatalf("unsound mode should diverge on bar: %s", un.Summary())
+	}
+
+	p := prog(t, barSrc)
+	eng := concolic.New(p, concolic.ModeHigherOrder)
+	ho := search.Run(eng, search.Options{MaxRuns: 50, Seeds: seeds, Refute: true})
+	if ho.Divergences != 0 {
+		t.Fatalf("higher-order must not diverge: %s", ho.Summary())
+	}
+	if ho.ProverInvalid == 0 {
+		t.Fatalf("expected an invalidity verdict: %s", ho.Summary())
+	}
+	if len(ho.ErrorSitesFound()) != 0 {
+		t.Fatalf("the cycle x=h(y) ∧ y=h(x) should stay unreached: %s", ho.Summary())
+	}
+}
+
+// TestKStepGeneration generalizes Example 7: a chain of k nested hash guards
+// requires a k-step sequence of intermediate tests.
+func TestKStepGeneration(t *testing.T) {
+	src := `
+fn main(x int, y int, z int) {
+	if (x == hash(y)) {
+		if (y == hash(z)) {
+			if (z == 7) {
+				error("deep3");
+			}
+		}
+	}
+}`
+	p := prog(t, src)
+	eng := concolic.New(p, concolic.ModeHigherOrder)
+	st := search.Run(eng, search.Options{MaxRuns: 200, Seeds: [][]int64{{1, 2, 3}}, MaxMultiStep: 4})
+	if len(st.ErrorSitesFound()) != 1 {
+		t.Fatalf("3-level nest not cracked: %s", st.Summary())
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("must not diverge: %s", st.Summary())
+	}
+}
+
+// TestSoundAndHigherOrderNeverDiverge is the search-level Theorem 2/3
+// property test: on random programs, the sound modes and higher-order mode
+// never produce divergent tests.
+func TestSoundAndHigherOrderNeverDiverge(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 25; iter++ {
+		src := mini.GenProgram(r, mini.GenConfig{Natives: []string{"hash"}})
+		p, err := mini.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mini.Check(p, natives()); err != nil {
+			t.Fatal(err)
+		}
+		seeds := [][]int64{{int64(r.Intn(21) - 10), int64(r.Intn(21) - 10), int64(r.Intn(21) - 10)}}
+		for _, mode := range []concolic.Mode{concolic.ModeSound, concolic.ModeSoundDelayed, concolic.ModeHigherOrder} {
+			eng := concolic.New(p, mode)
+			st := search.Run(eng, search.Options{MaxRuns: 30, Seeds: seeds})
+			if st.Divergences != 0 {
+				t.Fatalf("iter %d mode %v: %d divergences\n%s", iter, mode, st.Divergences, src)
+			}
+		}
+	}
+}
+
+// TestCoverageOrdering checks the expected qualitative ordering on random
+// programs with unknown functions: higher-order coverage ≥ sound coverage,
+// and (total over the suite) higher-order ≥ static.
+func TestCoverageOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	var hoTotal, soundTotal, staticTotal int
+	for iter := 0; iter < 20; iter++ {
+		src := mini.GenProgram(r, mini.GenConfig{Natives: []string{"hash"}})
+		p, err := mini.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mini.Check(p, natives()); err != nil {
+			t.Fatal(err)
+		}
+		seeds := [][]int64{{int64(r.Intn(21) - 10), int64(r.Intn(21) - 10), int64(r.Intn(21) - 10)}}
+		run := func(mode concolic.Mode) int {
+			eng := concolic.New(p, mode)
+			return search.Run(eng, search.Options{MaxRuns: 40, Seeds: seeds}).BranchSidesCovered()
+		}
+		hoTotal += run(concolic.ModeHigherOrder)
+		soundTotal += run(concolic.ModeSound)
+		staticTotal += run(concolic.ModeStatic)
+	}
+	if hoTotal < soundTotal {
+		t.Fatalf("higher-order total coverage %d < sound %d", hoTotal, soundTotal)
+	}
+	if hoTotal < staticTotal {
+		t.Fatalf("higher-order total coverage %d < static %d", hoTotal, staticTotal)
+	}
+}
+
+// TestStopAtFirstBug checks early exit.
+func TestStopAtFirstBug(t *testing.T) {
+	st := searchMode(t, obscureSrc, concolic.ModeUnsound, [][]int64{{33, 42}}, 50)
+	full := st.Runs
+	p := prog(t, obscureSrc)
+	eng := concolic.New(p, concolic.ModeUnsound)
+	early := search.Run(eng, search.Options{MaxRuns: 50, Seeds: [][]int64{{33, 42}}, StopAtFirstBug: true})
+	if len(early.ErrorSitesFound()) != 1 {
+		t.Fatalf("early: %s", early.Summary())
+	}
+	if early.Runs > full {
+		t.Fatalf("early stop ran more (%d) than full (%d)", early.Runs, full)
+	}
+}
+
+// TestFuzzBaseline sanity-checks the blackbox baseline and the Section 1
+// claim it cannot crack a hash equality in any reasonable budget.
+func TestFuzzBaseline(t *testing.T) {
+	p := prog(t, obscureSrc)
+	st := fuzz.Run(p, fuzz.Options{MaxRuns: 500, Rand: rand.New(rand.NewSource(5))})
+	if st.Runs != 500 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+	if len(st.ErrorSitesFound()) != 0 {
+		t.Fatalf("random fuzzing cracked a hash with 500 runs (domain 10^4+): %s", st.Summary())
+	}
+	if st.Mode != "blackbox-random" {
+		t.Fatalf("mode = %s", st.Mode)
+	}
+	// Sanity: on a trivial guard the fuzzer does find bugs.
+	pEasy := prog(t, `fn main(x int) { if (x > 0) { error("easy"); } }`)
+	stEasy := fuzz.Run(pEasy, fuzz.Options{MaxRuns: 100, Rand: rand.New(rand.NewSource(6))})
+	if len(stEasy.ErrorSitesFound()) != 1 {
+		t.Fatalf("fuzzer missed trivial bug: %s", stEasy.Summary())
+	}
+}
+
+// TestRuntimeFaultReported checks fault bugs are deduplicated and recorded.
+func TestRuntimeFaultReported(t *testing.T) {
+	src := `
+fn main(x int) int {
+	if (x > 5) {
+		var a [3];
+		return a[x];
+	}
+	return 0;
+}`
+	p := prog(t, src)
+	eng := concolic.New(p, concolic.ModeSound)
+	st := search.Run(eng, search.Options{MaxRuns: 20, Seeds: [][]int64{{0}}})
+	found := false
+	for _, b := range st.Bugs {
+		if b.Kind == mini.StopRuntime {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("out-of-bounds fault not found: %s", st.Summary())
+	}
+}
+
+func TestStatsSummaryAndCoverage(t *testing.T) {
+	st := searchMode(t, obscureSrc, concolic.ModeHigherOrder, [][]int64{{33, 42}}, 50)
+	if st.Coverage() <= 0 || st.Coverage() > 1 {
+		t.Fatalf("coverage = %f", st.Coverage())
+	}
+	if st.Paths() < 2 {
+		t.Fatalf("paths = %d", st.Paths())
+	}
+	if st.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

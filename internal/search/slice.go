@@ -1,0 +1,86 @@
+package search
+
+import (
+	"hotg/internal/mini"
+	"hotg/internal/sym"
+)
+
+// sliceAlt computes the classic DART/SAGE "related constraints" optimization:
+// from the alternate path constraint prefix ∧ ¬c_k, keep only the conjuncts
+// that transitively share input variables with the negated constraint. The
+// dropped conjuncts are satisfied by keeping their variables at the parent
+// input's values (the parent run satisfied every prefix conjunct), so a
+// solution of the slice extends to a solution of the full alternate
+// constraint — at a fraction of the solving cost.
+func sliceAlt(prefix []sym.Expr, negated sym.Expr) sym.Expr {
+	type entry struct {
+		expr sym.Expr
+		vars []int
+		used bool
+	}
+	entries := make([]entry, 0, len(prefix))
+	for _, e := range prefix {
+		entries = append(entries, entry{expr: e, vars: varIDs(e)})
+	}
+	reach := map[int]bool{}
+	for _, id := range varIDs(negated) {
+		reach[id] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range entries {
+			if entries[i].used {
+				continue
+			}
+			hit := false
+			for _, id := range entries[i].vars {
+				if reach[id] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			entries[i].used = true
+			changed = true
+			for _, id := range entries[i].vars {
+				reach[id] = true
+			}
+		}
+	}
+	parts := make([]sym.Expr, 0, len(entries)+1)
+	for _, e := range entries {
+		if e.used {
+			parts = append(parts, e.expr)
+		}
+	}
+	parts = append(parts, negated)
+	return sym.AndExpr(parts...)
+}
+
+func varIDs(e sym.Expr) []int {
+	vs := sym.Vars(e)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID
+	}
+	return out
+}
+
+// targetKey identifies a flip attempt: the predicted trace (which encodes the
+// path prefix and the flipped event) plus the negated constraint. Identical
+// targets from different parents would generate identical tests, so they are
+// solved at most once.
+func targetKey(expected []mini.BranchEvent, negated sym.Expr) string {
+	buf := make([]byte, len(expected), len(expected)+32)
+	for i, ev := range expected {
+		c := byte('0')
+		if ev.Taken {
+			c = '1'
+		}
+		// Mix the branch ID into the signature.
+		buf[i] = c ^ byte(ev.ID<<1)
+	}
+	return string(buf) + "|" + negated.Key()
+}

@@ -1,0 +1,144 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+func TestSliceAltKeepsRelated(t *testing.T) {
+	var p sym.Pool
+	x, y, z := p.NewVar("x"), p.NewVar("y"), p.NewVar("z")
+	prefix := []sym.Expr{
+		sym.Eq(sym.VarTerm(x), sym.Int(1)),     // touches x
+		sym.Eq(sym.VarTerm(z), sym.Int(9)),     // unrelated
+		sym.Lt(sym.VarTerm(x), sym.VarTerm(y)), // links x↔y
+	}
+	negated := sym.Gt(sym.VarTerm(y), sym.Int(5)) // touches y
+	sliced := sliceAlt(prefix, negated)
+	cs := sym.Conjuncts(sliced)
+	// Expect: x=1 and x<y retained (transitively via y), z=9 dropped.
+	if len(cs) != 3 {
+		t.Fatalf("sliced = %v", cs)
+	}
+	for _, c := range cs {
+		for _, v := range sym.Vars(c) {
+			if v == z {
+				t.Fatalf("unrelated conjunct retained: %v", sliced)
+			}
+		}
+	}
+}
+
+func TestSliceAltTransitiveClosure(t *testing.T) {
+	var p sym.Pool
+	a, b, c, d := p.NewVar("a"), p.NewVar("b"), p.NewVar("c"), p.NewVar("d")
+	prefix := []sym.Expr{
+		sym.Eq(sym.VarTerm(a), sym.VarTerm(b)),
+		sym.Eq(sym.VarTerm(b), sym.VarTerm(c)),
+		sym.Eq(sym.VarTerm(d), sym.Int(7)),
+	}
+	negated := sym.Ne(sym.VarTerm(a), sym.Int(0))
+	cs := sym.Conjuncts(sliceAlt(prefix, negated))
+	if len(cs) != 3 { // a=b, b=c chained in; d=7 out
+		t.Fatalf("sliced = %v", cs)
+	}
+}
+
+// TestSliceSoundnessProperty: on real executions, any model of the sliced
+// alternate constraint, extended with the parent input for untouched
+// variables, satisfies the full alternate constraint.
+func TestSliceSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	ns := mini.Natives{}
+	ns.Register("hash", 1, lexapp.ScrambledHash)
+	for iter := 0; iter < 30; iter++ {
+		src := mini.GenProgram(r, mini.GenConfig{Natives: []string{"hash"}})
+		p := mini.MustCheck(mini.MustParse(src), ns)
+		in := []int64{int64(r.Intn(21) - 10), int64(r.Intn(21) - 10), int64(r.Intn(21) - 10)}
+		eng := concolic.New(p, concolic.ModeSound)
+		ex := eng.Run(in)
+
+		prefix := []sym.Expr{}
+		for k, c := range ex.PC {
+			if c.IsConcretization {
+				prefix = append(prefix, c.Expr)
+				continue
+			}
+			negated := sym.NotExpr(c.Expr)
+			sliced := sliceAlt(prefix, negated)
+			full := ex.Alt(k)
+			st, m := smt.Solve(sliced, smt.Options{Pool: eng.Pool})
+			if st == smt.StatusSat {
+				env := sym.Env{Vars: map[int]int64{}}
+				for i, v := range eng.InputVars {
+					env.Vars[v.ID] = in[i]
+					if val, ok := m.Vars[v.ID]; ok {
+						env.Vars[v.ID] = val
+					}
+				}
+				holds, err := sym.EvalBool(full, env)
+				if err != nil || !holds {
+					t.Fatalf("iter %d k=%d: sliced model does not satisfy full ALT\nsliced: %v\nfull: %v\nmodel: %v\nerr: %v",
+						iter, k, sliced, full, env.Vars, err)
+				}
+			} else {
+				// Slicing must not make unsatisfiable targets satisfiable or
+				// vice versa: the full ALT must agree.
+				stFull, _ := smt.Solve(full, smt.Options{Pool: eng.Pool})
+				if stFull == smt.StatusSat {
+					t.Fatalf("iter %d k=%d: full ALT sat but slice unsat", iter, k)
+				}
+			}
+			prefix = append(prefix, c.Expr)
+		}
+	}
+}
+
+func TestTargetKeyDistinguishes(t *testing.T) {
+	var p sym.Pool
+	x := p.NewVar("x")
+	c1 := sym.Eq(sym.VarTerm(x), sym.Int(1))
+	c2 := sym.Eq(sym.VarTerm(x), sym.Int(2))
+	tr1 := []mini.BranchEvent{{ID: 0, Taken: true}}
+	tr2 := []mini.BranchEvent{{ID: 0, Taken: false}}
+	tr3 := []mini.BranchEvent{{ID: 1, Taken: true}}
+	if targetKey(tr1, c1) == targetKey(tr1, c2) {
+		t.Fatal("different constraints must differ")
+	}
+	if targetKey(tr1, c1) == targetKey(tr2, c1) {
+		t.Fatal("different polarities must differ")
+	}
+	if targetKey(tr1, c1) == targetKey(tr3, c1) {
+		t.Fatal("different branch IDs must differ")
+	}
+	if targetKey(tr1, c1) != targetKey(tr1, c1) {
+		t.Fatal("identical targets must collide")
+	}
+}
+
+func TestExhaustedFlag(t *testing.T) {
+	src := `fn main(x int) { if (x > 0) { error("pos"); } }`
+	ns := mini.Natives{}
+	ns.Register("hash", 1, lexapp.ScrambledHash)
+	p := mini.MustCheck(mini.MustParse(src), ns)
+	eng := concolic.New(p, concolic.ModeSound)
+	st := Run(eng, Options{MaxRuns: 100, Seeds: [][]int64{{0}}})
+	if !st.Exhausted {
+		t.Fatalf("two-path program must exhaust: %s", st.Summary())
+	}
+	if st.Runs != 2 || st.Paths() != 2 {
+		t.Fatalf("expected exactly 2 runs = 2 paths: %s", st.Summary())
+	}
+	// With a budget of 1 the search cannot exhaust.
+	eng2 := concolic.New(p, concolic.ModeSound)
+	st2 := Run(eng2, Options{MaxRuns: 1, Seeds: [][]int64{{0}}})
+	if st2.Exhausted {
+		t.Fatal("budget-limited search must not claim exhaustion")
+	}
+}

@@ -1,0 +1,211 @@
+// Package search implements the systematic directed search of DART/SAGE
+// (Section 2 of the paper) on top of the concolic engine: run the program,
+// negate path-constraint conjuncts, generate new inputs, detect divergences,
+// and repeat. Depending on the engine's mode, new inputs come from
+// satisfiability checks (static/DART modes) or from constructive validity
+// proofs with uninterpreted function samples (higher-order mode), including
+// the multi-step probe sequences of Example 7.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hotg/internal/mini"
+)
+
+// Bug is one discovered defect: an error(...) site or a runtime fault.
+type Bug struct {
+	Kind  mini.StopKind
+	Site  int    // error-site ID for StopError, -1 for faults
+	Msg   string // error message or fault description
+	Input []int64
+	Run   int // which execution found it (1-based)
+}
+
+func (b Bug) String() string {
+	return fmt.Sprintf("run %d: %s %q input=%v", b.Run, b.Kind, b.Msg, b.Input)
+}
+
+// Stats aggregates the outcome of one search.
+type Stats struct {
+	Mode string
+
+	Runs              int // program executions performed
+	TestsGenerated    int // inputs produced by constraint solving / strategies
+	IntermediateTests int // extra executions run only to collect samples (multi-step)
+
+	Divergences int // generated tests whose run left the predicted path
+
+	SolverCalls   int // satisfiability queries
+	SolverSat     int
+	ProverCalls   int // validity-proof attempts (higher-order mode)
+	ProverProved  int
+	ProverInvalid int
+	ProverUnknown int
+
+	MultiStepChains int // targets that needed ≥1 intermediate test
+	SamplesLearned  int // IOF entries accumulated
+
+	Incomplete bool // some branch produced no constraint (static mode)
+
+	// Exhausted reports that the search drained its entire worklist before
+	// hitting the execution budget. Together with sound *and complete*
+	// constraint generation (pure programs, no unknown functions), this is
+	// the verification condition of Theorem 1: every feasible path was
+	// exercised, so unexecuted statements are unreachable.
+	Exhausted bool
+
+	// Coverage: per branch point, whether each polarity was executed.
+	branchCov map[int]*[2]bool
+	numBranch int
+
+	// Bugs, deduplicated by site/message.
+	Bugs    []Bug
+	bugSeen map[string]bool
+
+	// Paths explored (distinct branch traces).
+	paths map[string]bool
+
+	// CovTrace[i] is the cumulative branch-side coverage after run i+1 —
+	// the series behind coverage-vs-runs plots.
+	CovTrace []int
+}
+
+// NewFuzzStats creates a Stats collector for the blackbox-random baseline.
+func NewFuzzStats(numBranches int) *Stats {
+	return newStats("blackbox-random", numBranches)
+}
+
+// RecordFuzzRun records one baseline execution.
+func (s *Stats) RecordFuzzRun(res *mini.Result, input []int64) {
+	s.recordRun(res, input)
+}
+
+func newStats(mode string, numBranches int) *Stats {
+	return &Stats{
+		Mode:      mode,
+		branchCov: make(map[int]*[2]bool),
+		numBranch: numBranches,
+		bugSeen:   make(map[string]bool),
+		paths:     make(map[string]bool),
+	}
+}
+
+// recordRun accounts one execution and returns how many previously-uncovered
+// branch sides it covered (the generational-search score of SAGE).
+func (s *Stats) recordRun(res *mini.Result, input []int64) int {
+	s.Runs++
+	gained := 0
+	for _, ev := range res.Branches {
+		c := s.branchCov[ev.ID]
+		if c == nil {
+			c = new([2]bool)
+			s.branchCov[ev.ID] = c
+		}
+		side := 0
+		if ev.Taken {
+			side = 1
+		}
+		if !c[side] {
+			c[side] = true
+			gained++
+		}
+	}
+	s.paths[res.Path()] = true
+	s.CovTrace = append(s.CovTrace, s.BranchSidesCovered())
+	switch res.Kind {
+	case mini.StopError:
+		s.addBug(Bug{Kind: res.Kind, Site: res.ErrorSite, Msg: res.ErrorMsg, Input: input, Run: s.Runs})
+	case mini.StopRuntime:
+		s.addBug(Bug{Kind: res.Kind, Site: -1, Msg: res.RuntimeMsg, Input: input, Run: s.Runs})
+	}
+	return gained
+}
+
+func (s *Stats) addBug(b Bug) {
+	key := fmt.Sprintf("%d/%d/%s", b.Kind, b.Site, b.Msg)
+	if s.bugSeen[key] {
+		return
+	}
+	s.bugSeen[key] = true
+	cp := make([]int64, len(b.Input))
+	copy(cp, b.Input)
+	b.Input = cp
+	s.Bugs = append(s.Bugs, b)
+}
+
+// SideCovered reports whether the given polarity of branch id was executed.
+func (s *Stats) SideCovered(id int, taken bool) bool {
+	c := s.branchCov[id]
+	if c == nil {
+		return false
+	}
+	if taken {
+		return c[1]
+	}
+	return c[0]
+}
+
+// BranchSidesCovered returns how many of the 2·NumBranches branch polarities
+// were executed.
+func (s *Stats) BranchSidesCovered() int {
+	n := 0
+	for _, c := range s.branchCov {
+		if c[0] {
+			n++
+		}
+		if c[1] {
+			n++
+		}
+	}
+	return n
+}
+
+// BranchSidesTotal returns 2 × the number of static branch points.
+func (s *Stats) BranchSidesTotal() int { return 2 * s.numBranch }
+
+// Coverage returns branch-side coverage in [0,1].
+func (s *Stats) Coverage() float64 {
+	if s.numBranch == 0 {
+		return 1
+	}
+	return float64(s.BranchSidesCovered()) / float64(s.BranchSidesTotal())
+}
+
+// Paths returns the number of distinct control paths executed.
+func (s *Stats) Paths() int { return len(s.paths) }
+
+// ErrorSitesFound returns the distinct error-site IDs reached.
+func (s *Stats) ErrorSitesFound() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, b := range s.Bugs {
+		if b.Kind == mini.StopError && !seen[b.Site] {
+			seen[b.Site] = true
+			out = append(out, b.Site)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Summary renders a one-line report.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s runs=%-4d tests=%-4d cov=%d/%d paths=%-4d bugs=%d div=%d",
+		s.Mode, s.Runs, s.TestsGenerated, s.BranchSidesCovered(), s.BranchSidesTotal(),
+		s.Paths(), len(s.ErrorSitesFound()), s.Divergences)
+	if s.ProverCalls > 0 {
+		fmt.Fprintf(&b, " prove=%d/%d inv=%d multi=%d", s.ProverProved, s.ProverCalls,
+			s.ProverInvalid, s.MultiStepChains)
+	}
+	if s.Incomplete {
+		b.WriteString(" (incomplete)")
+	}
+	if s.Exhausted {
+		b.WriteString(" (exhausted)")
+	}
+	return b.String()
+}

@@ -1,0 +1,348 @@
+package smt
+
+import (
+	"fmt"
+
+	"hotg/internal/sym"
+)
+
+// EUF is an incremental congruence-closure decision procedure for the theory
+// of equality with uninterpreted functions over ground terms (constants,
+// variables, applications). It is the classic Nelson–Oppen/Downey–Sethi–
+// Tarjan construction: a union–find over term IDs with use-lists and a
+// signature table, processing merges through a pending queue so congruence
+// (s̄ = t̄ ⇒ f(s̄) = f(t̄)) propagates to fixpoint.
+//
+// The full solver (Solve) uses it as a fast path for purely equational
+// conjunctions, which also serves as an independent cross-check of the
+// Ackermann-reduction pipeline; the property tests in euf_test.go compare
+// the two on random instances.
+type EUF struct {
+	parent []int
+	rank   []int
+
+	// Per representative: the constant value its class is known to equal,
+	// if any.
+	hasConst []bool
+	constVal []int64
+
+	// apps[i] describes term i when it is an application.
+	apps map[int]eufApp
+	// uses[r] lists application terms having a member of class r as an
+	// argument (kept on representatives, merged on union).
+	uses map[int][]int
+	// sig maps an application signature (fn, representative args) to a
+	// term ID currently carrying it.
+	sig map[string]int
+
+	// interning
+	byKey map[string]int
+
+	// disequalities to re-check after merges: pairs of term IDs.
+	diseqs [][2]int
+
+	conflict bool
+}
+
+type eufApp struct {
+	fn   *sym.Func
+	args []int
+}
+
+// NewEUF returns an empty congruence-closure solver.
+func NewEUF() *EUF {
+	return &EUF{
+		apps:  make(map[int]eufApp),
+		uses:  make(map[int][]int),
+		sig:   make(map[string]int),
+		byKey: make(map[string]int),
+	}
+}
+
+func (e *EUF) newTerm(key string) int {
+	id := len(e.parent)
+	e.parent = append(e.parent, id)
+	e.rank = append(e.rank, 0)
+	e.hasConst = append(e.hasConst, false)
+	e.constVal = append(e.constVal, 0)
+	e.byKey[key] = id
+	return id
+}
+
+func (e *EUF) find(x int) int {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// InternConst interns an integer constant.
+func (e *EUF) InternConst(v int64) int {
+	key := fmt.Sprintf("#%d", v)
+	if id, ok := e.byKey[key]; ok {
+		return id
+	}
+	id := e.newTerm(key)
+	e.hasConst[id] = true
+	e.constVal[id] = v
+	return id
+}
+
+// InternVar interns a variable.
+func (e *EUF) InternVar(v *sym.Var) int {
+	key := "v" + v.Key()
+	if id, ok := e.byKey[key]; ok {
+		return id
+	}
+	return e.newTerm(key)
+}
+
+// InternApp interns an application of fn to already-interned argument terms,
+// merging with an existing congruent application if one exists.
+func (e *EUF) InternApp(fn *sym.Func, args []int) int {
+	key := fmt.Sprintf("a%d(", fn.ID)
+	for _, a := range args {
+		key += fmt.Sprintf("%d,", a)
+	}
+	key += ")"
+	if id, ok := e.byKey[key]; ok {
+		return id
+	}
+	id := e.newTerm(key)
+	cp := make([]int, len(args))
+	copy(cp, args)
+	e.apps[id] = eufApp{fn: fn, args: cp}
+	for _, a := range cp {
+		r := e.find(a)
+		e.uses[r] = append(e.uses[r], id)
+	}
+	// Congruence with an existing application.
+	s := e.signature(id)
+	if other, ok := e.sig[s]; ok {
+		e.merge(id, other)
+	} else {
+		e.sig[s] = id
+	}
+	return id
+}
+
+func (e *EUF) signature(app int) string {
+	a := e.apps[app]
+	s := fmt.Sprintf("%d(", a.fn.ID)
+	for _, arg := range a.args {
+		s += fmt.Sprintf("%d,", e.find(arg))
+	}
+	return s + ")"
+}
+
+// AssertEq asserts a = b; it returns false on conflict.
+func (e *EUF) AssertEq(a, b int) bool {
+	if e.conflict {
+		return false
+	}
+	e.merge(a, b)
+	e.checkDiseqs()
+	return !e.conflict
+}
+
+// AssertNe asserts a ≠ b; it returns false on conflict.
+func (e *EUF) AssertNe(a, b int) bool {
+	if e.conflict {
+		return false
+	}
+	e.diseqs = append(e.diseqs, [2]int{a, b})
+	e.checkDiseqs()
+	return !e.conflict
+}
+
+// Equal reports whether the two terms are currently known equal.
+func (e *EUF) Equal(a, b int) bool { return e.find(a) == e.find(b) }
+
+func (e *EUF) checkDiseqs() {
+	for _, d := range e.diseqs {
+		ra, rb := e.find(d[0]), e.find(d[1])
+		if ra == rb {
+			e.conflict = true
+			return
+		}
+		// Two classes pinned to the same constant are equal even without an
+		// explicit merge; two pinned to different constants are fine.
+		if e.hasConst[ra] && e.hasConst[rb] && e.constVal[ra] == e.constVal[rb] {
+			e.conflict = true
+			return
+		}
+	}
+}
+
+// merge unions the classes of a and b and propagates congruences through a
+// pending queue.
+func (e *EUF) merge(a, b int) {
+	pending := [][2]int{{a, b}}
+	for len(pending) > 0 {
+		x, y := pending[0][0], pending[0][1]
+		pending = pending[1:]
+		rx, ry := e.find(x), e.find(y)
+		if rx == ry {
+			continue
+		}
+		// Distinct constants cannot be equal.
+		if e.hasConst[rx] && e.hasConst[ry] && e.constVal[rx] != e.constVal[ry] {
+			e.conflict = true
+			return
+		}
+		if e.rank[rx] < e.rank[ry] {
+			rx, ry = ry, rx
+		}
+		// ry joins rx.
+		e.parent[ry] = rx
+		if e.rank[rx] == e.rank[ry] {
+			e.rank[rx]++
+		}
+		if e.hasConst[ry] {
+			e.hasConst[rx] = true
+			e.constVal[rx] = e.constVal[ry]
+		}
+		// Recompute signatures of applications using the absorbed class.
+		moved := e.uses[ry]
+		delete(e.uses, ry)
+		for _, app := range moved {
+			s := e.signature(app)
+			if other, ok := e.sig[s]; ok && e.find(other) != e.find(app) {
+				pending = append(pending, [2]int{app, other})
+			} else if !ok {
+				e.sig[s] = app
+			}
+		}
+		e.uses[rx] = append(e.uses[rx], moved...)
+	}
+}
+
+// Conflict reports whether the asserted constraints are unsatisfiable.
+func (e *EUF) Conflict() bool { return e.conflict }
+
+// ---- Fast-path integration with Solve ----
+
+// eufLiteral is one conjunct of a pure-EUF problem: t1 (= | ≠) t2.
+type eufLiteral struct {
+	t1, t2 *sym.Sum
+	eq     bool
+}
+
+// pureEUFConjuncts decomposes f into equational literals if and only if f is
+// a conjunction of (dis)equalities between EUF terms (constants, variables,
+// applications with EUF-term arguments) — no real arithmetic.
+func pureEUFConjuncts(f sym.Expr) ([]eufLiteral, bool) {
+	var out []eufLiteral
+	for _, c := range sym.Conjuncts(f) {
+		cmp, ok := c.(*sym.Cmp)
+		if !ok || cmp.Op == sym.OpLe {
+			return nil, false
+		}
+		t1, t2, ok := splitEUFEquality(cmp.S)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, eufLiteral{t1: t1, t2: t2, eq: cmp.Op == sym.OpEq})
+	}
+	return out, true
+}
+
+// splitEUFEquality decomposes the normalized S of "S ⋈ 0" into two EUF
+// terms t1, t2 with S = t1 - t2, when possible.
+func splitEUFEquality(s *sym.Sum) (*sym.Sum, *sym.Sum, bool) {
+	switch len(s.Terms) {
+	case 1:
+		// ±atom + c ⋈ 0  →  atom = ∓c.
+		t := s.Terms[0]
+		if t.Coef != 1 && t.Coef != -1 {
+			return nil, nil, false
+		}
+		if !isEUFAtom(t.Atom) {
+			return nil, nil, false
+		}
+		return sym.AtomTerm(t.Atom), sym.Int(-t.Coef * s.Const), true
+	case 2:
+		// atom1 - atom2 ⋈ 0 (no constant offset).
+		if s.Const != 0 {
+			return nil, nil, false
+		}
+		a, b := s.Terms[0], s.Terms[1]
+		if a.Coef+b.Coef != 0 || (a.Coef != 1 && a.Coef != -1) {
+			return nil, nil, false
+		}
+		if !isEUFAtom(a.Atom) || !isEUFAtom(b.Atom) {
+			return nil, nil, false
+		}
+		return sym.AtomTerm(a.Atom), sym.AtomTerm(b.Atom), true
+	}
+	return nil, nil, false
+}
+
+func isEUFAtom(a sym.Atom) bool {
+	app, ok := a.(*sym.Apply)
+	if !ok {
+		return true // variables are EUF terms
+	}
+	for _, arg := range app.Args {
+		if !isEUFSum(arg) {
+			return false
+		}
+	}
+	return true
+}
+
+func isEUFSum(s *sym.Sum) bool {
+	if _, ok := s.IsConst(); ok {
+		return true
+	}
+	if len(s.Terms) != 1 || s.Const != 0 || s.Terms[0].Coef != 1 {
+		return false
+	}
+	return isEUFAtom(s.Terms[0].Atom)
+}
+
+// internSum interns a (pure EUF) term, returning its ID.
+func (e *EUF) internSum(s *sym.Sum) int {
+	if v, ok := s.IsConst(); ok {
+		return e.InternConst(v)
+	}
+	switch a := s.Terms[0].Atom.(type) {
+	case *sym.Var:
+		return e.InternVar(a)
+	case *sym.Apply:
+		args := make([]int, len(a.Args))
+		for i, arg := range a.Args {
+			args[i] = e.internSum(arg)
+		}
+		return e.InternApp(a.Fn, args)
+	}
+	panic("smt: internSum: not an EUF term")
+}
+
+// SolveEUF decides a pure-EUF conjunction with congruence closure. The
+// second result is false when f is not in the pure-EUF fragment.
+func SolveEUF(f sym.Expr) (Status, bool) {
+	lits, ok := pureEUFConjuncts(f)
+	if !ok {
+		return StatusUnknown, false
+	}
+	e := NewEUF()
+	// Assert equalities first: congruence closure is order-insensitive but
+	// asserting Ne after Eq lets checkDiseqs see the final classes.
+	for _, l := range lits {
+		if l.eq {
+			if !e.AssertEq(e.internSum(l.t1), e.internSum(l.t2)) {
+				return StatusUnsat, true
+			}
+		}
+	}
+	for _, l := range lits {
+		if !l.eq {
+			if !e.AssertNe(e.internSum(l.t1), e.internSum(l.t2)) {
+				return StatusUnsat, true
+			}
+		}
+	}
+	return StatusSat, true
+}

@@ -1,0 +1,88 @@
+package smt
+
+import (
+	"testing"
+
+	"hotg/internal/sym"
+)
+
+// FuzzSolveConjunction decodes a byte string into a small linear-arithmetic
+// formula over three bounded variables, solves it, and checks any model by
+// evaluation; SAT/UNSAT verdicts are cross-checked against brute force over
+// the domain. This drives the whole pipeline — CNF, CDCL, simplex, B&B —
+// from arbitrary inputs.
+func FuzzSolveConjunction(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x27, 0x99})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 24 {
+			return
+		}
+		var p sym.Pool
+		vars := []*sym.Var{p.NewVar("a"), p.NewVar("b"), p.NewVar("c")}
+		const lo, hi = -3, 3
+		bounds := map[int]Bound{}
+		for _, v := range vars {
+			bounds[v.ID] = Bound{Lo: lo, Hi: hi, HasLo: true, HasHi: true}
+		}
+
+		// Decode: every 3 bytes become one atomic constraint
+		// c1·a + c2·b ⋈ k, chained with ∧ / ∨ by the byte's low bits.
+		var formula sym.Expr = sym.True
+		for i := 0; i+2 < len(data); i += 3 {
+			c1 := int64(int8(data[i])) % 3
+			c2 := int64(int8(data[i+1])) % 3
+			k := int64(int8(data[i+2])) % 5
+			s := sym.AddSum(sym.ScaleSum(c1, sym.VarTerm(vars[0])), sym.ScaleSum(c2, sym.VarTerm(vars[1])))
+			s = sym.AddSum(s, sym.VarTerm(vars[2]))
+			var atom sym.Expr
+			switch data[i] & 3 {
+			case 0:
+				atom = sym.Eq(s, sym.Int(k))
+			case 1:
+				atom = sym.Ne(s, sym.Int(k))
+			case 2:
+				atom = sym.Le(s, sym.Int(k))
+			default:
+				atom = sym.Gt(s, sym.Int(k))
+			}
+			if data[i+1]&1 == 0 {
+				formula = sym.AndExpr(formula, atom)
+			} else {
+				formula = sym.OrExpr(formula, atom)
+			}
+		}
+
+		st, m := Solve(formula, Options{VarBounds: bounds})
+		if st == StatusUnknown {
+			return
+		}
+
+		bruteSat := false
+		for a := int64(lo); a <= hi && !bruteSat; a++ {
+			for b := int64(lo); b <= hi && !bruteSat; b++ {
+				for c := int64(lo); c <= hi; c++ {
+					env := sym.Env{Vars: map[int]int64{vars[0].ID: a, vars[1].ID: b, vars[2].ID: c}}
+					ok, err := sym.EvalBool(formula, env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						bruteSat = true
+						break
+					}
+				}
+			}
+		}
+		if bruteSat != (st == StatusSat) {
+			t.Fatalf("solver %v but brute force says sat=%v for %v", st, bruteSat, formula)
+		}
+		if st == StatusSat {
+			ok, err := CheckModel(formula, m, nil)
+			if err != nil || !ok {
+				t.Fatalf("bad model %v for %v (err %v)", m, formula, err)
+			}
+		}
+	})
+}

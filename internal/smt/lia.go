@@ -1,0 +1,130 @@
+package smt
+
+import (
+	"math/big"
+)
+
+// Status is the outcome of a (sub)solver query.
+type Status int
+
+const (
+	// StatusUnknown means the search budget was exhausted before a verdict.
+	StatusUnknown Status = iota
+	// StatusSat means satisfiable; a model is available.
+	StatusSat
+	// StatusUnsat means unsatisfiable.
+	StatusUnsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Bound is an optional closed interval constraint on one integer variable.
+type Bound struct {
+	Lo, Hi       int64
+	HasLo, HasHi bool
+}
+
+// SolveLIA decides feasibility of the conjunction of the inequalities over
+// integer variables 0..nvars-1 subject to per-variable bounds, using rational
+// simplex relaxations refined by branch-and-bound. maxNodes caps the number
+// of explored branch nodes (0 means a generous default).
+func SolveLIA(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) ([]int64, Status) {
+	if maxNodes <= 0 {
+		maxNodes = 20000
+	}
+	budget := maxNodes
+	extra := make([]Bound, nvars)
+	copy(extra, bounds)
+	for len(extra) < nvars {
+		extra = append(extra, Bound{})
+	}
+	return bnb(nvars, ineqs, extra, &budget)
+}
+
+func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int) ([]int64, Status) {
+	if *budget <= 0 {
+		return nil, StatusUnknown
+	}
+	*budget--
+
+	s := newSimplex(nvars)
+	for v := 0; v < nvars; v++ {
+		b := bounds[v]
+		if b.HasLo && !s.assertLower(v, new(big.Rat).SetInt64(b.Lo)) {
+			return nil, StatusUnsat
+		}
+		if b.HasHi && !s.assertUpper(v, new(big.Rat).SetInt64(b.Hi)) {
+			return nil, StatusUnsat
+		}
+	}
+	for _, q := range ineqs {
+		nq, triv := q.Normalize()
+		switch triv {
+		case 1:
+			continue
+		case -1:
+			return nil, StatusUnsat
+		}
+		combo := make(map[int]*big.Rat, len(nq.Terms))
+		for _, t := range nq.Terms {
+			combo[t.Var] = new(big.Rat).SetInt64(t.Coef)
+		}
+		y := s.defineSlack(combo)
+		if !s.assertUpper(y, new(big.Rat).SetInt64(nq.B)) {
+			return nil, StatusUnsat
+		}
+	}
+	if !s.check() {
+		return nil, StatusUnsat
+	}
+	// Find a fractional problem variable.
+	frac := -1
+	for v := 0; v < nvars; v++ {
+		if !s.val[v].IsInt() {
+			frac = v
+			break
+		}
+	}
+	if frac == -1 {
+		model := make([]int64, nvars)
+		for v := 0; v < nvars; v++ {
+			model[v] = s.val[v].Num().Int64()
+		}
+		return model, StatusSat
+	}
+	// Branch: x ≤ ⌊v⌋ then x ≥ ⌊v⌋+1.
+	fl := ratFloor(s.val[frac])
+
+	left := make([]Bound, len(bounds))
+	copy(left, bounds)
+	if !left[frac].HasHi || left[frac].Hi > fl {
+		left[frac].Hi, left[frac].HasHi = fl, true
+	}
+	if m, st := bnb(nvars, ineqs, left, budget); st != StatusUnsat {
+		return m, st
+	}
+
+	right := make([]Bound, len(bounds))
+	copy(right, bounds)
+	if !right[frac].HasLo || right[frac].Lo < fl+1 {
+		right[frac].Lo, right[frac].HasLo = fl+1, true
+	}
+	return bnb(nvars, ineqs, right, budget)
+}
+
+func ratFloor(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && new(big.Int).Rem(r.Num(), r.Denom()).Sign() != 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q.Int64()
+}

@@ -1,0 +1,128 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IVTerm is one scaled variable of a linear inequality, with variables
+// identified by dense internal indices.
+type IVTerm struct {
+	Var  int
+	Coef int64
+}
+
+// Ineq is the weak linear inequality Σ Coef_i · x_i ≤ B. It is the only kind
+// of theory atom the arithmetic solver sees: equalities and disequalities are
+// compiled away before CNF conversion, and strict inequalities are folded
+// using integrality.
+type Ineq struct {
+	Terms []IVTerm
+	B     int64
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Normalize sorts the terms, merges duplicates, drops zero coefficients, and
+// divides through by the gcd of the coefficients (floor-dividing the bound,
+// which is sound and strengthening over the integers). A trivially true or
+// false inequality is reported via the second return value: +1 for valid,
+// -1 for unsatisfiable, 0 for a genuine constraint.
+func (q Ineq) Normalize() (Ineq, int) {
+	terms := make([]IVTerm, len(q.Terms))
+	copy(terms, q.Terms)
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	out := terms[:0]
+	for _, t := range terms {
+		if n := len(out); n > 0 && out[n-1].Var == t.Var {
+			out[n-1].Coef += t.Coef
+		} else {
+			out = append(out, t)
+		}
+	}
+	kept := make([]IVTerm, 0, len(out))
+	var g int64
+	for _, t := range out {
+		if t.Coef != 0 {
+			kept = append(kept, t)
+			g = gcd64(g, t.Coef)
+		}
+	}
+	if len(kept) == 0 {
+		if q.B >= 0 {
+			return Ineq{B: q.B}, 1
+		}
+		return Ineq{B: q.B}, -1
+	}
+	b := q.B
+	if g > 1 {
+		for i := range kept {
+			kept[i].Coef /= g
+		}
+		b = floorDiv(b, g)
+	}
+	return Ineq{Terms: kept, B: b}, 0
+}
+
+// Negated returns the integer negation of q: ¬(Σcx ≤ B) ⇔ Σ(-c)x ≤ -B-1.
+func (q Ineq) Negated() Ineq {
+	terms := make([]IVTerm, len(q.Terms))
+	for i, t := range q.Terms {
+		terms[i] = IVTerm{Var: t.Var, Coef: -t.Coef}
+	}
+	return Ineq{Terms: terms, B: -q.B - 1}
+}
+
+// Key returns a canonical identifier for the (normalized) inequality.
+func (q Ineq) Key() string {
+	var b strings.Builder
+	for _, t := range q.Terms {
+		fmt.Fprintf(&b, "%d*v%d+", t.Coef, t.Var)
+	}
+	fmt.Fprintf(&b, "<=%d", q.B)
+	return b.String()
+}
+
+func (q Ineq) String() string {
+	if len(q.Terms) == 0 {
+		return fmt.Sprintf("0 <= %d", q.B)
+	}
+	var b strings.Builder
+	for i, t := range q.Terms {
+		if i > 0 && t.Coef >= 0 {
+			b.WriteString("+")
+		}
+		fmt.Fprintf(&b, "%d*v%d", t.Coef, t.Var)
+	}
+	fmt.Fprintf(&b, " <= %d", q.B)
+	return b.String()
+}
+
+// Eval reports whether the inequality holds under the given assignment.
+func (q Ineq) Eval(assign []int64) bool {
+	var s int64
+	for _, t := range q.Terms {
+		s += t.Coef * assign[t.Var]
+	}
+	return s <= q.B
+}

@@ -1,0 +1,389 @@
+// Package smt implements a small Satisfiability-Modulo-Theories solver for
+// quantifier-free linear integer arithmetic with uninterpreted functions
+// (QF_UFLIA), the theory T ∪ T_EUF used by higher-order test generation.
+//
+// Architecture (offline lazy SMT):
+//
+//   - uninterpreted function applications are removed up front by Ackermann's
+//     reduction (ackermann.go);
+//   - equalities and disequalities are rewritten to conjunctions/disjunctions
+//     of weak inequalities Σ cᵢxᵢ ≤ b, the only theory atoms (cnf.go);
+//   - the boolean skeleton is Tseitin-encoded and handed to a CDCL SAT solver
+//     (this file);
+//   - each complete propositional model is checked for arithmetic consistency
+//     by a rational simplex with branch-and-bound for integrality (simplex.go,
+//     lia.go); inconsistent models yield learned blocking clauses built from a
+//     greedily minimized unsatisfiable core (solver.go).
+//
+// The solver is deliberately simple — path constraints produced by concolic
+// execution are small, conjunction-heavy formulas — but it is a complete
+// decision procedure on the bounded integer domains used throughout this
+// repository.
+package smt
+
+// Lit is a propositional literal: variable v with polarity encoded as
+// v<<1 (positive) or v<<1|1 (negative). Variables are numbered from 0.
+type Lit int
+
+// MkLit builds a literal for variable v; neg selects the negative polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the literal with the opposite polarity.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) flip() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+// SAT is a CDCL propositional solver with two-watched-literal propagation,
+// first-UIP conflict learning, VSIDS-style branching, and geometric restarts.
+// The zero value is an empty solver ready for NewVar/AddClause.
+type SAT struct {
+	clauses  []*clause
+	watches  [][]*clause // literal → watching clauses
+	assign   []lbool     // variable → value
+	level    []int       // variable → decision level
+	reason   []*clause   // variable → antecedent clause
+	trail    []Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    []int // lazily re-sorted variable order heap (simple)
+
+	nConflicts   int
+	maxConflicts int
+
+	unsat bool
+}
+
+// NewSAT returns an empty SAT solver with the given conflict budget
+// (0 means a generous default).
+func NewSAT(maxConflicts int) *SAT {
+	if maxConflicts <= 0 {
+		maxConflicts = 1 << 20
+	}
+	return &SAT{varInc: 1.0, maxConflicts: maxConflicts}
+}
+
+// NewVar introduces a fresh propositional variable and returns its index.
+func (s *SAT) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order = append(s.order, v)
+	return v
+}
+
+// NumVars returns the number of propositional variables.
+func (s *SAT) NumVars() int { return len(s.assign) }
+
+func (s *SAT) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Neg() {
+		return v.flip()
+	}
+	return v
+}
+
+// AddClause installs a clause. It returns false if the clause makes the
+// formula trivially unsatisfiable. Must be called at decision level 0.
+func (s *SAT) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	// Simplify: drop false literals, detect satisfied/duplicate.
+	seen := make(map[Lit]bool, len(lits))
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		if seen[l] {
+			continue
+		}
+		if seen[l.Flip()] {
+			return true // tautology
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *SAT) watch(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], c)
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+}
+
+func (s *SAT) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *SAT) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns a conflicting clause or nil.
+func (s *SAT) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[l]
+		s.watches[l] = ws[:0:0] // will re-add survivors
+		kept := s.watches[l]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == l.Flip() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: re-add remaining watchers and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[l] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[l] = kept
+	}
+	return nil
+}
+
+func (s *SAT) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned clause
+// (asserting literal first) and the backjump level.
+func (s *SAT) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	seen := make([]bool, len(s.assign))
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	c := confl
+	for {
+		for _, q := range c.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next trail literal to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learnt[0] = p.Flip()
+
+	// Backjump level = max level among the other literals.
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[learnt[i].Var()]; lv > back {
+			back = lv
+		}
+	}
+	// Move one literal of the backjump level to position 1 (watch invariant).
+	for i := 1; i < len(learnt); i++ {
+		if s.level[learnt[i].Var()] == back {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	return learnt, back
+}
+
+func (s *SAT) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.level[v] = -1
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *SAT) pickBranchVar() int {
+	best, bestAct := -1, -1.0
+	for v := 0; v < len(s.assign); v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// SATResult is the outcome of a propositional search.
+type SATResult int
+
+const (
+	// SATUnknown means the conflict budget was exhausted.
+	SATUnknown SATResult = iota
+	// SATSat means a satisfying assignment was found.
+	SATSat
+	// SATUnsat means the formula is unsatisfiable.
+	SATUnsat
+)
+
+// Solve runs the CDCL search. On SATSat the model is available via Value.
+func (s *SAT) Solve() SATResult {
+	if s.unsat {
+		return SATUnsat
+	}
+	if c := s.propagate(); c != nil {
+		s.unsat = true
+		return SATUnsat
+	}
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.nConflicts++
+			if s.nConflicts > s.maxConflicts {
+				return SATUnknown
+			}
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return SATUnsat
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			return SATSat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, true), nil) // branch false first: biases toward sparse models
+	}
+}
+
+// Value returns the model value of variable v after a SATSat result.
+func (s *SAT) Value(v int) bool { return s.assign[v] == lTrue }
+
+// Reset clears the search state (trail, assignment) but keeps all clauses,
+// including learned ones, so the next Solve resumes with accumulated
+// knowledge. Used by the lazy theory loop after adding blocking clauses.
+func (s *SAT) Reset() {
+	s.cancelUntil(0)
+}

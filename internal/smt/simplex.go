@@ -1,0 +1,244 @@
+package smt
+
+import (
+	"math/big"
+)
+
+// simplex is a general simplex solver in the style of Dutertre & de Moura
+// ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV 2006): every constraint
+// Σcᵢxᵢ ≤ b is turned into a slack variable s := Σcᵢxᵢ with an upper bound b,
+// so the solver only manipulates variable bounds plus a tableau expressing
+// each basic variable as a linear combination of nonbasic ones. Feasibility
+// search uses Bland's rule (smallest index first), which guarantees
+// termination. All arithmetic is exact over big.Rat.
+type simplex struct {
+	n       int                // number of variables (problem + slack)
+	lower   []*big.Rat         // nil = -∞
+	upper   []*big.Rat         // nil = +∞
+	val     []*big.Rat         // current assignment β
+	rowOf   []int              // var → row index, or -1 if nonbasic
+	basicOf []int              // row → var
+	rows    []map[int]*big.Rat // row → {nonbasic var → coefficient}
+}
+
+func newSimplex(n int) *simplex {
+	s := &simplex{
+		n:     n,
+		lower: make([]*big.Rat, n),
+		upper: make([]*big.Rat, n),
+		val:   make([]*big.Rat, n),
+		rowOf: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		s.val[i] = new(big.Rat)
+		s.rowOf[i] = -1
+	}
+	return s
+}
+
+// addVar appends a fresh variable and returns its index.
+func (s *simplex) addVar() int {
+	i := s.n
+	s.n++
+	s.lower = append(s.lower, nil)
+	s.upper = append(s.upper, nil)
+	s.val = append(s.val, new(big.Rat))
+	s.rowOf = append(s.rowOf, -1)
+	return i
+}
+
+// defineSlack introduces a basic variable y := Σ combo[x]·x over currently
+// nonbasic or basic variables, substituting any basic variables by their rows
+// so the tableau invariant (rows mention only nonbasic variables) holds.
+func (s *simplex) defineSlack(combo map[int]*big.Rat) int {
+	y := s.addVar()
+	row := make(map[int]*big.Rat)
+	add := func(x int, c *big.Rat) {
+		if cur, ok := row[x]; ok {
+			cur.Add(cur, c)
+			if cur.Sign() == 0 {
+				delete(row, x)
+			}
+		} else if c.Sign() != 0 {
+			row[x] = new(big.Rat).Set(c)
+		}
+	}
+	for x, c := range combo {
+		if r := s.rowOf[x]; r >= 0 {
+			for z, cz := range s.rows[r] {
+				t := new(big.Rat).Mul(c, cz)
+				add(z, t)
+			}
+		} else {
+			add(x, c)
+		}
+	}
+	s.rowOf[y] = len(s.rows)
+	s.basicOf = append(s.basicOf, y)
+	s.rows = append(s.rows, row)
+	// β(y) = Σ row · β
+	v := new(big.Rat)
+	for x, c := range row {
+		v.Add(v, new(big.Rat).Mul(c, s.val[x]))
+	}
+	s.val[y] = v
+	return y
+}
+
+// assertUpper tightens the upper bound of x to at most b.
+// It returns false on an immediate bound clash (lower > upper).
+func (s *simplex) assertUpper(x int, b *big.Rat) bool {
+	if s.upper[x] != nil && s.upper[x].Cmp(b) <= 0 {
+		return true
+	}
+	if s.lower[x] != nil && s.lower[x].Cmp(b) > 0 {
+		return false
+	}
+	s.upper[x] = new(big.Rat).Set(b)
+	if s.rowOf[x] == -1 && s.val[x].Cmp(b) > 0 {
+		s.update(x, b)
+	}
+	return true
+}
+
+// assertLower tightens the lower bound of x to at least b.
+func (s *simplex) assertLower(x int, b *big.Rat) bool {
+	if s.lower[x] != nil && s.lower[x].Cmp(b) >= 0 {
+		return true
+	}
+	if s.upper[x] != nil && s.upper[x].Cmp(b) < 0 {
+		return false
+	}
+	s.lower[x] = new(big.Rat).Set(b)
+	if s.rowOf[x] == -1 && s.val[x].Cmp(b) < 0 {
+		s.update(x, b)
+	}
+	return true
+}
+
+// update sets the nonbasic variable x to v and adjusts all dependent basics.
+func (s *simplex) update(x int, v *big.Rat) {
+	delta := new(big.Rat).Sub(v, s.val[x])
+	for r, row := range s.rows {
+		if c, ok := row[x]; ok {
+			y := s.basicOf[r]
+			s.val[y].Add(s.val[y], new(big.Rat).Mul(c, delta))
+		}
+	}
+	s.val[x] = new(big.Rat).Set(v)
+}
+
+// pivotAndUpdate makes basic xi take value v by moving nonbasic xj, then
+// swaps their roles.
+func (s *simplex) pivotAndUpdate(xi, xj int, v *big.Rat) {
+	r := s.rowOf[xi]
+	aij := s.rows[r][xj]
+	theta := new(big.Rat).Sub(v, s.val[xi])
+	theta.Quo(theta, aij)
+	s.val[xi] = new(big.Rat).Set(v)
+	s.val[xj] = new(big.Rat).Add(s.val[xj], theta)
+	for r2, row := range s.rows {
+		if r2 == r {
+			continue
+		}
+		if c, ok := row[xj]; ok {
+			y := s.basicOf[r2]
+			s.val[y].Add(s.val[y], new(big.Rat).Mul(c, theta))
+		}
+	}
+	s.pivot(xi, xj)
+}
+
+// pivot exchanges basic xi with nonbasic xj.
+func (s *simplex) pivot(xi, xj int) {
+	r := s.rowOf[xi]
+	row := s.rows[r]
+	aij := row[xj]
+	// Solve row (xi = Σ a·x) for xj: xj = xi/aij − Σ_{k≠j} (a_k/aij)·x_k.
+	newRow := make(map[int]*big.Rat, len(row))
+	inv := new(big.Rat).Inv(aij)
+	newRow[xi] = inv
+	for k, c := range row {
+		if k == xj {
+			continue
+		}
+		t := new(big.Rat).Mul(c, inv)
+		t.Neg(t)
+		newRow[k] = t
+	}
+	s.rows[r] = newRow
+	s.basicOf[r] = xj
+	s.rowOf[xj] = r
+	s.rowOf[xi] = -1
+	// Substitute xj in all other rows.
+	for r2 := range s.rows {
+		if r2 == r {
+			continue
+		}
+		row2 := s.rows[r2]
+		c, ok := row2[xj]
+		if !ok {
+			continue
+		}
+		delete(row2, xj)
+		for k, ck := range newRow {
+			t := new(big.Rat).Mul(c, ck)
+			if cur, ok := row2[k]; ok {
+				cur.Add(cur, t)
+				if cur.Sign() == 0 {
+					delete(row2, k)
+				}
+			} else if t.Sign() != 0 {
+				row2[k] = t
+			}
+		}
+	}
+}
+
+// check restores feasibility, returning true if a feasible assignment exists
+// under the current bounds.
+func (s *simplex) check() bool {
+	for {
+		// Bland's rule: smallest violating basic variable.
+		xi, belowLower := -1, false
+		for _, y := range s.basicOf {
+			if s.lower[y] != nil && s.val[y].Cmp(s.lower[y]) < 0 {
+				if xi == -1 || y < xi {
+					xi, belowLower = y, true
+				}
+			} else if s.upper[y] != nil && s.val[y].Cmp(s.upper[y]) > 0 {
+				if xi == -1 || y < xi {
+					xi, belowLower = y, false
+				}
+			}
+		}
+		if xi == -1 {
+			return true
+		}
+		row := s.rows[s.rowOf[xi]]
+		xj := -1
+		for x, c := range row {
+			var ok bool
+			if belowLower {
+				// Need to increase xi.
+				ok = (c.Sign() > 0 && (s.upper[x] == nil || s.val[x].Cmp(s.upper[x]) < 0)) ||
+					(c.Sign() < 0 && (s.lower[x] == nil || s.val[x].Cmp(s.lower[x]) > 0))
+			} else {
+				// Need to decrease xi.
+				ok = (c.Sign() < 0 && (s.upper[x] == nil || s.val[x].Cmp(s.upper[x]) < 0)) ||
+					(c.Sign() > 0 && (s.lower[x] == nil || s.val[x].Cmp(s.lower[x]) > 0))
+			}
+			if ok && (xj == -1 || x < xj) {
+				xj = x
+			}
+		}
+		if xj == -1 {
+			return false
+		}
+		if belowLower {
+			s.pivotAndUpdate(xi, xj, s.lower[xi])
+		} else {
+			s.pivotAndUpdate(xi, xj, s.upper[xi])
+		}
+	}
+}

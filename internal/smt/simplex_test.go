@@ -1,0 +1,203 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }
+
+func TestSimplexSingleVarBounds(t *testing.T) {
+	s := newSimplex(1)
+	if !s.assertLower(0, rat(3)) {
+		t.Fatal("lower bound rejected")
+	}
+	if !s.assertUpper(0, rat(10)) {
+		t.Fatal("upper bound rejected")
+	}
+	if !s.check() {
+		t.Fatal("3 ≤ x ≤ 10 should be feasible")
+	}
+	if s.val[0].Cmp(rat(3)) < 0 || s.val[0].Cmp(rat(10)) > 0 {
+		t.Fatalf("assignment %v out of bounds", s.val[0])
+	}
+	if s.assertUpper(0, rat(2)) {
+		t.Fatal("upper 2 clashes with lower 3")
+	}
+}
+
+func TestSimplexSlackRow(t *testing.T) {
+	// x + y ≤ 4, x ≥ 3, y ≥ 3: infeasible.
+	s := newSimplex(2)
+	y := s.defineSlack(map[int]*big.Rat{0: rat(1), 1: rat(1)})
+	if !s.assertUpper(y, rat(4)) {
+		t.Fatal("slack bound rejected")
+	}
+	if !s.assertLower(0, rat(3)) || !s.assertLower(1, rat(3)) {
+		t.Fatal("var bounds rejected")
+	}
+	if s.check() {
+		t.Fatal("x+y ≤ 4 with x,y ≥ 3 should be infeasible")
+	}
+}
+
+func TestSimplexPivoting(t *testing.T) {
+	// 2x + y ≤ 10, x - y ≥ -2, x ≥ 4 → feasible, e.g. x=4, y ∈ [?]
+	s := newSimplex(2)
+	s1 := s.defineSlack(map[int]*big.Rat{0: rat(2), 1: rat(1)})
+	s2 := s.defineSlack(map[int]*big.Rat{0: rat(1), 1: rat(-1)})
+	if !s.assertUpper(s1, rat(10)) || !s.assertLower(s2, rat(-2)) || !s.assertLower(0, rat(4)) {
+		t.Fatal("bounds rejected")
+	}
+	if !s.check() {
+		t.Fatal("system should be feasible")
+	}
+	// Verify the assignment satisfies the original constraints.
+	x, y := s.val[0], s.val[1]
+	lhs1 := new(big.Rat).Add(new(big.Rat).Mul(rat(2), x), y)
+	if lhs1.Cmp(rat(10)) > 0 {
+		t.Fatalf("2x+y = %v > 10", lhs1)
+	}
+	lhs2 := new(big.Rat).Sub(x, y)
+	if lhs2.Cmp(rat(-2)) < 0 {
+		t.Fatalf("x-y = %v < -2", lhs2)
+	}
+	if x.Cmp(rat(4)) < 0 {
+		t.Fatalf("x = %v < 4", x)
+	}
+}
+
+func TestSimplexNestedSlacks(t *testing.T) {
+	// defineSlack over an expression involving an existing basic variable.
+	s := newSimplex(2)
+	u := s.defineSlack(map[int]*big.Rat{0: rat(1), 1: rat(1)}) // u = x+y
+	v := s.defineSlack(map[int]*big.Rat{u: rat(2), 0: rat(1)}) // v = 2u+x = 3x+2y
+	if !s.assertLower(v, rat(12)) || !s.assertUpper(0, rat(2)) || !s.assertUpper(1, rat(3)) {
+		t.Fatal("bounds rejected")
+	}
+	if !s.check() {
+		t.Fatal("3x+2y ≥ 12, x ≤ 2, y ≤ 3 should be feasible (x=2,y=3)")
+	}
+	got := new(big.Rat).Add(
+		new(big.Rat).Mul(rat(3), s.val[0]),
+		new(big.Rat).Mul(rat(2), s.val[1]))
+	if got.Cmp(rat(12)) < 0 {
+		t.Fatalf("3x+2y = %v < 12", got)
+	}
+}
+
+// TestSimplexRandomVsBruteForce cross-checks rational feasibility against a
+// small integer grid (a rational-feasible system may have no grid point, so
+// only one direction is checked: grid-feasible ⇒ simplex-feasible).
+func TestSimplexRandomVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 400; iter++ {
+		n := 2
+		m := 1 + r.Intn(4)
+		type ineq struct {
+			c []int64
+			b int64
+		}
+		sys := make([]ineq, m)
+		for i := range sys {
+			sys[i] = ineq{c: []int64{int64(r.Intn(7) - 3), int64(r.Intn(7) - 3)}, b: int64(r.Intn(15) - 5)}
+		}
+		gridFeasible := false
+		for x := int64(-6); x <= 6 && !gridFeasible; x++ {
+			for y := int64(-6); y <= 6; y++ {
+				ok := true
+				for _, q := range sys {
+					if q.c[0]*x+q.c[1]*y > q.b {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					gridFeasible = true
+					break
+				}
+			}
+		}
+		s := newSimplex(n)
+		feasible := true
+		for v := 0; v < n; v++ {
+			if !s.assertLower(v, rat(-6)) || !s.assertUpper(v, rat(6)) {
+				feasible = false
+			}
+		}
+		for _, q := range sys {
+			y := s.defineSlack(map[int]*big.Rat{0: rat(q.c[0]), 1: rat(q.c[1])})
+			if !s.assertUpper(y, rat(q.b)) {
+				feasible = false
+			}
+		}
+		if feasible {
+			feasible = s.check()
+		}
+		if gridFeasible && !feasible {
+			t.Fatalf("iter %d: grid point exists but simplex says infeasible: %+v", iter, sys)
+		}
+	}
+}
+
+func TestRatFloor(t *testing.T) {
+	cases := []struct {
+		num, den, want int64
+	}{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {1, 3, 0}, {-1, 3, -1},
+	}
+	for _, c := range cases {
+		r := new(big.Rat).SetFrac64(c.num, c.den)
+		if got := ratFloor(r); got != c.want {
+			t.Fatalf("ratFloor(%v) = %d, want %d", r, got, c.want)
+		}
+	}
+}
+
+func TestLIABounded(t *testing.T) {
+	// x + y = 7 with x ∈ [0,3], y ∈ [0,3]: infeasible over the ints and rats.
+	ineqs := []Ineq{
+		{Terms: []IVTerm{{0, 1}, {1, 1}}, B: 7},
+		{Terms: []IVTerm{{0, -1}, {1, -1}}, B: -7},
+	}
+	bounds := []Bound{{Lo: 0, Hi: 3, HasLo: true, HasHi: true}, {Lo: 0, Hi: 3, HasLo: true, HasHi: true}}
+	if _, st := SolveLIA(2, ineqs, bounds, 0); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	// Widen one bound: feasible.
+	bounds[0].Hi = 4
+	m, st := SolveLIA(2, ineqs, bounds, 0)
+	if st != StatusSat || m[0]+m[1] != 7 {
+		t.Fatalf("status %v model %v", st, m)
+	}
+}
+
+// TestLIABranchAndBoundDeep forces fractional vertices: 7x - 3y = 1 over a
+// box has integer solutions (x=1,y=2) that need branching to find.
+func TestLIABranchAndBoundDeep(t *testing.T) {
+	ineqs := []Ineq{
+		{Terms: []IVTerm{{0, 7}, {1, -3}}, B: 1},
+		{Terms: []IVTerm{{0, -7}, {1, 3}}, B: -1},
+	}
+	bounds := []Bound{{Lo: -10, Hi: 10, HasLo: true, HasHi: true}, {Lo: -10, Hi: 10, HasLo: true, HasHi: true}}
+	m, st := SolveLIA(2, ineqs, bounds, 0)
+	if st != StatusSat {
+		t.Fatalf("status %v", st)
+	}
+	if 7*m[0]-3*m[1] != 1 {
+		t.Fatalf("model %v violates 7x-3y=1", m)
+	}
+}
+
+func TestLIANodeBudget(t *testing.T) {
+	ineqs := []Ineq{
+		{Terms: []IVTerm{{0, 2}}, B: 1},
+		{Terms: []IVTerm{{0, -2}}, B: -1},
+	}
+	// Budget of 1 node cannot complete the branch: expect unknown, not a
+	// wrong verdict.
+	if _, st := SolveLIA(1, ineqs, nil, 1); st == StatusSat {
+		t.Fatal("tiny budget must not fabricate a model")
+	}
+}

@@ -1,0 +1,189 @@
+package smt
+
+import (
+	"fmt"
+
+	"hotg/internal/sym"
+)
+
+// DefaultDomain bounds every integer variable to [-DefaultDomain, DefaultDomain]
+// unless the caller supplies tighter bounds. Bounding the domain makes the
+// branch-and-bound integer search a decision procedure; all workloads in this
+// repository live comfortably inside it.
+const DefaultDomain = int64(1) << 31
+
+// Options configures a Solve call.
+type Options struct {
+	// Pool supplies fresh variables for Ackermann's reduction. Required
+	// only when the formula contains uninterpreted applications.
+	Pool *sym.Pool
+	// VarBounds gives per-variable domains, keyed by sym Var ID.
+	VarBounds map[int]Bound
+	// MaxConflicts caps the SAT search (0 = default).
+	MaxConflicts int
+	// MaxNodes caps branch-and-bound nodes per theory check (0 = default).
+	MaxNodes int
+	// MaxTheoryRounds caps lazy SAT↔theory iterations (0 = default 200).
+	MaxTheoryRounds int
+}
+
+// Model is a satisfying assignment: concrete values for the input variables
+// and, when the formula contained uninterpreted applications, witness values
+// for each application (keyed by the application's canonical key). Witness
+// values show *one* interpretation under which the formula holds — they are
+// exactly the "invented function" of Section 4.2 of the paper, which is why
+// satisfiability alone is unusable for higher-order test generation.
+type Model struct {
+	Vars  map[int]int64
+	Funcs map[string]int64
+}
+
+// Solve decides satisfiability of the quantifier-free formula f over
+// T ∪ T_EUF and returns a model when satisfiable.
+func Solve(f sym.Expr, opts Options) (Status, *Model) {
+	// Fast path: purely equational conjunctions are decided by congruence
+	// closure directly (euf.go). Only the unsat verdict short-circuits —
+	// satisfiable formulas continue to the full pipeline, which constructs
+	// the model; this also keeps the two decision procedures cross-checking
+	// each other in the property tests.
+	if st, ok := SolveEUF(f); ok && st == StatusUnsat {
+		return StatusUnsat, nil
+	}
+
+	funcs := map[string]int64{}
+	appVars := map[string]*sym.Var{}
+	if sym.HasApply(f) {
+		if opts.Pool == nil {
+			panic("smt: formula contains uninterpreted applications but Options.Pool is nil")
+		}
+		ack := Ackermannize(f, opts.Pool)
+		f = sym.AndExpr(ack.Formula, ack.Consistency)
+		appVars = ack.AppVars
+	}
+
+	maxRounds := opts.MaxTheoryRounds
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+
+	sat := NewSAT(opts.MaxConflicts)
+	comp := newCompiler(sat)
+	top := comp.compile(f)
+	if !sat.AddClause(top) {
+		return StatusUnsat, nil
+	}
+
+	// Make sure every free variable of f has a dense index so it receives a
+	// model value even if it occurs in no surviving atom.
+	for _, v := range sym.Vars(f) {
+		comp.denseVar(v)
+	}
+
+	nvars := len(comp.varList)
+	bounds := make([]Bound, nvars)
+	for i, v := range comp.varList {
+		if b, ok := opts.VarBounds[v.ID]; ok {
+			bounds[i] = clampBound(b)
+		} else {
+			bounds[i] = Bound{Lo: -DefaultDomain, Hi: DefaultDomain, HasLo: true, HasHi: true}
+		}
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		switch sat.Solve() {
+		case SATUnsat:
+			return StatusUnsat, nil
+		case SATUnknown:
+			return StatusUnknown, nil
+		}
+		ineqs, lits := comp.assertedIneqs()
+		model, st := SolveLIA(nvars, ineqs, bounds, opts.MaxNodes)
+		switch st {
+		case StatusSat:
+			m := &Model{Vars: make(map[int]int64, nvars), Funcs: funcs}
+			for i, v := range comp.varList {
+				m.Vars[v.ID] = model[i]
+			}
+			for key, av := range appVars {
+				if val, ok := m.Vars[av.ID]; ok {
+					m.Funcs[key] = val
+				}
+				delete(m.Vars, av.ID)
+			}
+			return StatusSat, m
+		case StatusUnknown:
+			return StatusUnknown, nil
+		}
+		// Theory conflict: shrink to a small core and block it.
+		core := minimizeCore(nvars, ineqs, bounds, opts.MaxNodes)
+		block := make([]Lit, 0, len(core))
+		for _, idx := range core {
+			block = append(block, lits[idx].Flip())
+		}
+		sat.Reset()
+		if !sat.AddClause(block...) {
+			return StatusUnsat, nil
+		}
+	}
+	return StatusUnknown, nil
+}
+
+func clampBound(b Bound) Bound {
+	if !b.HasLo {
+		b.Lo, b.HasLo = -DefaultDomain, true
+	}
+	if !b.HasHi {
+		b.Hi, b.HasHi = DefaultDomain, true
+	}
+	return b
+}
+
+// minimizeCore greedily shrinks an infeasible inequality set to an
+// irreducible core, returning indices into ineqs.
+func minimizeCore(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) []int {
+	active := make([]int, len(ineqs))
+	for i := range active {
+		active[i] = i
+	}
+	for i := 0; i < len(active); {
+		trial := make([]Ineq, 0, len(active)-1)
+		for j, idx := range active {
+			if j == i {
+				continue
+			}
+			trial = append(trial, ineqs[idx])
+		}
+		if _, st := SolveLIA(nvars, trial, bounds, maxNodes); st == StatusUnsat {
+			active = append(active[:i], active[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return active
+}
+
+// CheckModel verifies that the model satisfies the original formula; it is
+// used by tests and as an internal sanity check by callers that need
+// certainty (e.g. before reporting a generated test input).
+func CheckModel(f sym.Expr, m *Model, fnEval func(name string, args []int64) (int64, bool)) (bool, error) {
+	env := sym.Env{
+		Vars: m.Vars,
+		Fn: func(fn *sym.Func, args []int64) (int64, bool) {
+			if fnEval != nil {
+				if v, ok := fnEval(fn.Name, args); ok {
+					return v, ok
+				}
+			}
+			return 0, false
+		},
+	}
+	return sym.EvalBool(f, env)
+}
+
+// String renders a model deterministically for diagnostics.
+func (m *Model) String() string {
+	if m == nil {
+		return "<nil model>"
+	}
+	return fmt.Sprintf("vars=%v funcs=%v", m.Vars, m.Funcs)
+}

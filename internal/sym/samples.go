@@ -1,0 +1,126 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sample is one recorded input–output pair of an uninterpreted function: the
+// paper's IOF entry (c, f(evalConcrete(args))), meaning f(Args) = Out was
+// observed at execution time.
+type Sample struct {
+	Fn   *Func
+	Args []int64
+	Out  int64
+}
+
+func (s Sample) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return fmt.Sprintf("%s(%s)=%d", s.Fn.Name, strings.Join(parts, ","), s.Out)
+}
+
+func argsKey(args []int64) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SampleStore is the IOF table of Figure 3: concrete input–output samples of
+// uninterpreted functions, recorded during dynamic symbolic execution. The
+// store can persist across runs ("include ... all value pairs observed during
+// all previous runs", Section 5.3), which is what makes hard-coded keyword
+// hashes learnable over a testing session (Section 7).
+type SampleStore struct {
+	byFn  map[*Func]map[string]Sample
+	order []Sample // insertion order, for deterministic iteration
+}
+
+// NewSampleStore returns an empty store.
+func NewSampleStore() *SampleStore {
+	return &SampleStore{byFn: make(map[*Func]map[string]Sample)}
+}
+
+// Add records f(args)=out. It returns true if the pair was new. Recording a
+// conflicting output for already-seen arguments panics: unknown functions are
+// assumed deterministic (Theorem 3).
+func (s *SampleStore) Add(f *Func, args []int64, out int64) bool {
+	if len(args) != f.Arity {
+		panic(fmt.Sprintf("sym: sample for %s has %d args, want %d", f.Name, len(args), f.Arity))
+	}
+	m := s.byFn[f]
+	if m == nil {
+		m = make(map[string]Sample)
+		s.byFn[f] = m
+	}
+	k := argsKey(args)
+	if prev, ok := m[k]; ok {
+		if prev.Out != out {
+			panic(fmt.Sprintf("sym: nondeterministic unknown function %s: %s gave both %d and %d",
+				f.Name, k, prev.Out, out))
+		}
+		return false
+	}
+	cp := make([]int64, len(args))
+	copy(cp, args)
+	smp := Sample{Fn: f, Args: cp, Out: out}
+	m[k] = smp
+	s.order = append(s.order, smp)
+	return true
+}
+
+// Lookup returns the recorded output of f on args.
+func (s *SampleStore) Lookup(f *Func, args []int64) (int64, bool) {
+	if m := s.byFn[f]; m != nil {
+		if smp, ok := m[argsKey(args)]; ok {
+			return smp.Out, true
+		}
+	}
+	return 0, false
+}
+
+// ForFunc returns all samples of f in insertion order.
+func (s *SampleStore) ForFunc(f *Func) []Sample {
+	var out []Sample
+	for _, smp := range s.order {
+		if smp.Fn == f {
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// All returns every sample in insertion order.
+func (s *SampleStore) All() []Sample {
+	out := make([]Sample, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len reports the number of recorded samples.
+func (s *SampleStore) Len() int { return len(s.order) }
+
+// Clone returns an independent copy of the store.
+func (s *SampleStore) Clone() *SampleStore {
+	c := NewSampleStore()
+	for _, smp := range s.order {
+		c.Add(smp.Fn, smp.Args, smp.Out)
+	}
+	return c
+}
+
+// Merge adds every sample of other into s.
+func (s *SampleStore) Merge(other *SampleStore) {
+	for _, smp := range other.order {
+		s.Add(smp.Fn, smp.Args, smp.Out)
+	}
+}
+
+// FnEval adapts the store to the evaluation interface of Env.
+func (s *SampleStore) FnEval(f *Func, args []int64) (int64, bool) {
+	return s.Lookup(f, args)
+}

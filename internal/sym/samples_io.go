@@ -1,0 +1,71 @@
+package sym
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// sampleRecord is the on-disk form of one IOF entry.
+type sampleRecord struct {
+	Fn    string  `json:"fn"`
+	Arity int     `json:"arity"`
+	Args  []int64 `json:"args"`
+	Out   int64   `json:"out"`
+}
+
+// Encode writes the store as JSON (one array of records, insertion order
+// preserved). This is the persistence layer behind the paper's suggestion to
+// use "all the input-output value pairs observed during all previous runs"
+// (Section 5.3) across testing sessions (Section 7).
+func (s *SampleStore) Encode(w io.Writer) error {
+	records := make([]sampleRecord, 0, len(s.order))
+	for _, smp := range s.order {
+		records = append(records, sampleRecord{
+			Fn: smp.Fn.Name, Arity: smp.Fn.Arity, Args: smp.Args, Out: smp.Out,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// DecodeSamples reads records written by Encode into dst, resolving function
+// names through the given pool (so the samples attach to the same symbols
+// the engine uses). Records for functions with a conflicting arity are
+// rejected.
+func DecodeSamples(r io.Reader, dst *SampleStore, pool *Pool) (int, error) {
+	var records []sampleRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return 0, fmt.Errorf("sym: decoding samples: %w", err)
+	}
+	added := 0
+	for i, rec := range records {
+		if rec.Fn == "" || rec.Arity <= 0 || len(rec.Args) != rec.Arity {
+			return added, fmt.Errorf("sym: sample %d is malformed (fn=%q arity=%d args=%d)",
+				i, rec.Fn, rec.Arity, len(rec.Args))
+		}
+		fn, err := safeFuncSym(pool, rec.Fn, rec.Arity)
+		if err != nil {
+			return added, fmt.Errorf("sym: sample %d: %w", i, err)
+		}
+		if prev, ok := dst.Lookup(fn, rec.Args); ok && prev != rec.Out {
+			return added, fmt.Errorf("sym: sample %d conflicts with recorded %s(%v)=%d",
+				i, rec.Fn, rec.Args, prev)
+		}
+		if dst.Add(fn, rec.Args, rec.Out) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// safeFuncSym resolves a function symbol without panicking on arity clashes.
+func safeFuncSym(pool *Pool, name string, arity int) (fn *Func, err error) {
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("function %s redeclared with different arity %d", name, arity)
+		}
+	}()
+	return pool.FuncSym(name, arity), nil
+}

@@ -1,0 +1,332 @@
+// Package sym implements the symbolic expression language used by the
+// concolic execution engine and the constraint solvers.
+//
+// The theory T is quantifier-free linear integer arithmetic with equality and
+// order, extended with applications of uninterpreted functions (the theory
+// T ∪ T_EUF of the paper). Integer terms are kept in a canonical linear form
+//
+//	c0 + c1*a1 + c2*a2 + ... + cn*an
+//
+// where each atom ai is either a program-input variable or an uninterpreted
+// function application f(t1,...,tk). Canonicalization means that syntactic
+// equality of the printed form coincides with equality of the normal form,
+// which the solver layers rely on. Anything that cannot be expressed linearly
+// (a product of two symbolic terms, a symbolic division, ...) is *not*
+// representable here on purpose: such operations are "unknown instructions"
+// in the sense of the paper and must go through the executor's imprecision
+// channel (concretization or a fresh uninterpreted function).
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sort identifies the sort of an expression.
+type Sort int
+
+const (
+	// SortInt is the sort of integer-valued terms.
+	SortInt Sort = iota
+	// SortBool is the sort of boolean-valued formulas.
+	SortBool
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortInt:
+		return "Int"
+	case SortBool:
+		return "Bool"
+	default:
+		return fmt.Sprintf("Sort(%d)", int(s))
+	}
+}
+
+// Expr is a symbolic expression: either an integer term (*Sum) or a boolean
+// formula (*Bool, *Cmp, *Not, *And, *Or). Atoms (*Var, *Apply) appear only
+// inside a *Sum; the constructor functions maintain this invariant.
+type Expr interface {
+	Sort() Sort
+	// Key returns a canonical string; two expressions are structurally
+	// equal iff their keys are equal.
+	Key() string
+}
+
+// Atom is a non-constant leaf of an integer term: a variable or an
+// uninterpreted function application.
+type Atom interface {
+	Key() string
+	atom()
+}
+
+// Var is a symbolic variable standing for one program input parameter
+// (the x_i of the paper). Vars are compared by identity; create them through
+// a Pool so that IDs are unique.
+type Var struct {
+	ID   int
+	Name string
+}
+
+func (v *Var) atom() {}
+
+// Key implements Atom.
+func (v *Var) Key() string { return fmt.Sprintf("%s#%d", v.Name, v.ID) }
+
+func (v *Var) String() string { return v.Name }
+
+// Func is an uninterpreted function symbol. Funcs are compared by identity;
+// create them through a Pool.
+type Func struct {
+	ID    int
+	Name  string
+	Arity int
+}
+
+func (f *Func) String() string { return f.Name }
+
+// Apply is the application of an uninterpreted function to integer argument
+// terms. It is an integer-sorted atom.
+type Apply struct {
+	Fn   *Func
+	Args []*Sum
+
+	key string // memoized canonical form
+}
+
+func (a *Apply) atom() {}
+
+// Key implements Atom. Function symbols are unique per name within a Pool
+// (FuncSym deduplicates), so the name alone identifies the symbol — unlike
+// variables, whose names may repeat and which therefore carry their ID.
+func (a *Apply) Key() string {
+	if a.key == "" {
+		parts := make([]string, len(a.Args))
+		for i, arg := range a.Args {
+			parts[i] = arg.Key()
+		}
+		a.key = fmt.Sprintf("%s(%s)", a.Fn.Name, strings.Join(parts, ","))
+	}
+	return a.key
+}
+
+func (a *Apply) String() string {
+	parts := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		parts[i] = arg.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn.Name, strings.Join(parts, ","))
+}
+
+// Term is one scaled atom inside a Sum.
+type Term struct {
+	Coef int64
+	Atom Atom
+}
+
+// Sum is the canonical linear integer term Const + Σ Coef_i * Atom_i.
+// Invariants: no zero coefficients, atoms strictly ordered by Key, each atom
+// occurs at most once. A Sum with no terms is an integer constant.
+type Sum struct {
+	Const int64
+	Terms []Term
+
+	key string // memoized canonical form
+}
+
+// Sort implements Expr.
+func (s *Sum) Sort() Sort { return SortInt }
+
+// Key implements Expr.
+func (s *Sum) Key() string {
+	if s.key == "" {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d", s.Const)
+		for _, t := range s.Terms {
+			fmt.Fprintf(&b, "+%d*%s", t.Coef, t.Atom.Key())
+		}
+		s.key = b.String()
+	}
+	return s.key
+}
+
+func (s *Sum) String() string {
+	if len(s.Terms) == 0 {
+		return fmt.Sprintf("%d", s.Const)
+	}
+	var b strings.Builder
+	for i, t := range s.Terms {
+		var at string
+		switch a := t.Atom.(type) {
+		case *Var:
+			at = a.String()
+		case *Apply:
+			at = a.String()
+		}
+		switch {
+		case i == 0 && t.Coef == 1:
+			b.WriteString(at)
+		case i == 0 && t.Coef == -1:
+			b.WriteString("-" + at)
+		case i == 0:
+			fmt.Fprintf(&b, "%d*%s", t.Coef, at)
+		case t.Coef == 1:
+			b.WriteString(" + " + at)
+		case t.Coef == -1:
+			b.WriteString(" - " + at)
+		case t.Coef > 0:
+			fmt.Fprintf(&b, " + %d*%s", t.Coef, at)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -t.Coef, at)
+		}
+	}
+	switch {
+	case s.Const > 0:
+		fmt.Fprintf(&b, " + %d", s.Const)
+	case s.Const < 0:
+		fmt.Fprintf(&b, " - %d", -s.Const)
+	}
+	return b.String()
+}
+
+// IsConst reports whether s is an integer constant, and returns its value.
+func (s *Sum) IsConst() (int64, bool) {
+	if len(s.Terms) == 0 {
+		return s.Const, true
+	}
+	return 0, false
+}
+
+// IsVar reports whether s is exactly one variable with coefficient 1 and no
+// constant part, and returns it.
+func (s *Sum) IsVar() (*Var, bool) {
+	if s.Const == 0 && len(s.Terms) == 1 && s.Terms[0].Coef == 1 {
+		if v, ok := s.Terms[0].Atom.(*Var); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// IsApply reports whether s is exactly one function application with
+// coefficient 1 and no constant part, and returns it.
+func (s *Sum) IsApply() (*Apply, bool) {
+	if s.Const == 0 && len(s.Terms) == 1 && s.Terms[0].Coef == 1 {
+		if a, ok := s.Terms[0].Atom.(*Apply); ok {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Pool creates variables and function symbols with unique identities.
+// The zero value is ready to use. Pool is not safe for concurrent use.
+type Pool struct {
+	nextVar  int
+	nextFunc int
+	funcs    map[string]*Func
+}
+
+// NewVar returns a fresh symbolic variable named name.
+func (p *Pool) NewVar(name string) *Var {
+	p.nextVar++
+	return &Var{ID: p.nextVar, Name: name}
+}
+
+// FuncSym returns the uninterpreted function symbol with the given name and
+// arity, creating it on first use. The same (name) always yields the same
+// symbol; requesting it with a different arity is a programming error and
+// panics, since unknown functions are assumed to have a fixed signature
+// (assumption of Theorem 3).
+func (p *Pool) FuncSym(name string, arity int) *Func {
+	if p.funcs == nil {
+		p.funcs = make(map[string]*Func)
+	}
+	if f, ok := p.funcs[name]; ok {
+		if f.Arity != arity {
+			panic(fmt.Sprintf("sym: function %s redeclared with arity %d (was %d)", name, arity, f.Arity))
+		}
+		return f
+	}
+	p.nextFunc++
+	f := &Func{ID: p.nextFunc, Name: name, Arity: arity}
+	p.funcs[name] = f
+	return f
+}
+
+// Int returns the constant integer term v.
+func Int(v int64) *Sum { return &Sum{Const: v} }
+
+// VarTerm returns the term consisting of the single variable v.
+func VarTerm(v *Var) *Sum { return &Sum{Terms: []Term{{Coef: 1, Atom: v}}} }
+
+// ApplyTerm returns the term f(args). It panics if the arity does not match.
+func ApplyTerm(f *Func, args ...*Sum) *Sum {
+	if len(args) != f.Arity {
+		panic(fmt.Sprintf("sym: %s expects %d arguments, got %d", f.Name, f.Arity, len(args)))
+	}
+	cp := make([]*Sum, len(args))
+	copy(cp, args)
+	return &Sum{Terms: []Term{{Coef: 1, Atom: &Apply{Fn: f, Args: cp}}}}
+}
+
+// AtomTerm returns the term consisting of the single atom a.
+func AtomTerm(a Atom) *Sum { return &Sum{Terms: []Term{{Coef: 1, Atom: a}}} }
+
+func normalize(cst int64, terms []Term) *Sum {
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Atom.Key() < terms[j].Atom.Key() })
+	out := terms[:0]
+	for _, t := range terms {
+		if n := len(out); n > 0 && out[n-1].Atom.Key() == t.Atom.Key() {
+			out[n-1].Coef += t.Coef
+		} else {
+			out = append(out, t)
+		}
+	}
+	kept := make([]Term, 0, len(out))
+	for _, t := range out {
+		if t.Coef != 0 {
+			kept = append(kept, t)
+		}
+	}
+	return &Sum{Const: cst, Terms: kept}
+}
+
+// AddSum returns a + b in canonical form.
+func AddSum(a, b *Sum) *Sum {
+	terms := make([]Term, 0, len(a.Terms)+len(b.Terms))
+	terms = append(terms, a.Terms...)
+	terms = append(terms, b.Terms...)
+	return normalize(a.Const+b.Const, terms)
+}
+
+// SubSum returns a - b in canonical form.
+func SubSum(a, b *Sum) *Sum { return AddSum(a, ScaleSum(-1, b)) }
+
+// ScaleSum returns k * a in canonical form.
+func ScaleSum(k int64, a *Sum) *Sum {
+	if k == 0 {
+		return Int(0)
+	}
+	terms := make([]Term, 0, len(a.Terms))
+	for _, t := range a.Terms {
+		terms = append(terms, Term{Coef: k * t.Coef, Atom: t.Atom})
+	}
+	return &Sum{Const: k * a.Const, Terms: terms}
+}
+
+// MulSum returns a * b if at least one side is constant; ok is false when both
+// sides are symbolic (a nonlinear product, which the theory cannot express).
+func MulSum(a, b *Sum) (res *Sum, ok bool) {
+	if k, isC := a.IsConst(); isC {
+		return ScaleSum(k, b), true
+	}
+	if k, isC := b.IsConst(); isC {
+		return ScaleSum(k, a), true
+	}
+	return nil, false
+}
+
+// NegSum returns -a.
+func NegSum(a *Sum) *Sum { return ScaleSum(-1, a) }

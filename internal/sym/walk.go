@@ -1,0 +1,342 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vars returns the free variables of e, deduplicated and ordered by ID.
+func Vars(e Expr) []*Var {
+	seen := make(map[int]*Var)
+	collectVars(e, seen)
+	out := make([]*Var, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func collectVars(e Expr, seen map[int]*Var) {
+	switch x := e.(type) {
+	case *Sum:
+		for _, t := range x.Terms {
+			switch a := t.Atom.(type) {
+			case *Var:
+				seen[a.ID] = a
+			case *Apply:
+				for _, arg := range a.Args {
+					collectVars(arg, seen)
+				}
+			}
+		}
+	case *Cmp:
+		collectVars(x.S, seen)
+	case *Not:
+		collectVars(x.X, seen)
+	case *And:
+		for _, y := range x.Xs {
+			collectVars(y, seen)
+		}
+	case *Or:
+		for _, y := range x.Xs {
+			collectVars(y, seen)
+		}
+	case *Bool:
+	default:
+		panic(fmt.Sprintf("sym: collectVars: unexpected %T", e))
+	}
+}
+
+// Applies returns every uninterpreted function application occurring in e
+// (including applications nested inside arguments of other applications),
+// deduplicated by canonical key and ordered by key.
+func Applies(e Expr) []*Apply {
+	seen := make(map[string]*Apply)
+	collectApplies(e, seen)
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Apply, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+func collectApplies(e Expr, seen map[string]*Apply) {
+	switch x := e.(type) {
+	case *Sum:
+		for _, t := range x.Terms {
+			if a, ok := t.Atom.(*Apply); ok {
+				seen[a.Key()] = a
+				for _, arg := range a.Args {
+					collectApplies(arg, seen)
+				}
+			}
+		}
+	case *Cmp:
+		collectApplies(x.S, seen)
+	case *Not:
+		collectApplies(x.X, seen)
+	case *And:
+		for _, y := range x.Xs {
+			collectApplies(y, seen)
+		}
+	case *Or:
+		for _, y := range x.Xs {
+			collectApplies(y, seen)
+		}
+	case *Bool:
+	default:
+		panic(fmt.Sprintf("sym: collectApplies: unexpected %T", e))
+	}
+}
+
+// HasApply reports whether e contains any uninterpreted function application.
+func HasApply(e Expr) bool {
+	switch x := e.(type) {
+	case *Sum:
+		for _, t := range x.Terms {
+			if _, ok := t.Atom.(*Apply); ok {
+				return true
+			}
+		}
+		return false
+	case *Cmp:
+		return HasApply(x.S)
+	case *Not:
+		return HasApply(x.X)
+	case *And:
+		for _, y := range x.Xs {
+			if HasApply(y) {
+				return true
+			}
+		}
+		return false
+	case *Or:
+		for _, y := range x.Xs {
+			if HasApply(y) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Env supplies concrete meanings for variables and uninterpreted functions
+// during evaluation.
+type Env struct {
+	// Vars maps Var.ID to its concrete value.
+	Vars map[int]int64
+	// Fn gives the concrete interpretation of uninterpreted functions; it
+	// reports false when the value of f on args is not known.
+	Fn func(f *Func, args []int64) (int64, bool)
+}
+
+// EvalSum evaluates the integer term s under env.
+func EvalSum(s *Sum, env Env) (int64, error) {
+	total := s.Const
+	for _, t := range s.Terms {
+		var av int64
+		switch a := t.Atom.(type) {
+		case *Var:
+			v, ok := env.Vars[a.ID]
+			if !ok {
+				return 0, fmt.Errorf("sym: no value for variable %s", a)
+			}
+			av = v
+		case *Apply:
+			args := make([]int64, len(a.Args))
+			for i, arg := range a.Args {
+				v, err := EvalSum(arg, env)
+				if err != nil {
+					return 0, err
+				}
+				args[i] = v
+			}
+			if env.Fn == nil {
+				return 0, fmt.Errorf("sym: no interpretation for function %s", a.Fn)
+			}
+			v, ok := env.Fn(a.Fn, args)
+			if !ok {
+				return 0, fmt.Errorf("sym: %s not defined on %v", a.Fn, args)
+			}
+			av = v
+		}
+		total += t.Coef * av
+	}
+	return total, nil
+}
+
+// EvalBool evaluates the boolean formula e under env.
+func EvalBool(e Expr, env Env) (bool, error) {
+	switch x := e.(type) {
+	case *Bool:
+		return x.V, nil
+	case *Cmp:
+		v, err := EvalSum(x.S, env)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case OpEq:
+			return v == 0, nil
+		case OpNe:
+			return v != 0, nil
+		case OpLe:
+			return v <= 0, nil
+		}
+		panic("sym: bad CmpOp")
+	case *Not:
+		v, err := EvalBool(x.X, env)
+		return !v, err
+	case *And:
+		for _, y := range x.Xs {
+			v, err := EvalBool(y, env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case *Or:
+		for _, y := range x.Xs {
+			v, err := EvalBool(y, env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("sym: EvalBool: unexpected %T", e)
+}
+
+// SubstVars substitutes terms for variables throughout e. Variables without
+// a binding are left untouched.
+func SubstVars(e Expr, binding map[int]*Sum) Expr {
+	switch x := e.(type) {
+	case *Sum:
+		return SubstVarsSum(x, binding)
+	case *Bool:
+		return x
+	case *Cmp:
+		return cmp(x.Op, SubstVarsSum(x.S, binding))
+	case *Not:
+		return NotExpr(SubstVars(x.X, binding))
+	case *And:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = SubstVars(y, binding)
+		}
+		return AndExpr(ys...)
+	case *Or:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = SubstVars(y, binding)
+		}
+		return OrExpr(ys...)
+	}
+	panic(fmt.Sprintf("sym: SubstVars: unexpected %T", e))
+}
+
+// SubstVarsSum substitutes terms for variables throughout the integer term s.
+func SubstVarsSum(s *Sum, binding map[int]*Sum) *Sum {
+	out := Int(s.Const)
+	for _, t := range s.Terms {
+		switch a := t.Atom.(type) {
+		case *Var:
+			if repl, ok := binding[a.ID]; ok {
+				out = AddSum(out, ScaleSum(t.Coef, repl))
+			} else {
+				out = AddSum(out, &Sum{Terms: []Term{t}})
+			}
+		case *Apply:
+			args := make([]*Sum, len(a.Args))
+			for i, arg := range a.Args {
+				args[i] = SubstVarsSum(arg, binding)
+			}
+			out = AddSum(out, ScaleSum(t.Coef, ApplyTerm(a.Fn, args...)))
+		}
+	}
+	return out
+}
+
+// RewriteApplies rewrites e bottom-up, replacing each uninterpreted function
+// application a for which repl returns (t, true) by the term t. Arguments are
+// rewritten before the application itself, so a sample lookup sees fully
+// simplified arguments.
+func RewriteApplies(e Expr, repl func(*Apply) (*Sum, bool)) Expr {
+	switch x := e.(type) {
+	case *Sum:
+		return RewriteAppliesSum(x, repl)
+	case *Bool:
+		return x
+	case *Cmp:
+		return cmp(x.Op, RewriteAppliesSum(x.S, repl))
+	case *Not:
+		return NotExpr(RewriteApplies(x.X, repl))
+	case *And:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = RewriteApplies(y, repl)
+		}
+		return AndExpr(ys...)
+	case *Or:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = RewriteApplies(y, repl)
+		}
+		return OrExpr(ys...)
+	}
+	panic(fmt.Sprintf("sym: RewriteApplies: unexpected %T", e))
+}
+
+// RewriteAppliesSum is RewriteApplies specialized to integer terms.
+func RewriteAppliesSum(s *Sum, repl func(*Apply) (*Sum, bool)) *Sum {
+	out := Int(s.Const)
+	for _, t := range s.Terms {
+		switch a := t.Atom.(type) {
+		case *Var:
+			out = AddSum(out, &Sum{Terms: []Term{t}})
+		case *Apply:
+			args := make([]*Sum, len(a.Args))
+			for i, arg := range a.Args {
+				args[i] = RewriteAppliesSum(arg, repl)
+			}
+			rebuilt := &Apply{Fn: a.Fn, Args: args}
+			if r, ok := repl(rebuilt); ok {
+				out = AddSum(out, ScaleSum(t.Coef, r))
+			} else {
+				out = AddSum(out, ScaleSum(t.Coef, AtomTerm(rebuilt)))
+			}
+		}
+	}
+	return out
+}
+
+// Conjuncts flattens e into a list of conjuncts (e itself if it is not a
+// conjunction; nothing if it is the constant true).
+func Conjuncts(e Expr) []Expr {
+	switch x := e.(type) {
+	case *And:
+		var out []Expr
+		for _, y := range x.Xs {
+			out = append(out, Conjuncts(y)...)
+		}
+		return out
+	case *Bool:
+		if x.V {
+			return nil
+		}
+		return []Expr{x}
+	default:
+		return []Expr{e}
+	}
+}
