@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench tables verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The parallel search coordinator, sample-store overlays, and proof fan-out
+# are exercised under the race detector; this is part of the verified path.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+tables:
+	$(GO) run ./cmd/benchtab -quick
+
+verify: test race

@@ -30,6 +30,10 @@
 //	eng := hotg.NewEngine(prog, hotg.ModeHigherOrder)
 //	stats := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: 100, Seeds: [][]int64{{0, 0}}})
 //	fmt.Println(stats.Summary())
+//
+// Explore runs test execution and proving on SearchOptions.Workers goroutines
+// (default GOMAXPROCS); results are bit-identical at every worker count, so
+// parallelism is purely a wall-clock knob.
 package hotg
 
 import (

@@ -173,8 +173,7 @@ func BenchmarkSMTUFLIA(b *testing.B) {
 	)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pool := p // pools are cheap; fresh ackermann vars per iteration
-		st, _ := smt.Solve(f, smt.Options{Pool: &pool})
+		st, _ := smt.Solve(f, smt.Options{Pool: &p})
 		if st != smt.StatusSat {
 			b.Fatal(st)
 		}
@@ -218,6 +217,31 @@ func BenchmarkSearchFoo(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchParallel compares wall-clock time of the E12 lexer search
+// at different worker counts. The search trajectory is bit-identical across
+// the variants (see TestSearchDeterministicAcrossWorkers); only elapsed time
+// differs. On a multi-core machine the 4-worker variant should be ≥2× faster
+// than the 1-worker one, since per-target validity proofs dominate and fan
+// out. On a single-core runner all variants degrade to sequential speed.
+func benchSearchParallel(b *testing.B, workers int) {
+	w := lexapp.Lexer()
+	prog := w.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := concolic.New(prog, concolic.ModeHigherOrder)
+		st := search.Run(eng, search.Options{
+			MaxRuns: 150, Seeds: w.Seeds, Bounds: w.Bounds, Workers: workers,
+		})
+		if st.Runs == 0 || st.ProverCalls == 0 {
+			b.Fatal("search did no proving work")
+		}
+	}
+}
+
+func BenchmarkSearchParallel1(b *testing.B) { benchSearchParallel(b, 1) }
+func BenchmarkSearchParallel4(b *testing.B) { benchSearchParallel(b, 4) }
+func BenchmarkSearchParallel8(b *testing.B) { benchSearchParallel(b, 8) }
 
 // BenchmarkFuzzLexer measures the blackbox baseline for comparison.
 func BenchmarkFuzzLexer(b *testing.B) {

@@ -8,9 +8,11 @@
 //	benchtab -quick          # CI-sized budgets
 //	benchtab -budget 3000    # bigger lexer budget
 //	benchtab E12 E13         # selected experiments only
+//	benchtab -json E12       # machine-readable results on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +21,20 @@ import (
 	"hotg"
 )
 
+// jsonResult is the machine-readable form of one experiment run.
+type jsonResult struct {
+	ID      string      `json:"id"`
+	Seconds float64     `json:"seconds"`
+	Failed  []string    `json:"failed,omitempty"`
+	Table   *hotg.Table `json:"table"`
+}
+
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "CI-sized budgets")
-		budget = flag.Int("budget", 0, "execution budget for the lexer experiments (default 1500)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "CI-sized budgets")
+		budget  = flag.Int("budget", 0, "execution budget for the lexer experiments (default 1500)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jsonOut = flag.Bool("json", false, "emit one JSON array of results instead of rendered tables")
 	)
 	flag.Parse()
 
@@ -43,15 +54,33 @@ func main() {
 	}
 
 	failures := 0
+	results := []jsonResult{} // non-nil so -json always emits an array
 	for _, e := range hotg.Experiments() {
 		if !run(e) {
 			continue
 		}
 		t0 := time.Now()
 		tab := e.Run(cfg)
+		secs := time.Since(t0).Seconds()
+		var failed []string
+		for _, c := range tab.Failed() {
+			failed = append(failed, c.Text)
+		}
+		failures += len(failed)
+		if *jsonOut {
+			results = append(results, jsonResult{ID: e.ID, Seconds: secs, Failed: failed, Table: tab})
+			continue
+		}
 		fmt.Println(tab.Render())
-		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
-		failures += len(tab.Failed())
+		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, secs)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: %d claim(s) FAILED\n", failures)

@@ -6,6 +6,7 @@
 //
 //	hotg -list
 //	hotg -workload lexer -mode higher-order -runs 300
+//	hotg -workload lexer -mode higher-order -runs 300 -workers 8
 //	hotg -workload foo -mode dart-unsound -runs 50 -v
 package main
 
@@ -30,6 +31,7 @@ func main() {
 		samplesIn  = flag.String("samples-in", "", "load IOF samples from a previous session (JSON)")
 		samplesOut = flag.String("samples-out", "", "save the IOF store at exit (JSON)")
 		summaries  = flag.Bool("summaries", false, "enable compositional path summaries (higher-order mode)")
+		workers    = flag.Int("workers", 0, "worker goroutines for test execution and proving (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -88,6 +90,7 @@ func main() {
 		}
 		stats = hotg.Explore(eng, hotg.SearchOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
+			Workers: *workers,
 		})
 		if *samplesOut != "" {
 			f, err := os.Create(*samplesOut)
@@ -105,6 +108,9 @@ func main() {
 	}
 
 	fmt.Println(stats.Summary())
+	if ps := stats.ParallelSummary(); ps != "" {
+		fmt.Println(ps)
+	}
 	if cache != nil {
 		fmt.Printf("summaries: hits=%d misses=%d fallbacks=%d cases=%d\n",
 			cache.Hits, cache.Misses, cache.Fallbacks, cache.Cases())

@@ -195,7 +195,30 @@ func New(prog *mini.Program, mode Mode) *Engine {
 	for _, name := range e.shape.Names {
 		e.InputVars = append(e.InputVars, e.Pool.NewVar(name))
 	}
+	// Pre-register the unknown-instruction symbols so opFns is read-only from
+	// here on (engine clones share the map across goroutines).
+	for _, name := range []string{"$mul", "$div", "$mod"} {
+		e.opFns[name] = e.Pool.FuncSym(name, 2)
+	}
 	return e
+}
+
+// Clone returns an engine that shares the program, mode, pool, input
+// variables, summary cache, and compiled bytecode with e but records samples
+// into the given store (typically a sym.NewOverlay over e.Samples). Clones
+// exist so each search worker can run concurrently: Run's per-run state lives
+// in a private runner, and everything shared is either immutable after New
+// (program, bytecode, opFns) or internally synchronized (pool, sample store,
+// summary cache).
+func (e *Engine) Clone(samples *sym.SampleStore) *Engine {
+	if e.Summaries != nil {
+		// The summary path compiles lazily on first use; force it now so
+		// concurrent clones never race on the write.
+		e.compiled()
+	}
+	clone := *e
+	clone.Samples = samples
+	return &clone
 }
 
 // Shape returns the program's flattened input shape.

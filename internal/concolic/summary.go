@@ -3,6 +3,7 @@ package concolic
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"hotg/internal/mini"
 	"hotg/internal/sym"
@@ -54,8 +55,11 @@ type SummaryCase struct {
 }
 
 // SummaryCache memoizes path summaries per function. A single cache belongs
-// to one engine (it references the engine's variable pool).
+// to one engine (it references the engine's variable pool). The cache is safe
+// for concurrent use by engine clones; read the statistics fields only after
+// the runs sharing the cache have finished.
 type SummaryCache struct {
+	mu    sync.Mutex
 	cases map[*mini.FuncDecl]map[string]*SummaryCase
 	smzbl map[*mini.FuncDecl]bool
 
@@ -75,6 +79,8 @@ func NewSummaryCache() *SummaryCache {
 
 // Cases returns the total number of memoized path summaries.
 func (c *SummaryCache) Cases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, m := range c.cases {
 		n += len(m)
@@ -83,10 +89,23 @@ func (c *SummaryCache) Cases() int {
 }
 
 func (c *SummaryCache) lookup(fd *mini.FuncDecl, sig string) *SummaryCase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.cases[fd][sig]
 }
 
 func (c *SummaryCache) store(fd *mini.FuncDecl, sig string, cs *SummaryCase) {
+	// Memoize the canonical keys of every stored expression before
+	// publishing: Key() lazily writes a memo field, and the case's nodes are
+	// shared by every engine clone that hits this entry afterwards. Warming
+	// here (Key computation is transitive over subterms) makes all later
+	// accesses read-only.
+	for _, rc := range cs.Constraints {
+		rc.Expr.Key()
+	}
+	cs.Ret.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m := c.cases[fd]
 	if m == nil {
 		m = make(map[string]*SummaryCase)
@@ -95,9 +114,15 @@ func (c *SummaryCache) store(fd *mini.FuncDecl, sig string, cs *SummaryCase) {
 	m[sig] = cs
 }
 
+func (c *SummaryCache) noteHit()      { c.mu.Lock(); c.Hits++; c.mu.Unlock() }
+func (c *SummaryCache) noteMiss()     { c.mu.Lock(); c.Misses++; c.mu.Unlock() }
+func (c *SummaryCache) noteFallback() { c.mu.Lock(); c.Fallbacks++; c.mu.Unlock() }
+
 // summarizable reports whether fd is eligible: int parameters only and no
 // array declarations anywhere in the body.
 func (c *SummaryCache) summarizable(fd *mini.FuncDecl) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if ok, seen := c.smzbl[fd]; seen {
 		return ok
 	}
@@ -245,7 +270,7 @@ func (r *runner) evalCallSummary(x *mini.Call, fr frame) (int64, sval, error) {
 	if probe.Kind != mini.StopReturn {
 		// Error site or fault inside the callee: let classic inlining
 		// reproduce it with full symbolic context.
-		r.e.Summaries.Fallbacks++
+		r.e.Summaries.noteFallback()
 		return r.evalCallInline(x, argC, argS)
 	}
 
@@ -253,7 +278,7 @@ func (r *runner) evalCallSummary(x *mini.Call, fr frame) (int64, sval, error) {
 	base := len(r.res.Branches)
 
 	if cs := r.e.Summaries.lookup(fd, sig); cs != nil {
-		r.e.Summaries.Hits++
+		r.e.Summaries.noteHit()
 		r.res.Branches = append(r.res.Branches, probe.Branches...)
 		subst := make(map[int]*sym.Sum, len(cs.Formals))
 		for i, f := range cs.Formals {
@@ -282,7 +307,7 @@ func (r *runner) evalCallSummary(x *mini.Call, fr frame) (int64, sval, error) {
 
 	// Miss: execute the callee symbolically over fresh formal variables,
 	// memoize the (formal-level) summary, then instantiate in place.
-	r.e.Summaries.Misses++
+	r.e.Summaries.noteMiss()
 	r.depth++
 	maxDepth := r.e.MaxDepth
 	if maxDepth <= 0 {

@@ -34,6 +34,20 @@ type Options struct {
 // every interpretation of the unknown functions; OutcomeUnknown means the
 // proof search was exhausted without a verdict.
 func Prove(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outcome) {
+	st, out := ProveCore(pc, samples, opts)
+	if out == OutcomeProved {
+		st = FillFallback(st, pc, opts.Fallback)
+	}
+	return st, out
+}
+
+// ProveCore is Prove without the final fallback-filling step: on
+// OutcomeProved the returned strategy defines only the variables the proof
+// itself constrained. Because the fallback values are the only caller-specific
+// part of a proof, core strategies are reusable across callers — the parallel
+// search memoizes them keyed by the formula and the sample-store version, and
+// applies FillFallback per target.
+func ProveCore(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outcome) {
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 20000
 	}
@@ -46,24 +60,31 @@ func Prove(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outc
 	p := &prover{samples: samples, opts: opts, budget: opts.MaxNodes}
 	st := p.search(sym.Conjuncts(pc), nil, 0)
 	if st != nil {
-		// "Fix" every variable the proof left unconstrained at its current
-		// concrete value (or 0), so the strategy resolves to a full input.
-		defined := map[int]bool{}
-		for _, d := range st.Defs {
-			defined[d.Var.ID] = true
-		}
-		for _, v := range sym.Vars(pc) {
-			if !defined[v.ID] {
-				st.Defs = append(st.Defs, Def{Var: v, Term: sym.Int(opts.Fallback[v.ID])})
-				defined[v.ID] = true
-			}
-		}
 		return st, OutcomeProved
 	}
 	if !opts.NoRefute && Refute(pc, samples, opts) {
 		return nil, OutcomeInvalid
 	}
 	return nil, OutcomeUnknown
+}
+
+// FillFallback "fixes" every variable of pc the proof left unconstrained at
+// its fallback value (or 0), so the strategy resolves to a full input — the
+// paper's "fix y" step. The input strategy is not modified; the result shares
+// its Proof and core Defs.
+func FillFallback(st *Strategy, pc sym.Expr, fallback map[int]int64) *Strategy {
+	defined := map[int]bool{}
+	for _, d := range st.Defs {
+		defined[d.Var.ID] = true
+	}
+	out := &Strategy{Defs: append([]Def(nil), st.Defs...), Proof: st.Proof}
+	for _, v := range sym.Vars(pc) {
+		if !defined[v.ID] {
+			out.Defs = append(out.Defs, Def{Var: v, Term: sym.Int(fallback[v.ID])})
+			defined[v.ID] = true
+		}
+	}
+	return out
 }
 
 type prover struct {

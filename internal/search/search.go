@@ -1,7 +1,11 @@
 package search
 
 import (
-	"fmt"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"hotg/internal/concolic"
 	"hotg/internal/fol"
@@ -30,6 +34,15 @@ type Options struct {
 	Refute bool
 	// ProverNodes caps the validity-proof search per target (default 4000).
 	ProverNodes int
+	// Workers sets how many goroutines execute tests and discharge
+	// per-target proof obligations (default GOMAXPROCS). Workers=1 runs the
+	// classic sequential algorithm on the calling goroutine. Any setting
+	// produces identical results: the coordinator batches only independent
+	// work and merges worker results in enqueue order, so the explored
+	// trajectory — runs, tests, coverage, bugs, samples, prover verdicts —
+	// is bit-for-bit the same at every worker count. Only the timing and
+	// per-worker load figures in Stats depend on scheduling.
+	Workers int
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -67,10 +80,16 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	if opts.ProverNodes <= 0 {
 		opts.ProverNodes = 4000
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	if len(opts.Seeds) == 0 {
 		panic("search: at least one seed input is required")
 	}
 	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
+	s.cache = newProofCache()
+	s.stats.Workers = opts.Workers
+	s.stats.ProofsPerWorker = make([]int64, opts.Workers)
 	s.varBounds = make(map[int]smt.Bound)
 	for i, v := range eng.InputVars {
 		if i < len(opts.Bounds) {
@@ -83,11 +102,20 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	for _, seed := range opts.Seeds {
 		s.hot = append(s.hot, item{input: seed})
 	}
+	start := time.Now()
 	s.run()
+	s.stats.WallTime = time.Since(start)
+	s.stats.SolveTime = time.Duration(s.solveNanos)
 	s.stats.SamplesLearned = eng.Samples.Len()
 	return s.stats
 }
 
+// searcher is the search coordinator. All queue, dedup-map, statistics, and
+// shared-sample-store mutation happens on the coordinating goroutine; workers
+// only execute tests against sample-store overlays and discharge proof
+// obligations against the frozen shared store (see processBatch and the
+// solveTargets functions for why the merge order makes every worker count
+// produce identical results).
 type searcher struct {
 	eng   *concolic.Engine
 	opts  Options
@@ -100,67 +128,184 @@ type searcher struct {
 	varBounds map[int]smt.Bound
 	tried     map[string]bool
 	targeted  map[string]bool
-	// curHot marks whether children of the run being expanded go to the
-	// hot queue.
-	curHot bool
+	// cache memoizes per-target proof and satisfiability results; see
+	// cache.go. Only the coordinator touches it.
+	cache *proofCache
+	// solveNanos aggregates the duration of individual prover/solver tasks
+	// across workers (atomic).
+	solveNanos int64
 }
 
-func inputKey(in []int64) string { return fmt.Sprint(in) }
+// inputKey is the dedup key of an input vector: a length-prefixed varint
+// encoding, one short allocation instead of fmt-formatting every element.
+func inputKey(in []int64) string {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 2*len(in)+1)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(in)))]...)
+	for _, v := range in {
+		buf = append(buf, tmp[:binary.PutVarint(tmp[:], v)]...)
+	}
+	return string(buf)
+}
 
-func (s *searcher) pop() (item, bool) {
+// batchSource says where nextBatch got its work from.
+type batchSource int
+
+const (
+	srcEmpty   batchSource = iota // both queues drained
+	srcPending                    // a multi-step continuation to resume
+	srcRun                        // inputs to execute
+)
+
+// nextBatch takes the next unit(s) of work off the queues, replicating the
+// sequential pop order exactly:
+//
+//   - a pending continuation at the hot head is returned alone — it must
+//     re-resolve against the samples exactly as they stand now;
+//   - consecutive plain items at the hot head form a batch (bounded by the
+//     worker count and the remaining run budget). Their executions are
+//     mutually independent — concrete behavior never depends on the sample
+//     store — so running them concurrently and merging in order is exact;
+//   - a cold item is returned alone: its expansion may enqueue hot children
+//     that sequentially precede the rest of the cold queue.
+//
+// Inputs already tried are dropped during selection, exactly when the
+// sequential loop would have popped and skipped them.
+func (s *searcher) nextBatch() ([]item, batchSource) {
 	if len(s.hot) > 0 {
-		it := s.hot[0]
-		s.hot = s.hot[1:]
-		return it, true
+		if s.hot[0].pending != nil {
+			it := s.hot[0]
+			s.hot = s.hot[1:]
+			return []item{it}, srcPending
+		}
+		limit := s.opts.MaxRuns - s.stats.Runs
+		if limit > s.opts.Workers {
+			limit = s.opts.Workers
+		}
+		var batch []item
+		var batchKeys map[string]bool
+		for len(batch) < limit && len(s.hot) > 0 && s.hot[0].pending == nil {
+			it := s.hot[0]
+			s.hot = s.hot[1:]
+			key := inputKey(it.input)
+			if s.tried[key] || batchKeys[key] {
+				continue
+			}
+			if batchKeys == nil {
+				batchKeys = make(map[string]bool, limit)
+			}
+			batchKeys[key] = true
+			batch = append(batch, it)
+		}
+		return batch, srcRun
 	}
 	if len(s.cold) > 0 {
 		it := s.cold[0]
 		s.cold = s.cold[1:]
-		return it, true
+		if s.tried[inputKey(it.input)] {
+			return nil, srcRun
+		}
+		return []item{it}, srcRun
 	}
-	return item{}, false
+	return nil, srcEmpty
 }
 
 func (s *searcher) run() {
 	s.tried = map[string]bool{}
 	s.targeted = map[string]bool{}
 	for s.stats.Runs < s.opts.MaxRuns {
-		it, ok := s.pop()
-		if !ok {
+		batch, src := s.nextBatch()
+		switch src {
+		case srcEmpty:
 			s.stats.Exhausted = true
 			return
-		}
-
-		if it.pending != nil {
-			if !s.resumePending(it.pending) {
-				continue
-			}
-			// resumePending enqueued follow-up work.
+		case srcPending:
+			s.resumePending(batch[0].pending)
 			continue
 		}
-
-		key := inputKey(it.input)
-		if s.tried[key] {
-			continue
+		if len(batch) == 0 {
+			continue // only duplicates were queued
 		}
-		s.tried[key] = true
+		if s.processBatch(batch) {
+			return
+		}
+	}
+}
 
-		ex := s.eng.Run(it.input)
-		gained := s.stats.recordRun(ex.Result, it.input)
-		if ex.Incomplete {
+// processBatch executes the batch (concurrently when it has more than one
+// item), then merges results in batch order: each item's new samples land in
+// the shared store, its run is recorded, and its expansion runs — exactly the
+// per-item sequence of the sequential loop. The merge order matters: sample
+// insertion order steers the prover's choice ordering, so it must not depend
+// on worker completion order. It returns true when the search should stop.
+func (s *searcher) processBatch(batch []item) bool {
+	type runResult struct {
+		ex      *concolic.Execution
+		overlay *sym.SampleStore
+	}
+	results := make([]runResult, len(batch))
+	if len(batch) == 1 {
+		results[0].ex = s.eng.Run(batch[0].input)
+	} else {
+		s.parallelDo(len(batch), func(i, worker int) {
+			overlay := sym.NewOverlay(s.eng.Samples)
+			results[i] = runResult{ex: s.eng.Clone(overlay).Run(batch[i].input), overlay: overlay}
+		})
+	}
+	for i, it := range batch {
+		r := results[i]
+		if r.overlay != nil {
+			s.eng.Samples.MergeLocal(r.overlay)
+		}
+		s.tried[inputKey(it.input)] = true
+		gained := s.stats.recordRun(r.ex.Result, it.input)
+		if r.ex.Incomplete {
 			s.stats.Incomplete = true
 		}
-		if it.expected != nil && diverged(ex.Result.Branches, it.expected) {
+		if it.expected != nil && diverged(r.ex.Result.Branches, it.expected) {
 			s.stats.Divergences++
 		}
 		if s.opts.StopAtFirstBug && len(s.stats.ErrorSitesFound()) > 0 {
-			return
+			return true
 		}
 		if !it.noExpand {
-			s.curHot = gained > 0
-			s.expand(ex, it.bound)
+			s.expand(r.ex, it.bound, gained > 0)
 		}
 	}
+	return false
+}
+
+// parallelDo runs fn(i, worker) for every i in [0, n), fanning the indices
+// out over min(Workers, n) goroutines. With one worker (or one task) it runs
+// inline on the coordinator. fn implementations write only to their own index
+// i and their own worker slot.
+func (s *searcher) parallelDo(n int, fn func(i, worker int)) {
+	workers := s.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // diverged reports whether the actual trace fails to realize the prediction.
@@ -176,14 +321,33 @@ func diverged(actual, expected []mini.BranchEvent) bool {
 	return false
 }
 
+// target is one proof obligation of an expansion: ALT(pc_k) with its trace
+// prediction. The solve phase fills the result fields.
+type target struct {
+	alt      sym.Expr
+	expected []mini.BranchEvent
+	k        int
+	cacheKey string
+	// Higher-order result: core strategy (no fallback defs) and outcome.
+	strategy *fol.Strategy
+	outcome  fol.Outcome
+	// Satisfiability result (non-higher-order modes).
+	status smt.Status
+	model  *smt.Model
+}
+
 // expand generates new work items by negating each negatable constraint of
 // the execution from the generational bound onward. Each target is sliced to
-// its related constraints and deduplicated before any solver work.
-func (s *searcher) expand(ex *concolic.Execution, bound int) {
+// its related constraints and deduplicated before any solver work; the
+// surviving targets' proof obligations all read the same frozen sample store,
+// so they are discharged concurrently and their results applied in constraint
+// order.
+func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 	prefix := make([]sym.Expr, 0, len(ex.PC))
 	for i := 0; i < bound && i < len(ex.PC); i++ {
 		prefix = append(prefix, ex.PC[i].Expr)
 	}
+	var targets []*target
 	for k := bound; k < len(ex.PC); k++ {
 		c := ex.PC[k]
 		if c.IsConcretization {
@@ -195,69 +359,128 @@ func (s *searcher) expand(ex *concolic.Execution, bound int) {
 		key := targetKey(expected, negated)
 		if !s.targeted[key] {
 			s.targeted[key] = true
-			alt := sliceAlt(prefix, negated)
-			if s.eng.Mode == concolic.ModeHigherOrder {
-				s.targetHigherOrder(alt, expected, ex.Input, k)
-			} else {
-				s.targetSat(alt, expected, ex.Input, k)
-			}
+			targets = append(targets, &target{alt: sliceAlt(prefix, negated), expected: expected, k: k})
 		}
 		prefix = append(prefix, c.Expr)
 	}
-}
-
-// targetSat is classic test generation: a satisfiability check of ALT(pc).
-func (s *searcher) targetSat(alt sym.Expr, expected []mini.BranchEvent, fallback []int64, k int) {
-	s.stats.SolverCalls++
-	st, model := smt.Solve(alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds})
-	if st != smt.StatusSat {
+	if len(targets) == 0 {
 		return
 	}
-	s.stats.SolverSat++
-	input := make([]int64, len(fallback))
-	copy(input, fallback)
-	for i, v := range s.eng.InputVars {
-		if val, ok := model.Vars[v.ID]; ok {
-			input[i] = val
-		}
+	if s.eng.Mode == concolic.ModeHigherOrder {
+		s.solveTargetsHigherOrder(targets, ex.Input, hot)
+	} else {
+		s.solveTargetsSat(targets, ex.Input, hot)
 	}
-	s.enqueueTest(input, expected, k+1, s.curHot)
 }
 
-// targetHigherOrder derives a test from a validity proof of POST(ALT(pc)).
-func (s *searcher) targetHigherOrder(alt sym.Expr, expected []mini.BranchEvent, fallback []int64, k int) {
-	s.stats.ProverCalls++
+// solveTargetsHigherOrder discharges the expansion's validity proofs:
+// cache-missing targets fan out over the workers (ProveCore only reads the
+// sample store and allocates from the synchronized pool), then results are
+// applied — and the cache is filled — in constraint order on the coordinator.
+// Computing the cache key also memoizes the formula's canonical string, so
+// workers never write the lazy key fields of shared subterms.
+func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, hot bool) {
+	version := s.eng.Samples.Len()
+	var todo []*target
+	for _, t := range targets {
+		t.cacheKey = proveKey(t.alt, version)
+		if _, ok := s.cache.prove[t.cacheKey]; !ok {
+			todo = append(todo, t)
+		}
+	}
+	s.parallelDo(len(todo), func(i, worker int) {
+		t := todo[i]
+		t0 := time.Now()
+		t.strategy, t.outcome = fol.ProveCore(t.alt, s.eng.Samples, fol.Options{
+			Pool:      s.eng.Pool,
+			VarBounds: s.varBounds,
+			NoRefute:  !s.opts.Refute,
+			MaxNodes:  s.opts.ProverNodes,
+		})
+		atomic.AddInt64(&s.solveNanos, int64(time.Since(t0)))
+		s.stats.ProofsPerWorker[worker]++
+	})
 	fb := make(map[int]int64, len(fallback))
 	for i, v := range s.eng.InputVars {
 		fb[v.ID] = fallback[i]
 	}
-	strategy, outcome := fol.Prove(alt, s.eng.Samples, fol.Options{
-		Pool:      s.eng.Pool,
-		VarBounds: s.varBounds,
-		Fallback:  fb,
-		NoRefute:  !s.opts.Refute,
-		MaxNodes:  s.opts.ProverNodes,
+	for _, t := range targets {
+		// Cache accounting happens here, in constraint order, so the hit and
+		// miss counts are identical at every worker count. (Two targets of
+		// one fan-out sharing a formula are proved twice concurrently; the
+		// second is still accounted as a hit, its duplicate result dropped.)
+		if e, ok := s.cache.prove[t.cacheKey]; ok {
+			s.stats.ProofCacheHits++
+			t.strategy, t.outcome = e.strategy, e.outcome
+		} else {
+			s.stats.ProofCacheMisses++
+			s.cache.prove[t.cacheKey] = proveEntry{strategy: t.strategy, outcome: t.outcome}
+		}
+		s.stats.ProverCalls++
+		switch t.outcome {
+		case fol.OutcomeInvalid:
+			s.stats.ProverInvalid++
+			continue
+		case fol.OutcomeUnknown:
+			s.stats.ProverUnknown++
+			continue
+		}
+		s.stats.ProverProved++
+		pt := &pendingTarget{
+			// The cached strategy is shared; FillFallback copies it while
+			// fixing this target's unconstrained variables at the parent
+			// input's values.
+			strategy: fol.FillFallback(t.strategy, t.alt, fb),
+			alt:      t.alt,
+			expected: t.expected,
+			fallback: fallback,
+			bound:    t.k + 1,
+			retries:  s.opts.MaxMultiStep,
+			hot:      hot,
+		}
+		s.resolveAndEnqueue(pt, true)
+	}
+}
+
+// solveTargetsSat is classic test generation: satisfiability checks of
+// ALT(pc), fanned out and cached like the validity proofs (solver results do
+// not depend on the sample store, so the cache key is the formula alone).
+func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool) {
+	var todo []*target
+	for _, t := range targets {
+		t.cacheKey = t.alt.Key()
+		if _, ok := s.cache.solve[t.cacheKey]; !ok {
+			todo = append(todo, t)
+		}
+	}
+	s.parallelDo(len(todo), func(i, worker int) {
+		t := todo[i]
+		t0 := time.Now()
+		t.status, t.model = smt.Solve(t.alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds})
+		atomic.AddInt64(&s.solveNanos, int64(time.Since(t0)))
+		s.stats.ProofsPerWorker[worker]++
 	})
-	switch outcome {
-	case fol.OutcomeInvalid:
-		s.stats.ProverInvalid++
-		return
-	case fol.OutcomeUnknown:
-		s.stats.ProverUnknown++
-		return
-	}
-	s.stats.ProverProved++
-	pt := &pendingTarget{
-		strategy: strategy,
-		alt:      alt,
-		expected: expected,
-		fallback: fallback,
-		bound:    k + 1,
-		retries:  s.opts.MaxMultiStep,
-		hot:      s.curHot,
-	}
-	if !s.resolveAndEnqueue(pt, true) {
-		return
+	for _, t := range targets {
+		if e, ok := s.cache.solve[t.cacheKey]; ok {
+			s.stats.ProofCacheHits++
+			t.status, t.model = e.status, e.model
+		} else {
+			s.stats.ProofCacheMisses++
+			s.cache.solve[t.cacheKey] = solveEntry{status: t.status, model: t.model}
+		}
+		s.stats.SolverCalls++
+		if t.status != smt.StatusSat {
+			continue
+		}
+		s.stats.SolverSat++
+		input := make([]int64, len(fallback))
+		copy(input, fallback)
+		for i, v := range s.eng.InputVars {
+			if val, ok := t.model.Vars[v.ID]; ok {
+				input[i] = val
+			}
+		}
+		s.enqueueTest(input, t.expected, t.k+1, hot)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"hotg/internal/mini"
 )
@@ -47,6 +48,21 @@ type Stats struct {
 
 	MultiStepChains int // targets that needed ≥1 intermediate test
 	SamplesLearned  int // IOF entries accumulated
+
+	// Workers is the resolved worker count the search ran with.
+	Workers int
+	// ProofCacheHits and ProofCacheMisses account the formula-keyed proof
+	// cache, in coordinator apply order — deterministic at any worker count.
+	ProofCacheHits   int
+	ProofCacheMisses int
+	// ProofsPerWorker[w] counts the prover/solver tasks worker w executed.
+	// The total is deterministic; the split depends on scheduling.
+	ProofsPerWorker []int64
+	// WallTime is the elapsed time of the whole search; SolveTime is the sum
+	// of the individual prover/solver task durations across all workers.
+	// SolveTime greater than WallTime is the parallel speedup showing up.
+	WallTime  time.Duration
+	SolveTime time.Duration
 
 	Incomplete bool // some branch produced no constraint (static mode)
 
@@ -201,11 +217,38 @@ func (s *Stats) Summary() string {
 		fmt.Fprintf(&b, " prove=%d/%d inv=%d multi=%d", s.ProverProved, s.ProverCalls,
 			s.ProverInvalid, s.MultiStepChains)
 	}
+	if s.ProofCacheHits+s.ProofCacheMisses > 0 {
+		fmt.Fprintf(&b, " cache=%d/%d", s.ProofCacheHits, s.ProofCacheHits+s.ProofCacheMisses)
+	}
+	if s.Workers > 1 {
+		fmt.Fprintf(&b, " workers=%d wall=%v solve=%v", s.Workers,
+			s.WallTime.Round(time.Millisecond), s.SolveTime.Round(time.Millisecond))
+	}
 	if s.Incomplete {
 		b.WriteString(" (incomplete)")
 	}
 	if s.Exhausted {
 		b.WriteString(" (exhausted)")
 	}
+	return b.String()
+}
+
+// ParallelSummary renders a one-line report of the concurrency figures: the
+// per-worker task split and how the aggregate solving time compares to the
+// wall clock. Returns "" for single-worker searches.
+func (s *Stats) ParallelSummary() string {
+	if s.Workers <= 1 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers=%d wall=%v solve=%v tasks=[", s.Workers,
+		s.WallTime.Round(time.Millisecond), s.SolveTime.Round(time.Millisecond))
+	for w, n := range s.ProofsPerWorker {
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	fmt.Fprintf(&b, "] cache=%d/%d", s.ProofCacheHits, s.ProofCacheHits+s.ProofCacheMisses)
 	return b.String()
 }

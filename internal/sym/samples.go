@@ -3,6 +3,7 @@ package sym
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Sample is one recorded input–output pair of an uninterpreted function: the
@@ -35,7 +36,15 @@ func argsKey(args []int64) string {
 // store can persist across runs ("include ... all value pairs observed during
 // all previous runs", Section 5.3), which is what makes hard-coded keyword
 // hashes learnable over a testing session (Section 7).
+//
+// A store is safe for concurrent use. A store may also be an *overlay* over a
+// base store (NewOverlay): reads fall through to the base, writes stay local.
+// The parallel search gives each worker an overlay over the shared store and
+// merges the overlays back in deterministic batch order, so the merged store
+// is sample-for-sample identical to what a sequential search would build.
 type SampleStore struct {
+	mu    sync.RWMutex
+	base  *SampleStore // read-through parent; nil for a root store
 	byFn  map[*Func]map[string]Sample
 	order []Sample // insertion order, for deterministic iteration
 }
@@ -45,6 +54,14 @@ func NewSampleStore() *SampleStore {
 	return &SampleStore{byFn: make(map[*Func]map[string]Sample)}
 }
 
+// NewOverlay returns an empty store layered over base: lookups read through
+// to base, additions are recorded locally (duplicates of base entries are
+// dropped, conflicting outputs panic as in Add). The overlay never writes to
+// base; merge it back explicitly with base.Merge(overlay).
+func NewOverlay(base *SampleStore) *SampleStore {
+	return &SampleStore{base: base, byFn: make(map[*Func]map[string]Sample)}
+}
+
 // Add records f(args)=out. It returns true if the pair was new. Recording a
 // conflicting output for already-seen arguments panics: unknown functions are
 // assumed deterministic (Theorem 3).
@@ -52,6 +69,17 @@ func (s *SampleStore) Add(f *Func, args []int64, out int64) bool {
 	if len(args) != f.Arity {
 		panic(fmt.Sprintf("sym: sample for %s has %d args, want %d", f.Name, len(args), f.Arity))
 	}
+	if s.base != nil {
+		if prev, ok := s.base.Lookup(f, args); ok {
+			if prev != out {
+				panic(fmt.Sprintf("sym: nondeterministic unknown function %s: %s gave both %d and %d",
+					f.Name, argsKey(args), prev, out))
+			}
+			return false
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.byFn[f]
 	if m == nil {
 		m = make(map[string]Sample)
@@ -75,17 +103,29 @@ func (s *SampleStore) Add(f *Func, args []int64, out int64) bool {
 
 // Lookup returns the recorded output of f on args.
 func (s *SampleStore) Lookup(f *Func, args []int64) (int64, bool) {
+	s.mu.RLock()
 	if m := s.byFn[f]; m != nil {
 		if smp, ok := m[argsKey(args)]; ok {
+			s.mu.RUnlock()
 			return smp.Out, true
 		}
+	}
+	s.mu.RUnlock()
+	if s.base != nil {
+		return s.base.Lookup(f, args)
 	}
 	return 0, false
 }
 
-// ForFunc returns all samples of f in insertion order.
+// ForFunc returns all samples of f in insertion order (base entries first for
+// an overlay).
 func (s *SampleStore) ForFunc(f *Func) []Sample {
 	var out []Sample
+	if s.base != nil {
+		out = s.base.ForFunc(f)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, smp := range s.order {
 		if smp.Fn == f {
 			out = append(out, smp)
@@ -94,28 +134,63 @@ func (s *SampleStore) ForFunc(f *Func) []Sample {
 	return out
 }
 
-// All returns every sample in insertion order.
+// All returns every sample in insertion order (base entries first for an
+// overlay).
 func (s *SampleStore) All() []Sample {
-	out := make([]Sample, len(s.order))
-	copy(out, s.order)
-	return out
+	var out []Sample
+	if s.base != nil {
+		out = s.base.All()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append(out, s.order...)
 }
 
-// Len reports the number of recorded samples.
-func (s *SampleStore) Len() int { return len(s.order) }
+// Len reports the number of recorded samples (including base entries for an
+// overlay).
+func (s *SampleStore) Len() int {
+	n := 0
+	if s.base != nil {
+		n = s.base.Len()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return n + len(s.order)
+}
 
-// Clone returns an independent copy of the store.
+// LocalLen reports the number of samples recorded in this store itself,
+// excluding any base store.
+func (s *SampleStore) LocalLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// Clone returns an independent (root) copy of the store.
 func (s *SampleStore) Clone() *SampleStore {
 	c := NewSampleStore()
-	for _, smp := range s.order {
+	for _, smp := range s.All() {
 		c.Add(smp.Fn, smp.Args, smp.Out)
 	}
 	return c
 }
 
-// Merge adds every sample of other into s.
+// Merge adds every sample of other into s, in other's insertion order.
 func (s *SampleStore) Merge(other *SampleStore) {
-	for _, smp := range other.order {
+	for _, smp := range other.All() {
+		s.Add(smp.Fn, smp.Args, smp.Out)
+	}
+}
+
+// MergeLocal adds only other's locally recorded samples into s (skipping
+// other's base), in insertion order. This is the merge step of the parallel
+// search: each worker overlay's new samples land in the shared store exactly
+// once, in batch order.
+func (s *SampleStore) MergeLocal(other *SampleStore) {
+	other.mu.RLock()
+	local := append([]Sample(nil), other.order...)
+	other.mu.RUnlock()
+	for _, smp := range local {
 		s.Add(smp.Fn, smp.Args, smp.Out)
 	}
 }

@@ -19,8 +19,9 @@ type sampleRecord struct {
 // use "all the input-output value pairs observed during all previous runs"
 // (Section 5.3) across testing sessions (Section 7).
 func (s *SampleStore) Encode(w io.Writer) error {
-	records := make([]sampleRecord, 0, len(s.order))
-	for _, smp := range s.order {
+	all := s.All()
+	records := make([]sampleRecord, 0, len(all))
+	for _, smp := range all {
 		records = append(records, sampleRecord{
 			Fn: smp.Fn.Name, Arity: smp.Fn.Arity, Args: smp.Args, Out: smp.Out,
 		})

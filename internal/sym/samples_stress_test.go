@@ -1,0 +1,100 @@
+package sym
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSampleStoreConcurrentStress hammers one shared store from many
+// goroutines mixing writers (Add) and readers (Lookup, ForFunc, All, Len).
+// Run under -race this is the safety net for the store's locking; the final
+// assertions check no sample was lost or duplicated.
+func TestSampleStoreConcurrentStress(t *testing.T) {
+	store := NewSampleStore()
+	var pool Pool
+	fns := make([]*Func, 4)
+	for i := range fns {
+		fns[i] = pool.FuncSym(fmt.Sprintf("f%d", i), 1)
+	}
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			fn := fns[g%len(fns)]
+			for i := 0; i < perG; i++ {
+				// Half the goroutines per function write overlapping ranges,
+				// so Add races on duplicate keys (must dedup, never panic:
+				// the recorded output for a key is always the same).
+				arg := int64(i)
+				store.Add(fn, []int64{arg}, arg*7)
+				if _, ok := store.Lookup(fn, []int64{arg}); !ok {
+					t.Error("lost a sample that was just added")
+					return
+				}
+				store.ForFunc(fn)
+				if g == 0 && i%50 == 0 {
+					store.All()
+					store.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := store.Len(), len(fns)*perG; got != want {
+		t.Fatalf("store has %d samples, want %d", got, want)
+	}
+	for _, fn := range fns {
+		if got := len(store.ForFunc(fn)); got != perG {
+			t.Fatalf("%s has %d samples, want %d", fn.Name, got, perG)
+		}
+	}
+}
+
+// TestSampleStoreOverlayStress mirrors the search's worker pattern: several
+// goroutines each build a private overlay over one shared base store while
+// others read the base, then the overlays merge back sequentially. Under
+// -race this covers NewOverlay/Add/Lookup/LocalLen/MergeLocal.
+func TestSampleStoreOverlayStress(t *testing.T) {
+	base := NewSampleStore()
+	var pool Pool
+	fn := pool.FuncSym("g", 2)
+	for i := int64(0); i < 50; i++ {
+		base.Add(fn, []int64{i, 0}, i)
+	}
+	const goroutines = 8
+	overlays := make([]*SampleStore, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			ov := NewOverlay(base)
+			overlays[g] = ov
+			for i := int64(0); i < 100; i++ {
+				// Base hits must resolve through the overlay without copying.
+				if out, ok := ov.Lookup(fn, []int64{i % 50, 0}); !ok || out != i%50 {
+					t.Errorf("overlay missed base sample %d", i%50)
+					return
+				}
+				// Overlapping local writes across overlays (same args, same
+				// out) — each overlay records its own copy.
+				ov.Add(fn, []int64{i % 20, int64(g%2) + 1}, (i%20)*10)
+			}
+			if ov.LocalLen() != 20 {
+				t.Errorf("overlay %d has %d local samples, want 20", g, ov.LocalLen())
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, ov := range overlays {
+		base.MergeLocal(ov)
+	}
+	// 50 base + 20 args × 2 distinct second-arg values from the overlays.
+	if got, want := base.Len(), 50+40; got != want {
+		t.Fatalf("merged base has %d samples, want %d", got, want)
+	}
+}

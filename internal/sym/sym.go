@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Sort identifies the sort of an expression.
@@ -221,8 +222,13 @@ func (s *Sum) IsApply() (*Apply, bool) {
 }
 
 // Pool creates variables and function symbols with unique identities.
-// The zero value is ready to use. Pool is not safe for concurrent use.
+// The zero value is ready to use. Pool is safe for concurrent use; note that
+// under concurrent allocation the numeric IDs handed to each goroutine depend
+// on scheduling, so nothing observable may be derived from fresh-variable ID
+// values (the engine and solvers only rely on IDs for identity and for the
+// per-goroutine monotonic ordering of allocations).
 type Pool struct {
+	mu       sync.Mutex
 	nextVar  int
 	nextFunc int
 	funcs    map[string]*Func
@@ -230,6 +236,8 @@ type Pool struct {
 
 // NewVar returns a fresh symbolic variable named name.
 func (p *Pool) NewVar(name string) *Var {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.nextVar++
 	return &Var{ID: p.nextVar, Name: name}
 }
@@ -240,6 +248,8 @@ func (p *Pool) NewVar(name string) *Var {
 // panics, since unknown functions are assumed to have a fixed signature
 // (assumption of Theorem 3).
 func (p *Pool) FuncSym(name string, arity int) *Func {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.funcs == nil {
 		p.funcs = make(map[string]*Func)
 	}
