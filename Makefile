@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: build test race bench tables verify
+.PHONY: all build lint vet test race bench bench-json tables verify
+
+all: build lint vet test
 
 build:
 	$(GO) build ./...
+
+# lint fails if any file is not gofmt-clean, printing the offenders.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
@@ -16,7 +27,12 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x
 
+# bench-json captures the quick experiment suite with per-experiment metric
+# snapshots (workers, proof-cache traffic, wall/solve seconds, full registry).
+bench-json:
+	$(GO) run ./cmd/benchtab -quick -json > BENCH_search.json
+
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: test race
+verify: lint vet test race

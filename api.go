@@ -45,6 +45,7 @@ import (
 	"hotg/internal/fuzz"
 	"hotg/internal/lexapp"
 	"hotg/internal/mini"
+	"hotg/internal/obs"
 	"hotg/internal/search"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
@@ -130,6 +131,23 @@ type SummaryCache = concolic.SummaryCache
 // Bound restricts one input's integer domain.
 type Bound = smt.Bound
 
+// Observer collects metrics (counters, gauges, latency histograms) and,
+// when its Trace field is set, a structured event stream for the whole
+// pipeline. Attach one via SearchOptions.Obs; a nil Observer disables all
+// observability at near-zero cost. See DESIGN.md §7.
+type Observer = obs.Obs
+
+// Tracer serializes pipeline events as JSONL and can retain them in memory
+// for Chrome trace export.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured pipeline event (see DESIGN.md §7 for the
+// field-by-field schema).
+type TraceEvent = obs.Event
+
+// MetricValue is one metric in an Observer snapshot.
+type MetricValue = obs.MetricValue
+
 // Workload is a ready-to-search program under test.
 type Workload = lexapp.Workload
 
@@ -173,6 +191,20 @@ func NewEngine(p *Program, mode Mode) *Engine { return concolic.New(p, mode) }
 
 // NewSummaryCache returns an empty compositional-summary cache.
 func NewSummaryCache() *SummaryCache { return concolic.NewSummaryCache() }
+
+// NewObserver returns an Observer collecting metrics, with tracing disabled
+// (set .Trace = NewTracer(w) to stream events).
+func NewObserver() *Observer { return obs.New() }
+
+// NewTracer returns a tracer writing one JSON event per line to w. A nil w is
+// allowed; combine with Keep() to retain events in memory for Chrome export.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// WriteChromeTrace renders retained trace events in Chrome trace_event JSON
+// (one track per worker), loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
 
 // Explore performs the directed search (DART for the concretization modes,
 // higher-order test generation for ModeHigherOrder).

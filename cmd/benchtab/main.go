@@ -21,12 +21,20 @@ import (
 	"hotg"
 )
 
-// jsonResult is the machine-readable form of one experiment run.
+// jsonResult is the machine-readable form of one experiment run. The headline
+// observability numbers are hoisted to top-level fields; Metrics carries the
+// experiment's full metric snapshot (fresh registry per experiment).
 type jsonResult struct {
-	ID      string      `json:"id"`
-	Seconds float64     `json:"seconds"`
-	Failed  []string    `json:"failed,omitempty"`
-	Table   *hotg.Table `json:"table"`
+	ID               string             `json:"id"`
+	Seconds          float64            `json:"seconds"`
+	Workers          int64              `json:"workers"`
+	ProofCacheHits   int64              `json:"proof_cache_hits"`
+	ProofCacheMisses int64              `json:"proof_cache_misses"`
+	WallSeconds      float64            `json:"wall_seconds"`
+	SolveSeconds     float64            `json:"solve_seconds"`
+	Failed           []string           `json:"failed,omitempty"`
+	Table            *hotg.Table        `json:"table"`
+	Metrics          []hotg.MetricValue `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -38,7 +46,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := hotg.ExperimentConfig{Quick: *quick, Budget: *budget, Seed: *seed}
+	baseCfg := hotg.ExperimentConfig{Quick: *quick, Budget: *budget, Seed: *seed}
 
 	selected := flag.Args()
 	run := func(e hotg.Experiment) bool {
@@ -59,6 +67,12 @@ func main() {
 		if !run(e) {
 			continue
 		}
+		cfg := baseCfg
+		if *jsonOut {
+			// A fresh registry per experiment, so each snapshot reflects only
+			// this experiment's searches.
+			cfg.Obs = hotg.NewObserver()
+		}
 		t0 := time.Now()
 		tab := e.Run(cfg)
 		secs := time.Since(t0).Seconds()
@@ -68,7 +82,19 @@ func main() {
 		}
 		failures += len(failed)
 		if *jsonOut {
-			results = append(results, jsonResult{ID: e.ID, Seconds: secs, Failed: failed, Table: tab})
+			m := cfg.Obs.Metrics
+			results = append(results, jsonResult{
+				ID:               e.ID,
+				Seconds:          secs,
+				Workers:          m.Get("search.workers"),
+				ProofCacheHits:   m.Get("search.proof_cache.hits"),
+				ProofCacheMisses: m.Get("search.proof_cache.misses"),
+				WallSeconds:      float64(m.Get("search.wall_ns")) / 1e9,
+				SolveSeconds:     float64(m.Get("search.solve_ns")) / 1e9,
+				Failed:           failed,
+				Table:            tab,
+				Metrics:          m.Snapshot(),
+			})
 			continue
 		}
 		fmt.Println(tab.Render())

@@ -8,6 +8,8 @@
 //	hotg -workload lexer -mode higher-order -runs 300
 //	hotg -workload lexer -mode higher-order -runs 300 -workers 8
 //	hotg -workload foo -mode dart-unsound -runs 50 -v
+//	hotg -workload lexer -runs 300 -profile
+//	hotg -workload lexer -runs 300 -trace trace.jsonl -trace-chrome trace.json
 package main
 
 import (
@@ -32,6 +34,9 @@ func main() {
 		samplesOut = flag.String("samples-out", "", "save the IOF store at exit (JSON)")
 		summaries  = flag.Bool("summaries", false, "enable compositional path summaries (higher-order mode)")
 		workers    = flag.Int("workers", 0, "worker goroutines for test execution and proving (0 = GOMAXPROCS); results are identical at any count")
+		tracePath  = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		profile    = flag.Bool("profile", false, "print a metrics profile (latency percentiles, cache traffic) after the run")
+		chromePath = flag.String("trace-chrome", "", "write a Chrome trace_event JSON (Perfetto, chrome://tracing) to this file")
 	)
 	flag.Parse()
 
@@ -52,13 +57,22 @@ func main() {
 	prog := w.Build()
 
 	if *mode == "all" {
-		compareAll(w, *runs, *seed)
+		compareAll(w, *runs, *seed, *workers, *refute, *summaries)
 		return
+	}
+
+	o, traceFile, err := buildObs(*tracePath, *chromePath, *profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotg:", err)
+		os.Exit(2)
 	}
 
 	var stats *hotg.Stats
 	var cache *hotg.SummaryCache
 	if *mode == "random" {
+		if o != nil {
+			fmt.Fprintln(os.Stderr, "hotg: -trace/-profile/-trace-chrome instrument the concolic pipeline and are ignored in random mode")
+		}
 		stats = hotg.Fuzz(prog, hotg.FuzzOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds,
 			Rand: rand.New(rand.NewSource(*seed)),
@@ -90,19 +104,13 @@ func main() {
 		}
 		stats = hotg.Explore(eng, hotg.SearchOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
-			Workers: *workers,
+			Workers: *workers, Obs: o,
 		})
 		if *samplesOut != "" {
-			f, err := os.Create(*samplesOut)
-			if err != nil {
+			if err := writeSamples(eng, *samplesOut); err != nil {
 				fmt.Fprintln(os.Stderr, "hotg:", err)
 				os.Exit(2)
 			}
-			if err := hotg.SaveSamples(eng, f); err != nil {
-				fmt.Fprintln(os.Stderr, "hotg:", err)
-				os.Exit(2)
-			}
-			f.Close()
 			fmt.Printf("saved %d samples to %s\n", eng.Samples.Len(), *samplesOut)
 		}
 	}
@@ -117,21 +125,114 @@ func main() {
 	}
 	if len(stats.Bugs) == 0 {
 		fmt.Println("no bugs found")
+	} else {
+		fmt.Printf("%d bug(s):\n", len(stats.Bugs))
+		for _, b := range stats.Bugs {
+			if *verbose {
+				fmt.Printf("  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+			} else {
+				fmt.Printf("  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+			}
+		}
+	}
+
+	finishObs(o, traceFile, *tracePath, *chromePath, *profile)
+}
+
+// buildObs assembles the observer requested by -trace/-profile/-trace-chrome,
+// or returns nil when none is set so the search runs on the zero-overhead
+// path. The returned file (if any) is the open -trace output, closed by
+// finishObs.
+func buildObs(tracePath, chromePath string, profile bool) (*hotg.Observer, *os.File, error) {
+	if tracePath == "" && chromePath == "" && !profile {
+		return nil, nil, nil
+	}
+	o := hotg.NewObserver()
+	var f *os.File
+	if tracePath != "" {
+		var err error
+		f, err = os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.Trace = hotg.NewTracer(f)
+	} else if chromePath != "" {
+		o.Trace = hotg.NewTracer(nil)
+	}
+	if chromePath != "" {
+		o.Trace.Keep()
+	}
+	return o, f, nil
+}
+
+// finishObs flushes and closes the trace outputs and prints the profile.
+func finishObs(o *hotg.Observer, traceFile *os.File, tracePath, chromePath string, profile bool) {
+	if o == nil {
 		return
 	}
-	fmt.Printf("%d bug(s):\n", len(stats.Bugs))
-	for _, b := range stats.Bugs {
-		if *verbose {
-			fmt.Printf("  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+	failed := false
+	if err := o.Trace.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hotg: trace:", err)
+		failed = true
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hotg: trace:", err)
+			failed = true
 		} else {
-			fmt.Printf("  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+			fmt.Printf("trace written to %s\n", tracePath)
 		}
+	}
+	if chromePath != "" {
+		if err := writeChrome(o, chromePath); err != nil {
+			fmt.Fprintln(os.Stderr, "hotg: trace-chrome:", err)
+			failed = true
+		} else {
+			fmt.Printf("chrome trace written to %s (load in Perfetto or chrome://tracing)\n", chromePath)
+		}
+	}
+	if profile {
+		fmt.Println("\nprofile:")
+		fmt.Print(o.Metrics.ProfileTable())
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
+// writeChrome exports the retained events as a Chrome trace_event file.
+func writeChrome(o *hotg.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := hotg.WriteChromeTrace(f, o.Trace.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSamples saves the engine's IOF store to path. The file is closed on
+// every path, and close errors are reported: a failed close can silently
+// truncate the sample file.
+func writeSamples(eng *hotg.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := hotg.SaveSamples(eng, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // compareAll runs every technique (random included) on the workload and
-// prints one row per technique.
-func compareAll(w *hotg.Workload, runs int, seed int64) {
+// prints one row per technique. The -workers, -refute, and -summaries flags
+// apply to every technique's search (refute and summaries only change
+// higher-order behavior but are threaded uniformly).
+func compareAll(w *hotg.Workload, runs int, seed int64, workers int, refute, summaries bool) {
 	fmt.Printf("%-20s %-6s %-10s %-6s %-6s %-6s\n", "technique", "runs", "coverage", "paths", "bugs", "div")
 	fz := hotg.Fuzz(w.Build(), hotg.FuzzOptions{
 		MaxRuns: runs, Seeds: w.Seeds, Bounds: w.Bounds, Rand: rand.New(rand.NewSource(seed)),
@@ -148,7 +249,13 @@ func compareAll(w *hotg.Workload, runs int, seed int64) {
 	} {
 		wm, _ := hotg.GetWorkload(w.Name)
 		eng := hotg.NewEngine(wm.Build(), m)
-		st := hotg.Explore(eng, hotg.SearchOptions{MaxRuns: runs, Seeds: wm.Seeds, Bounds: wm.Bounds})
+		if summaries {
+			eng.Summaries = hotg.NewSummaryCache()
+		}
+		st := hotg.Explore(eng, hotg.SearchOptions{
+			MaxRuns: runs, Seeds: wm.Seeds, Bounds: wm.Bounds,
+			Workers: workers, Refute: refute,
+		})
 		row(m.String(), st)
 	}
 }

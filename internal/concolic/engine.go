@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"hotg/internal/mini"
+	"hotg/internal/obs"
 	"hotg/internal/sym"
 )
 
@@ -161,6 +162,10 @@ type Engine struct {
 	// Summaries, when non-nil, enables compositional path summaries for
 	// eligible user-function calls (ModeHigherOrder only); see summary.go.
 	Summaries *SummaryCache
+	// Obs, when non-nil, collects per-execution metrics (concolic.exec.ns,
+	// concolic.path.len, samples learned, UF applications). Clones share it;
+	// all updates are atomic. Never affects execution results.
+	Obs *obs.Obs
 
 	MaxSteps int
 	MaxDepth int

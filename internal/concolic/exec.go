@@ -2,6 +2,7 @@ package concolic
 
 import (
 	"fmt"
+	"time"
 
 	"hotg/internal/mini"
 	"hotg/internal/sym"
@@ -105,6 +106,10 @@ func (e *Engine) Run(input []int64) *Execution {
 	if len(input) != len(e.InputVars) {
 		panic(fmt.Sprintf("concolic: input length %d, want %d", len(input), len(e.InputVars)))
 	}
+	var t0 time.Time
+	if e.Obs.Enabled() {
+		t0 = time.Now()
+	}
 	r := &runner{
 		e:        e,
 		res:      &mini.Result{},
@@ -156,6 +161,15 @@ func (e *Engine) Run(input []int64) *Execution {
 		r.res.RuntimeMsg = e.msg
 	default:
 		panic(err)
+	}
+	if o := r.e.Obs; o.Enabled() {
+		o.Histogram("concolic.exec.ns").Observe(int64(time.Since(t0)))
+		o.Histogram("concolic.path.len").Observe(int64(len(r.ex.PC)))
+		o.Histogram("concolic.steps").Observe(int64(r.res.Steps))
+		o.Counter("concolic.runs").Inc()
+		o.Counter("concolic.samples.learned").Add(int64(r.ex.NewSamples))
+		o.Counter("concolic.ufapps").Add(int64(r.ex.UFApps))
+		o.Counter("concolic.concretizations").Add(int64(r.ex.Concretizations))
 	}
 	return r.ex
 }

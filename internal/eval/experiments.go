@@ -25,13 +25,16 @@ var allModes = []concolic.Mode{
 	concolic.ModeHigherOrder,
 }
 
-func runSearch(w *lexapp.Workload, mode concolic.Mode, opts search.Options) *search.Stats {
+func runSearch(cfg Config, w *lexapp.Workload, mode concolic.Mode, opts search.Options) *search.Stats {
 	eng := concolic.New(w.Build(), mode)
 	if opts.Seeds == nil {
 		opts.Seeds = w.Seeds
 	}
 	if opts.Bounds == nil {
 		opts.Bounds = w.Bounds
+	}
+	if opts.Obs == nil {
+		opts.Obs = cfg.Obs
 	}
 	return search.Run(eng, opts)
 }
@@ -76,7 +79,7 @@ func E1Obscure(cfg Config) *Table {
 	t.claim(len(st.ErrorSitesFound()) == 0, "blackbox random testing cannot crack the hash guard")
 
 	for _, mode := range allModes {
-		st := runSearch(lexapp.Obscure(), mode, search.Options{MaxRuns: 50})
+		st := runSearch(cfg, lexapp.Obscure(), mode, search.Options{MaxRuns: 50})
 		t.addRow(mode.String(), foundBug(st), firstBugRun(st), fmt.Sprintf("%d", st.Runs),
 			fmt.Sprintf("%d/%d", st.BranchSidesCovered(), st.BranchSidesTotal()),
 			fmt.Sprintf("%v", st.Incomplete))
@@ -177,7 +180,7 @@ func E4GoodDivergence(cfg Config) *Table {
 		Columns: []string{"mode", "bug found", "divergences", "runs"},
 	}
 	for _, mode := range []concolic.Mode{concolic.ModeSound, concolic.ModeUnsound, concolic.ModeHigherOrder} {
-		st := runSearch(lexapp.FooBis(), mode, search.Options{MaxRuns: 50})
+		st := runSearch(cfg, lexapp.FooBis(), mode, search.Options{MaxRuns: 50})
 		t.addRow(mode.String(), foundBug(st), fmt.Sprintf("%d", st.Divergences), fmt.Sprintf("%d", st.Runs))
 		found := len(st.ErrorSitesFound()) > 0
 		switch mode {
@@ -204,11 +207,11 @@ func E5Incomparable(cfg Config) *Table {
 			"since this formula is invalid\" (Example 3)",
 		Columns: []string{"mode", "bug found", "divergences", "invalid verdicts"},
 	}
-	un := runSearch(lexapp.Bar(), concolic.ModeUnsound, search.Options{MaxRuns: 50})
+	un := runSearch(cfg, lexapp.Bar(), concolic.ModeUnsound, search.Options{MaxRuns: 50})
 	t.addRow("dart-unsound", foundBug(un), fmt.Sprintf("%d", un.Divergences), "-")
 	t.claim(un.Divergences > 0, "unsound concretization diverges on bar")
 
-	ho := runSearch(lexapp.Bar(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50, Refute: true})
+	ho := runSearch(cfg, lexapp.Bar(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50, Refute: true})
 	t.addRow("higher-order", foundBug(ho), fmt.Sprintf("%d", ho.Divergences), fmt.Sprintf("%d", ho.ProverInvalid))
 	t.claim(ho.ProverInvalid > 0, "higher-order proves ∃x,y: x=h(y) ∧ y=h(x) invalid")
 	t.claim(ho.Divergences == 0 && len(ho.ErrorSitesFound()) == 0,
@@ -253,7 +256,7 @@ func E6SamplesNeeded(cfg Config) *Table {
 		"with the sample antecedent the formula is valid with witness (x=1, y=10)")
 
 	// End-to-end: the pub program under higher-order search.
-	st := runSearch(lexapp.Pub(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
+	st := runSearch(cfg, lexapp.Pub(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
 	t.note("end-to-end on pub(): %s", st.Summary())
 	t.claim(len(st.ErrorSitesFound()) == 1, "higher-order search reaches pub's error site")
 	return t
@@ -285,11 +288,11 @@ func E7EUFEquality(cfg Config) *Table {
 	t.addRow("higher-order (fol)", out.String(), desc)
 	t.claim(ok, "validity proved with strategy x := y")
 
-	so := runSearch(lexapp.EqPair(), concolic.ModeSound, search.Options{MaxRuns: 50})
+	so := runSearch(cfg, lexapp.EqPair(), concolic.ModeSound, search.Options{MaxRuns: 50})
 	t.addRow("dart-sound (search)", foundBug(so), so.Summary())
 	t.claim(len(so.ErrorSitesFound()) == 0, "sound concretization cannot reach the hash(x)==hash(y) branch")
 
-	ho := runSearch(lexapp.EqPair(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
+	ho := runSearch(cfg, lexapp.EqPair(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
 	t.addRow("higher-order (search)", foundBug(ho), ho.Summary())
 	t.claim(len(ho.ErrorSitesFound()) == 1 && ho.Divergences == 0,
 		"higher-order search reaches it divergence-free")
@@ -328,7 +331,7 @@ func E8SamplePairs(cfg Config) *Table {
 	t.claim(out2 == fol.OutcomeProved && witness == "x=1 y=0",
 		"with samples the formula is valid with witness (x=1, y=0)")
 
-	ho := runSearch(lexapp.SuccPair(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
+	ho := runSearch(cfg, lexapp.SuccPair(), concolic.ModeHigherOrder, search.Options{MaxRuns: 50})
 	t.note("end-to-end on succ-pair: %s", ho.Summary())
 	t.claim(len(ho.ErrorSitesFound()) == 1, "higher-order search reaches hash(x)==hash(y)+1")
 	return t
@@ -346,7 +349,7 @@ func E9MultiStep(cfg Config) *Table {
 		Columns: []string{"workload", "bug found", "first-bug run", "multi-step chains", "intermediate tests", "divergences"},
 	}
 	for _, w := range []*lexapp.Workload{lexapp.Foo(), lexapp.KStep(3)} {
-		st := runSearch(w, concolic.ModeHigherOrder, search.Options{MaxRuns: 200, MaxMultiStep: 4})
+		st := runSearch(cfg, w, concolic.ModeHigherOrder, search.Options{MaxRuns: 200, MaxMultiStep: 4})
 		t.addRow(w.Name, foundBug(st), firstBugRun(st),
 			fmt.Sprintf("%d", st.MultiStepChains), fmt.Sprintf("%d", st.IntermediateTests),
 			fmt.Sprintf("%d", st.Divergences))
@@ -615,7 +618,7 @@ func E12LexerStudy(cfg Config) *Table {
 	results := map[concolic.Mode]*search.Stats{}
 	for _, mode := range allModes {
 		wm := lexapp.Lexer()
-		st := runSearch(wm, mode, search.Options{MaxRuns: cfg.Budget})
+		st := runSearch(cfg, wm, mode, search.Options{MaxRuns: cfg.Budget})
 		results[mode] = st
 		lexerRow(t, wm, mode.String(), st)
 		t.note("coverage-vs-runs (figure series) %s:%s", mode, covSeries(st))
@@ -664,7 +667,7 @@ func E13SamplePersistence(cfg Config) *Table {
 	}
 	w := lexapp.LexerHardcoded()
 
-	junk := runSearch(lexapp.LexerHardcoded(), concolic.ModeHigherOrder,
+	junk := runSearch(cfg, lexapp.LexerHardcoded(), concolic.ModeHigherOrder,
 		search.Options{MaxRuns: cfg.Budget, Seeds: lexapp.JunkSeeds()})
 	t.addRow("junk only", fmt.Sprintf("%d/8", keywordSides(w, junk)),
 		fmt.Sprintf("%d", junk.SamplesLearned), fmt.Sprintf("%d", len(junk.ErrorSitesFound())),
@@ -672,7 +675,7 @@ func E13SamplePersistence(cfg Config) *Table {
 	t.claim(keywordSides(w, junk) == 0,
 		"with hard-coded hashes and junk seeds, even higher-order cannot recognize keywords")
 
-	full := runSearch(lexapp.LexerHardcoded(), concolic.ModeHigherOrder,
+	full := runSearch(cfg, lexapp.LexerHardcoded(), concolic.ModeHigherOrder,
 		search.Options{MaxRuns: cfg.Budget})
 	t.addRow("junk + well-formed", fmt.Sprintf("%d/8", keywordSides(w, full)),
 		fmt.Sprintf("%d", full.SamplesLearned), fmt.Sprintf("%d", len(full.ErrorSitesFound())),
@@ -704,7 +707,7 @@ func E13SamplePersistence(cfg Config) *Table {
 		t.claim(false, "session store decodes: %v", err)
 		return t
 	}
-	st2 := search.Run(sess2, search.Options{MaxRuns: cfg.Budget, Seeds: lexapp.JunkSeeds(), Bounds: w2.Bounds})
+	st2 := search.Run(sess2, search.Options{MaxRuns: cfg.Budget, Seeds: lexapp.JunkSeeds(), Bounds: w2.Bounds, Obs: cfg.Obs})
 	t.addRow("junk + imported session", fmt.Sprintf("%d/8", keywordSides(w2, st2)),
 		fmt.Sprintf("%d", st2.SamplesLearned), fmt.Sprintf("%d", len(st2.ErrorSitesFound())),
 		fmt.Sprintf("%d/%d", st2.BranchSidesCovered(), st2.BranchSidesTotal()))
@@ -727,7 +730,7 @@ func A1DelayedConc(cfg Config) *Table {
 		Columns: []string{"mode", "bug found", "divergences"},
 	}
 	for _, mode := range []concolic.Mode{concolic.ModeSound, concolic.ModeSoundDelayed, concolic.ModeHigherOrder} {
-		st := runSearch(lexapp.Delayed(), mode, search.Options{MaxRuns: 20})
+		st := runSearch(cfg, lexapp.Delayed(), mode, search.Options{MaxRuns: 20})
 		t.addRow(mode.String(), foundBug(st), fmt.Sprintf("%d", st.Divergences))
 		found := len(st.ErrorSitesFound()) > 0
 		switch mode {
@@ -757,7 +760,7 @@ func A2DivergenceRates(cfg Config) *Table {
 	for _, mode := range allModes {
 		tests, div, sites := 0, 0, 0
 		for _, w := range workloads {
-			st := runSearch(w, mode, search.Options{MaxRuns: 60})
+			st := runSearch(cfg, w, mode, search.Options{MaxRuns: 60})
 			tests += st.TestsGenerated
 			div += st.Divergences
 			sites += len(st.ErrorSitesFound())
@@ -798,7 +801,7 @@ func E14PacketParser(cfg Config) *Table {
 
 	for _, mode := range []concolic.Mode{concolic.ModeUnsound, concolic.ModeSound, concolic.ModeHigherOrder} {
 		wm := lexapp.Packet()
-		st := runSearch(wm, mode, search.Options{MaxRuns: 400})
+		st := runSearch(cfg, wm, mode, search.Options{MaxRuns: 400})
 		t.addRow(mode.String(), fmt.Sprintf("%d", st.Runs), fmt.Sprintf("%d", len(st.ErrorSitesFound())),
 			fmt.Sprintf("%d", st.Divergences), fmt.Sprintf("%d", st.MultiStepChains),
 			fmt.Sprintf("%d/%d", st.BranchSidesCovered(), st.BranchSidesTotal()))
@@ -839,7 +842,7 @@ func E15GrammarBaseline(cfg Config) *Table {
 	// unknown functions remain once the lexer is bypassed), then unlift each
 	// bug through the grammar and replay it on the real lexer.
 	tp := lexapp.TokenParser()
-	gb := runSearch(tp, concolic.ModeSound, search.Options{MaxRuns: cfg.Budget})
+	gb := runSearch(cfg, tp, concolic.ModeSound, search.Options{MaxRuns: cfg.Budget})
 	validated := 0
 	for _, b := range gb.Bugs {
 		if b.Kind == mini.StopError && lexapp.ValidateOnLexer(b.Input, b.Msg) {
@@ -856,7 +859,7 @@ func E15GrammarBaseline(cfg Config) *Table {
 
 	// Higher-order generation on the unmodified program.
 	w := lexapp.Lexer()
-	ho := runSearch(w, concolic.ModeHigherOrder, search.Options{MaxRuns: cfg.Budget})
+	ho := runSearch(cfg, w, concolic.ModeHigherOrder, search.Options{MaxRuns: cfg.Budget})
 	t.addRow("higher-order", fmt.Sprintf("%d", ho.Runs),
 		fmt.Sprintf("%d", len(ho.ErrorSitesFound())), fmt.Sprintf("%d", len(ho.ErrorSitesFound())),
 		"only the hash function's name")
@@ -886,7 +889,7 @@ func A3Summaries(cfg Config) *Table {
 	budget := 200
 
 	w1 := lexapp.Scanner()
-	plain := runSearch(w1, concolic.ModeHigherOrder, search.Options{MaxRuns: budget})
+	plain := runSearch(cfg, w1, concolic.ModeHigherOrder, search.Options{MaxRuns: budget})
 	t.addRow("inlining", fmt.Sprintf("%d", plain.Runs), fmt.Sprintf("%d", len(plain.ErrorSitesFound())),
 		fmt.Sprintf("%d/%d", plain.BranchSidesCovered(), plain.BranchSidesTotal()),
 		fmt.Sprintf("%d", plain.Divergences), "-", "-", "-")
@@ -894,7 +897,7 @@ func A3Summaries(cfg Config) *Table {
 	w2 := lexapp.Scanner()
 	eng := concolic.New(w2.Build(), concolic.ModeHigherOrder)
 	eng.Summaries = concolic.NewSummaryCache()
-	summ := search.Run(eng, search.Options{MaxRuns: budget, Seeds: w2.Seeds, Bounds: w2.Bounds})
+	summ := search.Run(eng, search.Options{MaxRuns: budget, Seeds: w2.Seeds, Bounds: w2.Bounds, Obs: cfg.Obs})
 	t.addRow("summaries", fmt.Sprintf("%d", summ.Runs), fmt.Sprintf("%d", len(summ.ErrorSitesFound())),
 		fmt.Sprintf("%d/%d", summ.BranchSidesCovered(), summ.BranchSidesTotal()),
 		fmt.Sprintf("%d", summ.Divergences),
@@ -952,7 +955,7 @@ fn main(x int, y int) {
 		{Lo: -16, Hi: 16, HasLo: true, HasHi: true},
 	}
 	eng := concolic.New(pure, concolic.ModeSound)
-	st := search.Run(eng, search.Options{MaxRuns: 500, Seeds: [][]int64{{0, 0}}, Bounds: bounds})
+	st := search.Run(eng, search.Options{MaxRuns: 500, Seeds: [][]int64{{0, 0}}, Bounds: bounds, Obs: cfg.Obs})
 	verdict := "bugs remain"
 	if st.Exhausted {
 		verdict = "VERIFIED: unhit sites unreachable"
@@ -970,7 +973,7 @@ fn main(x int, y int) {
 	// incomplete — exhaustion proves nothing.
 	obscure := lexapp.Obscure()
 	engS := concolic.New(obscure.Build(), concolic.ModeStatic)
-	stS := search.Run(engS, search.Options{MaxRuns: 500, Seeds: obscure.Seeds})
+	stS := search.Run(engS, search.Options{MaxRuns: 500, Seeds: obscure.Seeds, Obs: cfg.Obs})
 	t.addRow("obscure (hash)", "static", fmt.Sprintf("%v", stS.Exhausted), fmt.Sprintf("%d", stS.Runs),
 		fmt.Sprintf("%d", stS.Paths()), fmt.Sprintf("%v", stS.ErrorSitesFound()),
 		"no verification (incomplete pc)")

@@ -10,6 +10,8 @@ package eval
 import (
 	"fmt"
 	"strings"
+
+	"hotg/internal/obs"
 )
 
 // Claim is one machine-checked assertion about an experiment's outcome,
@@ -111,6 +113,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks every experiment for CI-speed runs.
 	Quick bool
+	// Obs, when non-nil, collects metrics across every search the experiment
+	// runs (benchtab -json snapshots it per experiment). Nil disables
+	// observability.
+	Obs *obs.Obs
 }
 
 func (c Config) defaults() Config {

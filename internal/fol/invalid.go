@@ -1,6 +1,8 @@
 package fol
 
 import (
+	"time"
+
 	"hotg/internal/smt"
 	"hotg/internal/sym"
 )
@@ -17,8 +19,17 @@ import (
 // ("consider the function h such that h(x)=0 for all x", Example 4; a
 // successor-style h refutes Example 3's x = h(y) ∧ y = h(x)).
 func Refute(pc sym.Expr, samples *sym.SampleStore, opts Options) bool {
+	o := opts.Obs
+	var t0 time.Time
+	if o.Enabled() {
+		t0 = time.Now()
+		defer func() {
+			o.Histogram("fol.refute.ns").Observe(int64(time.Since(t0)))
+			o.Counter("fol.refute.calls").Inc()
+		}()
+	}
 	if !sym.HasApply(pc) {
-		st, _ := smt.Solve(pc, smt.Options{Pool: opts.Pool, VarBounds: opts.VarBounds})
+		st, _ := smt.Solve(pc, smt.Options{Pool: opts.Pool, VarBounds: opts.VarBounds, Obs: opts.Obs})
 		return st == smt.StatusUnsat
 	}
 	defaults := []func(args []*sym.Sum) *sym.Sum{
@@ -72,6 +83,6 @@ func completionUnsat(pc sym.Expr, samples *sym.SampleStore, def func([]*sym.Sum)
 	})
 
 	formula := sym.AndExpr(append(side, replaced)...)
-	st, _ := smt.Solve(formula, smt.Options{Pool: pool, VarBounds: opts.VarBounds})
+	st, _ := smt.Solve(formula, smt.Options{Pool: pool, VarBounds: opts.VarBounds, Obs: opts.Obs})
 	return st == smt.StatusUnsat
 }

@@ -2,7 +2,9 @@ package fol
 
 import (
 	"fmt"
+	"time"
 
+	"hotg/internal/obs"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
 )
@@ -26,6 +28,10 @@ type Options struct {
 	// for variables the proof leaves unconstrained — the paper's "fix y"
 	// step. Unconstrained variables without a fallback default to 0.
 	Fallback map[int]int64
+	// Obs, when non-nil, collects prover metrics (fol.prove.* latency and
+	// outcome counters, proof-search node usage) and is forwarded to the
+	// residual SMT solves. Never affects prover results.
+	Obs *obs.Obs
 }
 
 // Prove attempts a constructive validity proof of POST(pc) = ∃X: A ⇒ pc,
@@ -57,15 +63,26 @@ func ProveCore(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, 
 	if opts.Pool == nil {
 		opts.Pool = &sym.Pool{}
 	}
+	o := opts.Obs
+	var t0 time.Time
+	if o.Enabled() {
+		t0 = time.Now()
+	}
 	p := &prover{samples: samples, opts: opts, budget: opts.MaxNodes}
 	st := p.search(sym.Conjuncts(pc), nil, 0)
+	out := OutcomeUnknown
 	if st != nil {
-		return st, OutcomeProved
+		out = OutcomeProved
+	} else if !opts.NoRefute && Refute(pc, samples, opts) {
+		out = OutcomeInvalid
 	}
-	if !opts.NoRefute && Refute(pc, samples, opts) {
-		return nil, OutcomeInvalid
+	if o.Enabled() {
+		o.Histogram("fol.prove.ns").Observe(int64(time.Since(t0)))
+		o.Histogram("fol.prove.nodes").Observe(int64(opts.MaxNodes - p.budget))
+		o.Counter("fol.prove.calls").Inc()
+		o.Counter("fol.prove." + out.String()).Inc()
 	}
-	return nil, OutcomeUnknown
+	return st, out
 }
 
 // FillFallback "fixes" every variable of pc the proof left unconstrained at
@@ -402,7 +419,7 @@ func (p *prover) finish(conjuncts []sym.Expr, defs []Def, trace []string) *Strat
 			bounds[id] = b
 		}
 	}
-	status, model := smt.Solve(residual, smt.Options{Pool: p.opts.Pool, VarBounds: bounds})
+	status, model := smt.Solve(residual, smt.Options{Pool: p.opts.Pool, VarBounds: bounds, Obs: p.opts.Obs})
 	if status != smt.StatusSat {
 		return nil
 	}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("JSON Array
+// Format" / "traceEvents" object) understood by chrome://tracing and
+// Perfetto. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event envelope.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace converts a trace-event stream to Chrome trace_event JSON,
+// one track (thread) per worker plus one for the coordinator, so the search
+// worker-pool timeline renders in chrome://tracing or https://ui.perfetto.dev.
+// Events with a duration become complete ("X") slices; instant events become
+// thread-scoped instants ("i").
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	const pid = 1
+	// Worker -1 (coordinator) maps to tid 0; worker n maps to tid n+1.
+	tid := func(worker int) int { return worker + 1 }
+
+	tracks := map[int]bool{}
+	out := make([]chromeEvent, 0, len(events)+4)
+	for _, ev := range events {
+		tracks[ev.Worker] = true
+		ce := chromeEvent{
+			Name: ev.Kind,
+			TS:   float64(ev.TS) / 1e3,
+			PID:  pid,
+			TID:  tid(ev.Worker),
+		}
+		if ev.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		if len(ev.Num) > 0 || len(ev.Str) > 0 {
+			ce.Args = make(map[string]interface{}, len(ev.Num)+len(ev.Str)+1)
+			for k, v := range ev.Num {
+				ce.Args[k] = v
+			}
+			for k, v := range ev.Str {
+				ce.Args[k] = v
+			}
+			ce.Args["seq"] = ev.Seq
+		}
+		out = append(out, ce)
+	}
+
+	// Name the tracks so the timeline reads "coordinator", "worker 0", ….
+	var workers []int
+	for wk := range tracks {
+		workers = append(workers, wk)
+	}
+	sort.Ints(workers)
+	meta := make([]chromeEvent, 0, len(workers))
+	for _, wk := range workers {
+		name := "coordinator"
+		if wk >= 0 {
+			name = workerName(wk)
+		}
+		meta = append(meta, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   pid,
+			TID:   tid(wk),
+			Args:  map[string]interface{}{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+func workerName(w int) string {
+	return "worker " + strconv.Itoa(w)
+}

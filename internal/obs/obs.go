@@ -1,0 +1,73 @@
+// Package obs is the observability layer of the whole pipeline: a metrics
+// registry (named counters, gauges, and log-scale latency histograms) plus a
+// structured event tracer emitting one JSONL record per pipeline event.
+//
+// It is zero-dependency (stdlib only) and built around two rules:
+//
+//  1. Disabled means free. Every entry point is nil-safe: a nil *Obs, a nil
+//     *Counter, a nil *Tracer all no-op behind a single pointer check, so the
+//     uninstrumented path costs one branch and no allocation. Hot paths guard
+//     their time.Now() calls with Obs.Enabled()/Tracing().
+//
+//  2. Traces are deterministic. Metric updates may happen on any worker
+//     goroutine (counters and histograms are atomic), but trace events are
+//     emitted only by the search coordinator in canonical apply order — the
+//     same order the sequential algorithm would produce. Worker-side facts
+//     (which worker ran a task, when, for how long) ride along as the Worker/
+//     TS/Dur fields, which Canonical() strips; everything else is identical
+//     at every worker count.
+//
+// See DESIGN.md §7 for the architecture and the field-by-field event schema.
+package obs
+
+// Obs bundles a metrics registry with an optional event tracer. A nil *Obs
+// disables all observability; a non-nil Obs with a nil Trace collects metrics
+// only.
+type Obs struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New returns an Obs collecting metrics, with tracing disabled.
+func New() *Obs { return &Obs{Metrics: NewRegistry()} }
+
+// Enabled reports whether any observability is active.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// Tracing reports whether trace events should be emitted.
+func (o *Obs) Tracing() bool { return o != nil && o.Trace != nil }
+
+// Counter returns the named counter, or nil (a valid no-op handle) when
+// observability is disabled.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or a nil no-op handle.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram, or a nil no-op handle.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Emit forwards an event to the tracer, if any. Callers that build attribute
+// maps should guard with Tracing() first so the maps are not allocated on the
+// disabled path.
+func (o *Obs) Emit(ev Event) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace.Emit(ev)
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every handle must be usable when observability is disabled.
+	var o *Obs
+	if o.Enabled() || o.Tracing() {
+		t.Fatal("nil Obs reports enabled")
+	}
+	o.Counter("x").Add(5)
+	o.Gauge("x").Set(5)
+	o.Histogram("x").Observe(5)
+	o.Emit(Event{Kind: "k"})
+	if o.Counter("x").Value() != 0 || o.Gauge("x").Value() != 0 {
+		t.Fatal("nil handles returned nonzero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Snapshot().Count != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+	var tr *Tracer
+	tr.Emit(Event{})
+	if tr.Events() != nil || tr.Close() != nil {
+		t.Fatal("nil tracer misbehaved")
+	}
+	var r *Registry
+	if r.Snapshot() != nil || r.Get("x") != 0 {
+		t.Fatal("nil registry misbehaved")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(3)
+	if got := r.Gauge("g").Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	if r.Get("a") != 5 || r.Get("g") != 3 || r.Get("missing") != 0 {
+		t.Fatal("Get lookups wrong")
+	}
+}
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, 1 << 40, 1<<62 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+		// The representative value must be within the bucket's relative
+		// error bound (exact below 8, ≤ 12.5% above).
+		mid := bucketMid(idx)
+		if v < 8 && mid != v {
+			t.Fatalf("small value %d not exact (mid %d)", v, mid)
+		}
+		if v >= 8 {
+			rel := math.Abs(float64(mid-v)) / float64(v)
+			if rel > 0.125 {
+				t.Fatalf("bucketMid(%d)=%d relative error %.3f for value %d", idx, mid, rel, v)
+			}
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	check := func(name string, got, want int64) {
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.15 {
+			t.Errorf("%s = %d, want ≈%d (rel err %.3f)", name, got, want, rel)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p90", s.P90, 900)
+	check("p99", s.P99, 990)
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(123456)
+	s := h.Snapshot()
+	if s.P50 != 123456 || s.P99 != 123456 || s.Min != 123456 || s.Max != 123456 {
+		t.Fatalf("single observation must report exactly: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 10000; i++ {
+				h.Observe(i + int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 80000 {
+		t.Fatalf("lost observations: %d", got)
+	}
+}
+
+func TestRegistrySnapshotSortedAndProfile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.middle").Set(9)
+	r.Histogram("lat.ns").Observe(1500)
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap {
+		names = append(names, m.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("snapshot not sorted: %v", names)
+		}
+	}
+	table := r.ProfileTable()
+	for _, want := range []string{"a.first", "m.middle", "lat.ns", "p99"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("profile table missing %q:\n%s", want, table)
+		}
+	}
+	// .ns metrics render as durations.
+	if !strings.Contains(table, "µs") && !strings.Contains(table, "ms") {
+		t.Errorf("latency metric not formatted as duration:\n%s", table)
+	}
+}
+
+func TestTracerJSONLAndCanonical(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf).Keep()
+	tr.Emit(Event{Kind: "alpha", Worker: 2, Num: map[string]int64{"x": 1}})
+	tr.Emit(Event{Kind: "beta", Str: map[string]string{"s": "v"}})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev.Seq != 1 || ev.Kind != "alpha" || ev.Worker != 2 || ev.Num["x"] != 1 {
+		t.Fatalf("decoded event wrong: %+v", ev)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[1].Seq != 2 {
+		t.Fatalf("retained events wrong: %+v", evs)
+	}
+	// Canonical strips exactly the scheduling fields.
+	a := Event{Seq: 1, Kind: "k", TS: 5, Dur: 9, Worker: 3, Num: map[string]int64{"n": 2}}
+	b := Event{Seq: 1, Kind: "k", TS: 77, Dur: 1, Worker: 0, Num: map[string]int64{"n": 2}}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical should ignore ts/dur/worker:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	c := Event{Seq: 1, Kind: "k", Num: map[string]int64{"n": 3}}
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("canonical must keep attributes")
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: "run_start", Worker: -1, TS: 0},
+		{Seq: 2, Kind: "exec_task", Worker: 0, TS: 1000, Dur: 500, Num: map[string]int64{"run": 1}},
+		{Seq: 3, Kind: "exec_task", Worker: 1, TS: 1200, Dur: 700},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 events + 3 thread_name metadata records (coordinator, worker 0, 1).
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("want 6 trace events, got %d", len(doc.TraceEvents))
+	}
+	var sliceUS float64
+	names := map[string]bool{}
+	for _, ce := range doc.TraceEvents {
+		if ce.Phase == "M" {
+			names[ce.Args["name"].(string)] = true
+		}
+		if ce.Phase == "X" && ce.Name == "exec_task" && ce.TID == 1 {
+			sliceUS = ce.Dur
+		}
+	}
+	for _, want := range []string{"coordinator", "worker 0", "worker 1"} {
+		if !names[want] {
+			t.Errorf("missing track %q (have %v)", want, names)
+		}
+	}
+	if sliceUS != 0.5 { // 500ns = 0.5µs
+		t.Errorf("duration not converted to microseconds: %v", sliceUS)
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil *Counter is a
+// valid no-op handle, so lookups against a disabled registry cost nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for the nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically set last-value metric (worker counts, store sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last value set (0 for the nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named-metric table. Metric handles are created on first use
+// and stable thereafter, so hot loops fetch a handle once and update it with
+// plain atomics; the registry lock is touched only on lookup and snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricValue is one metric in a snapshot. Kind is "counter", "gauge", or
+// "histogram"; histogram entries carry the distribution fields.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Value int64  `json:"value"`
+
+	// Histogram-only fields (Value holds the observation count).
+	Sum int64 `json:"sum,omitempty"`
+	Min int64 `json:"min,omitempty"`
+	Max int64 `json:"max,omitempty"`
+	P50 int64 `json:"p50,omitempty"`
+	P90 int64 `json:"p90,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
+}
+
+// Snapshot returns every registered metric, sorted by name, with histogram
+// percentiles computed at snapshot time.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, MetricValue{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricValue{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		out = append(out, MetricValue{
+			Name: name, Kind: "histogram", Value: s.Count,
+			Sum: s.Sum, Min: s.Min, Max: s.Max, P50: s.P50, P90: s.P90, P99: s.P99,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the snapshot value of one metric by name (0 if absent) — a
+// convenience for tools embedding a few headline numbers.
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c.Value()
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g.Value()
+	}
+	if h, ok := r.hists[name]; ok {
+		return h.Snapshot().Count
+	}
+	return 0
+}
+
+// ProfileTable renders the full registry as an aligned end-of-run report.
+// Histogram rows show count, mean, and the p50/p90/p99 percentiles; metrics
+// whose name ends in ".ns" are formatted as durations.
+func (r *Registry) ProfileTable() string {
+	snap := r.Snapshot()
+	var b strings.Builder
+	b.WriteString("metric                                    kind       value/count        mean       p50       p90       p99\n")
+	for _, m := range snap {
+		ns := strings.HasSuffix(m.Name, ".ns")
+		switch m.Kind {
+		case "histogram":
+			mean := int64(0)
+			if m.Value > 0 {
+				mean = m.Sum / m.Value
+			}
+			fmt.Fprintf(&b, "%-41s %-10s %11d %11s %9s %9s %9s\n", m.Name, m.Kind, m.Value,
+				formatVal(mean, ns), formatVal(m.P50, ns), formatVal(m.P90, ns), formatVal(m.P99, ns))
+		default:
+			fmt.Fprintf(&b, "%-41s %-10s %11s\n", m.Name, m.Kind, formatVal(m.Value, ns))
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// formatVal renders nanosecond metrics human-readably and leaves the rest as
+// plain integers.
+func formatVal(v int64, ns bool) string {
+	if !ns {
+		return fmt.Sprintf("%d", v)
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. The schema is a stable interface
+// (documented field-by-field in DESIGN.md §7):
+//
+//	seq    — 1-based emission sequence number; deterministic at any worker
+//	         count (events are emitted in canonical coordinator apply order).
+//	kind   — event type (run_start, target, prove, solve, cache, exec_task,
+//	         samples_learned, divergence, bug_found, multistep, run_end, …).
+//	ts_ns  — start time, nanoseconds since the trace began (timing-only).
+//	dur_ns — duration in nanoseconds, 0 for instant events (timing-only).
+//	worker — worker that performed the work: 0-based worker index, or -1 for
+//	         the coordinator (scheduling-only).
+//	num    — integer attributes, keyed by name; deterministic.
+//	str    — string attributes, keyed by name; deterministic.
+//
+// ts_ns, dur_ns, and worker are the only fields that may differ between runs
+// at different worker counts; Canonical strips exactly those.
+type Event struct {
+	Seq    int64             `json:"seq"`
+	Kind   string            `json:"kind"`
+	TS     int64             `json:"ts_ns"`
+	Dur    int64             `json:"dur_ns,omitempty"`
+	Worker int               `json:"worker"`
+	Num    map[string]int64  `json:"num,omitempty"`
+	Str    map[string]string `json:"str,omitempty"`
+}
+
+// Canonical returns the determinism-relevant projection of the event as one
+// JSON line: sequence, kind, and attributes, with timestamps, durations, and
+// worker IDs stripped. Two searches are trace-equivalent iff their canonical
+// streams are equal.
+func (ev Event) Canonical() string {
+	c := ev
+	c.TS, c.Dur, c.Worker = 0, 0, 0
+	b, err := json.Marshal(c) // map keys marshal sorted; fully deterministic
+	if err != nil {
+		return "<unencodable event>"
+	}
+	return string(b)
+}
+
+// Tracer serializes events to an optional JSONL writer and (optionally)
+// retains them in memory for post-run export (Chrome traces, tests). The nil
+// *Tracer is a valid no-op handle. Emission is mutex-serialized; in the
+// search it is called only from the coordinator goroutine.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	start  time.Time
+	seq    int64
+	keep   bool
+	events []Event
+	err    error
+}
+
+// NewTracer returns a tracer writing one JSON object per line to w. A nil w
+// is allowed (events are only retained if Keep is set) — used when only a
+// Chrome export or an in-memory stream is wanted.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{start: time.Now()}
+	if w != nil {
+		t.bw = bufio.NewWriter(w)
+		t.enc = json.NewEncoder(t.bw)
+	}
+	return t
+}
+
+// Keep makes the tracer retain every event in memory (for Events/Chrome
+// export). Returns the tracer for chaining.
+func (t *Tracer) Keep() *Tracer {
+	if t != nil {
+		t.keep = true
+	}
+	return t
+}
+
+// Start returns the tracer's epoch; event timestamps are relative to it.
+func (t *Tracer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Emit assigns the event its sequence number and timestamp and writes it.
+// If ev.TS is zero it is stamped with the current trace-relative time.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	if ev.TS == 0 {
+		ev.TS = int64(time.Since(t.start))
+	}
+	if t.keep {
+		t.events = append(t.events, ev)
+	}
+	if t.enc != nil {
+		if err := t.enc.Encode(ev); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+}
+
+// Events returns the retained events (Keep mode only).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// CanonicalStream returns the retained events' canonical lines joined by
+// newlines — the value the determinism tests compare across worker counts.
+func (t *Tracer) CanonicalStream() string {
+	evs := t.Events()
+	var b []byte
+	for _, ev := range evs {
+		b = append(b, ev.Canonical()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Close flushes the JSONL writer and returns the first emission error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw != nil {
+		if err := t.bw.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"encoding/binary"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"hotg/internal/concolic"
 	"hotg/internal/fol"
 	"hotg/internal/mini"
+	"hotg/internal/obs"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
 )
@@ -43,6 +45,14 @@ type Options struct {
 	// is bit-for-bit the same at every worker count. Only the timing and
 	// per-worker load figures in Stats depend on scheduling.
 	Workers int
+	// Obs, when non-nil, enables observability: metrics flow into its
+	// registry from every layer (search, prover, solver, executor), and, when
+	// Obs.Trace is also set, one structured event is emitted per pipeline
+	// event. Events are emitted only by the coordinator in canonical apply
+	// order, so the event stream — minus timestamps, durations, and worker
+	// IDs — is identical at every worker count. A nil Obs costs one pointer
+	// check per instrumentation site.
+	Obs *obs.Obs
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -88,6 +98,10 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	}
 	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
 	s.cache = newProofCache()
+	s.obs = opts.Obs
+	if s.obs.Enabled() && eng.Obs == nil {
+		eng.Obs = s.obs
+	}
 	s.stats.Workers = opts.Workers
 	s.stats.ProofsPerWorker = make([]int64, opts.Workers)
 	s.varBounds = make(map[int]smt.Bound)
@@ -102,12 +116,94 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	for _, seed := range opts.Seeds {
 		s.hot = append(s.hot, item{input: seed})
 	}
+	if s.tracing() {
+		// The resolved worker count is deliberately absent: like worker IDs
+		// and timestamps it is scheduling configuration, and the canonical
+		// stream must be identical at every worker count. It is reported via
+		// the search.workers gauge and Stats instead.
+		s.emit(obs.Event{Kind: "run_start", Worker: -1,
+			Num: map[string]int64{
+				"max_runs": int64(opts.MaxRuns),
+				"seeds":    int64(len(opts.Seeds)), "branches": int64(eng.Prog.NumBranches),
+			},
+			Str: map[string]string{"mode": eng.Mode.String()}})
+	}
 	start := time.Now()
 	s.run()
 	s.stats.WallTime = time.Since(start)
 	s.stats.SolveTime = time.Duration(s.solveNanos)
 	s.stats.SamplesLearned = eng.Samples.Len()
+	s.flushObs()
 	return s.stats
+}
+
+// tracing reports whether trace events should be built and emitted.
+func (s *searcher) tracing() bool { return s.obs.Tracing() }
+
+// emit forwards one coordinator-ordered event to the tracer.
+func (s *searcher) emit(ev obs.Event) { s.obs.Emit(ev) }
+
+// taskEvent emits a worker-task event whose timestamp is the recorded task
+// start (trace-relative) rather than the emission time, so the worker-pool
+// timeline renders faithfully in Chrome traces. start/dur/worker are
+// scheduling facts, excluded from the canonical stream.
+func (s *searcher) taskEvent(kind string, worker int, start time.Time, dur time.Duration, num map[string]int64, str map[string]string) {
+	ev := obs.Event{Kind: kind, Worker: worker, Dur: int64(dur), Num: num, Str: str}
+	if !start.IsZero() {
+		ev.TS = int64(start.Sub(s.obs.Trace.Start()))
+	}
+	s.emit(ev)
+}
+
+// flushObs publishes the end-of-search statistics into the metrics registry
+// and emits the run_end event. Counters accumulate across searches sharing a
+// registry (the experiment harness runs several per experiment).
+func (s *searcher) flushObs() {
+	o := s.obs
+	if !o.Enabled() {
+		return
+	}
+	st := s.stats
+	o.Gauge("search.workers").Set(int64(st.Workers))
+	o.Gauge("search.samples").Set(int64(st.SamplesLearned))
+	o.Counter("search.runs").Add(int64(st.Runs))
+	o.Counter("search.tests_generated").Add(int64(st.TestsGenerated))
+	o.Counter("search.intermediate_tests").Add(int64(st.IntermediateTests))
+	o.Counter("search.divergences").Add(int64(st.Divergences))
+	o.Counter("search.bugs").Add(int64(len(st.Bugs)))
+	o.Counter("search.multistep_chains").Add(int64(st.MultiStepChains))
+	o.Counter("search.prover.calls").Add(int64(st.ProverCalls))
+	o.Counter("search.prover.proved").Add(int64(st.ProverProved))
+	o.Counter("search.prover.invalid").Add(int64(st.ProverInvalid))
+	o.Counter("search.prover.unknown").Add(int64(st.ProverUnknown))
+	o.Counter("search.solver.calls").Add(int64(st.SolverCalls))
+	o.Counter("search.solver.sat").Add(int64(st.SolverSat))
+	o.Counter("search.proof_cache.hits").Add(int64(st.ProofCacheHits))
+	o.Counter("search.proof_cache.misses").Add(int64(st.ProofCacheMisses))
+	o.Counter("search.wall_ns").Add(int64(st.WallTime))
+	o.Counter("search.solve_ns").Add(int64(st.SolveTime))
+	if c := s.eng.Summaries; c != nil {
+		o.Gauge("concolic.summary.hits").Set(int64(c.Hits))
+		o.Gauge("concolic.summary.misses").Set(int64(c.Misses))
+		o.Gauge("concolic.summary.fallbacks").Set(int64(c.Fallbacks))
+		o.Gauge("concolic.summary.cases").Set(int64(c.Cases()))
+	}
+	if s.tracing() {
+		boolNum := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		s.emit(obs.Event{Kind: "run_end", Worker: -1,
+			Num: map[string]int64{
+				"runs": int64(st.Runs), "tests": int64(st.TestsGenerated),
+				"covered": int64(st.BranchSidesCovered()), "cov_total": int64(st.BranchSidesTotal()),
+				"paths": int64(st.Paths()), "bugs": int64(len(st.Bugs)),
+				"divergences": int64(st.Divergences), "samples": int64(st.SamplesLearned),
+				"exhausted": boolNum(st.Exhausted), "incomplete": boolNum(st.Incomplete),
+			}})
+	}
 }
 
 // searcher is the search coordinator. All queue, dedup-map, statistics, and
@@ -134,6 +230,10 @@ type searcher struct {
 	// solveNanos aggregates the duration of individual prover/solver tasks
 	// across workers (atomic).
 	solveNanos int64
+	// obs is the observability sink (nil = disabled). Metrics may be updated
+	// from worker goroutines (atomics); trace events are emitted only from
+	// the coordinator, in canonical apply order.
+	obs *obs.Obs
 }
 
 // inputKey is the dedup key of an input vector: a length-prefixed varint
@@ -242,14 +342,41 @@ func (s *searcher) processBatch(batch []item) bool {
 	type runResult struct {
 		ex      *concolic.Execution
 		overlay *sym.SampleStore
+		worker  int
+		start   time.Time
+		dur     time.Duration
+	}
+	tracing := s.tracing()
+	// prevLen tracks the shared store size so per-item "samples learned"
+	// counts come from merge-order deltas — deterministic at any worker count
+	// (the per-overlay NewSamples counts are not: two overlays of one batch
+	// may both record a sample only one of them gets to merge first).
+	var prevLen int
+	if tracing {
+		prevLen = s.eng.Samples.Len()
 	}
 	results := make([]runResult, len(batch))
 	if len(batch) == 1 {
+		var t0 time.Time
+		if tracing {
+			t0 = time.Now()
+		}
 		results[0].ex = s.eng.Run(batch[0].input)
+		if tracing {
+			results[0].start, results[0].dur = t0, time.Since(t0)
+		}
 	} else {
 		s.parallelDo(len(batch), func(i, worker int) {
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
 			overlay := sym.NewOverlay(s.eng.Samples)
-			results[i] = runResult{ex: s.eng.Clone(overlay).Run(batch[i].input), overlay: overlay}
+			ex := s.eng.Clone(overlay).Run(batch[i].input)
+			results[i] = runResult{ex: ex, overlay: overlay, worker: worker, start: t0}
+			if tracing {
+				results[i].dur = time.Since(t0)
+			}
 		})
 	}
 	for i, it := range batch {
@@ -258,12 +385,41 @@ func (s *searcher) processBatch(batch []item) bool {
 			s.eng.Samples.MergeLocal(r.overlay)
 		}
 		s.tried[inputKey(it.input)] = true
+		bugsBefore := len(s.stats.Bugs)
 		gained := s.stats.recordRun(r.ex.Result, it.input)
 		if r.ex.Incomplete {
 			s.stats.Incomplete = true
 		}
-		if it.expected != nil && diverged(r.ex.Result.Branches, it.expected) {
+		div := it.expected != nil && diverged(r.ex.Result.Branches, it.expected)
+		if div {
 			s.stats.Divergences++
+		}
+		if tracing {
+			intermediate := int64(0)
+			if it.noExpand {
+				intermediate = 1
+			}
+			s.taskEvent("exec_task", r.worker, r.start, r.dur,
+				map[string]int64{
+					"run": int64(s.stats.Runs), "gained": int64(gained),
+					"path_len": int64(len(r.ex.PC)), "branches": int64(len(r.ex.Result.Branches)),
+					"intermediate": intermediate,
+				},
+				map[string]string{"input": fmt.Sprint(it.input)})
+			if cur := s.eng.Samples.Len(); cur > prevLen {
+				s.emit(obs.Event{Kind: "samples_learned", Worker: -1,
+					Num: map[string]int64{"count": int64(cur - prevLen), "total": int64(cur), "run": int64(s.stats.Runs)}})
+				prevLen = cur
+			}
+			if div {
+				s.emit(obs.Event{Kind: "divergence", Worker: -1,
+					Num: map[string]int64{"run": int64(s.stats.Runs), "expected_len": int64(len(it.expected)), "actual_len": int64(len(r.ex.Result.Branches))}})
+			}
+			for _, b := range s.stats.Bugs[bugsBefore:] {
+				s.emit(obs.Event{Kind: "bug_found", Worker: -1,
+					Num: map[string]int64{"run": int64(b.Run), "site": int64(b.Site)},
+					Str: map[string]string{"kind": b.Kind.String(), "msg": b.Msg, "input": fmt.Sprint(b.Input)}})
+			}
 		}
 		if s.opts.StopAtFirstBug && len(s.stats.ErrorSitesFound()) > 0 {
 			return true
@@ -334,6 +490,11 @@ type target struct {
 	// Satisfiability result (non-higher-order modes).
 	status smt.Status
 	model  *smt.Model
+	// Scheduling facts for the trace (which worker discharged the proof,
+	// when, how long); zero for cache hits. Excluded from canonical streams.
+	worker int
+	start  time.Time
+	dur    time.Duration
 }
 
 // expand generates new work items by negating each negatable constraint of
@@ -359,7 +520,15 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 		key := targetKey(expected, negated)
 		if !s.targeted[key] {
 			s.targeted[key] = true
-			targets = append(targets, &target{alt: sliceAlt(prefix, negated), expected: expected, k: k})
+			t := &target{alt: sliceAlt(prefix, negated), expected: expected, k: k, worker: -1}
+			targets = append(targets, t)
+			if s.tracing() {
+				s.emit(obs.Event{Kind: "target", Worker: -1,
+					Num: map[string]int64{
+						"k": int64(k), "conjuncts": int64(len(sym.Conjuncts(t.alt))),
+						"formula_size": int64(len(t.alt.Key())),
+					}})
+			}
 		}
 		prefix = append(prefix, c.Expr)
 	}
@@ -396,8 +565,10 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 			VarBounds: s.varBounds,
 			NoRefute:  !s.opts.Refute,
 			MaxNodes:  s.opts.ProverNodes,
+			Obs:       s.obs,
 		})
-		atomic.AddInt64(&s.solveNanos, int64(time.Since(t0)))
+		t.worker, t.start, t.dur = worker, t0, time.Since(t0)
+		atomic.AddInt64(&s.solveNanos, int64(t.dur))
 		s.stats.ProofsPerWorker[worker]++
 	})
 	fb := make(map[int]int64, len(fallback))
@@ -409,7 +580,9 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 		// miss counts are identical at every worker count. (Two targets of
 		// one fan-out sharing a formula are proved twice concurrently; the
 		// second is still accounted as a hit, its duplicate result dropped.)
+		cached := "miss"
 		if e, ok := s.cache.prove[t.cacheKey]; ok {
+			cached = "hit"
 			s.stats.ProofCacheHits++
 			t.strategy, t.outcome = e.strategy, e.outcome
 		} else {
@@ -417,6 +590,17 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 			s.cache.prove[t.cacheKey] = proveEntry{strategy: t.strategy, outcome: t.outcome}
 		}
 		s.stats.ProverCalls++
+		if s.tracing() {
+			s.emit(obs.Event{Kind: "cache", Worker: -1,
+				Str: map[string]string{"op": "prove", "result": cached}})
+			num := map[string]int64{"k": int64(t.k), "formula_size": int64(len(t.alt.Key()))}
+			if t.strategy != nil {
+				num["defs"] = int64(len(t.strategy.Defs))
+				num["steps"] = int64(len(t.strategy.Proof))
+			}
+			s.taskEvent("prove", t.worker, t.start, t.dur, num,
+				map[string]string{"verdict": t.outcome.String(), "cache": cached})
+		}
 		switch t.outcome {
 		case fol.OutcomeInvalid:
 			s.stats.ProverInvalid++
@@ -456,12 +640,15 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 	s.parallelDo(len(todo), func(i, worker int) {
 		t := todo[i]
 		t0 := time.Now()
-		t.status, t.model = smt.Solve(t.alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds})
-		atomic.AddInt64(&s.solveNanos, int64(time.Since(t0)))
+		t.status, t.model = smt.Solve(t.alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs})
+		t.worker, t.start, t.dur = worker, t0, time.Since(t0)
+		atomic.AddInt64(&s.solveNanos, int64(t.dur))
 		s.stats.ProofsPerWorker[worker]++
 	})
 	for _, t := range targets {
+		cached := "miss"
 		if e, ok := s.cache.solve[t.cacheKey]; ok {
+			cached = "hit"
 			s.stats.ProofCacheHits++
 			t.status, t.model = e.status, e.model
 		} else {
@@ -469,6 +656,13 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 			s.cache.solve[t.cacheKey] = solveEntry{status: t.status, model: t.model}
 		}
 		s.stats.SolverCalls++
+		if s.tracing() {
+			s.emit(obs.Event{Kind: "cache", Worker: -1,
+				Str: map[string]string{"op": "solve", "result": cached}})
+			s.taskEvent("solve", t.worker, t.start, t.dur,
+				map[string]int64{"k": int64(t.k), "formula_size": int64(len(t.alt.Key()))},
+				map[string]string{"status": t.status.String(), "cache": cached})
+		}
 		if t.status != smt.StatusSat {
 			continue
 		}
@@ -520,6 +714,11 @@ func (s *searcher) resolveAndEnqueue(pt *pendingTarget, first bool) bool {
 		return false
 	}
 	s.stats.IntermediateTests++
+	if s.tracing() {
+		s.emit(obs.Event{Kind: "multistep", Worker: -1,
+			Num: map[string]int64{"retries_left": int64(pt.retries), "bound": int64(pt.bound), "probes": int64(len(res.Probes))},
+			Str: map[string]string{"intermediate": fmt.Sprint(intermediate)}})
+	}
 	// Intermediate sample-collection runs and their continuations always go
 	// hot: they complete a proof already in hand.
 	s.hot = append(s.hot, item{input: intermediate, noExpand: true})
@@ -564,6 +763,15 @@ func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound
 		return
 	}
 	s.stats.TestsGenerated++
+	if s.tracing() {
+		queue := "cold"
+		if hot {
+			queue = "hot"
+		}
+		s.emit(obs.Event{Kind: "test_generated", Worker: -1,
+			Num: map[string]int64{"bound": int64(bound)},
+			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue}})
+	}
 	it := item{input: input, expected: expected, bound: bound}
 	if hot {
 		s.hot = append(s.hot, it)

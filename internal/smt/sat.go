@@ -114,6 +114,10 @@ func (s *SAT) NewVar() int {
 // NumVars returns the number of propositional variables.
 func (s *SAT) NumVars() int { return len(s.assign) }
 
+// NumClauses returns how many clauses (original and learned) the solver
+// currently holds; used by the observability layer as the CNF-size metric.
+func (s *SAT) NumClauses() int { return len(s.clauses) }
+
 func (s *SAT) value(l Lit) lbool {
 	v := s.assign[l.Var()]
 	if l.Neg() {

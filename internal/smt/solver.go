@@ -2,7 +2,9 @@ package smt
 
 import (
 	"fmt"
+	"time"
 
+	"hotg/internal/obs"
 	"hotg/internal/sym"
 )
 
@@ -25,6 +27,10 @@ type Options struct {
 	MaxNodes int
 	// MaxTheoryRounds caps lazy SAT↔theory iterations (0 = default 200).
 	MaxTheoryRounds int
+	// Obs, when non-nil, collects solver metrics: per-theory solve latency
+	// (smt.sat.ns, smt.lia.ns, smt.euf.ns), CNF size, Ackermann expansion
+	// counts, and verdict counters. Never affects solver results.
+	Obs *obs.Obs
 }
 
 // Model is a satisfying assignment: concrete values for the input variables
@@ -39,14 +45,38 @@ type Model struct {
 }
 
 // Solve decides satisfiability of the quantifier-free formula f over
-// T ∪ T_EUF and returns a model when satisfiable.
+// T ∪ T_EUF and returns a model when satisfiable. When Options.Obs is set the
+// call is accounted in the metrics registry (smt.solve.* and the per-theory
+// latency histograms); a nil Obs adds a single branch of overhead.
 func Solve(f sym.Expr, opts Options) (Status, *Model) {
+	o := opts.Obs
+	if !o.Enabled() {
+		return solve(f, opts)
+	}
+	t0 := time.Now()
+	st, m := solve(f, opts)
+	o.Histogram("smt.solve.ns").Observe(int64(time.Since(t0)))
+	o.Counter("smt.solve.calls").Inc()
+	o.Counter("smt.solve." + st.String()).Inc()
+	return st, m
+}
+
+func solve(f sym.Expr, opts Options) (Status, *Model) {
+	o := opts.Obs
 	// Fast path: purely equational conjunctions are decided by congruence
 	// closure directly (euf.go). Only the unsat verdict short-circuits —
 	// satisfiable formulas continue to the full pipeline, which constructs
 	// the model; this also keeps the two decision procedures cross-checking
 	// each other in the property tests.
-	if st, ok := SolveEUF(f); ok && st == StatusUnsat {
+	if o.Enabled() {
+		t0 := time.Now()
+		st, ok := SolveEUF(f)
+		o.Histogram("smt.euf.ns").Observe(int64(time.Since(t0)))
+		if ok && st == StatusUnsat {
+			o.Counter("smt.euf.fastpath_unsat").Inc()
+			return StatusUnsat, nil
+		}
+	} else if st, ok := SolveEUF(f); ok && st == StatusUnsat {
 		return StatusUnsat, nil
 	}
 
@@ -57,6 +87,10 @@ func Solve(f sym.Expr, opts Options) (Status, *Model) {
 			panic("smt: formula contains uninterpreted applications but Options.Pool is nil")
 		}
 		ack := Ackermannize(f, opts.Pool)
+		if o.Enabled() {
+			o.Counter("smt.ackermann.apps").Add(int64(len(ack.AppVars)))
+			o.Counter("smt.ackermann.consistency").Add(int64(len(sym.Conjuncts(ack.Consistency))))
+		}
 		f = sym.AndExpr(ack.Formula, ack.Consistency)
 		appVars = ack.AppVars
 	}
@@ -71,6 +105,10 @@ func Solve(f sym.Expr, opts Options) (Status, *Model) {
 	top := comp.compile(f)
 	if !sat.AddClause(top) {
 		return StatusUnsat, nil
+	}
+	if o.Enabled() {
+		o.Histogram("smt.cnf.clauses").Observe(int64(sat.NumClauses()))
+		o.Histogram("smt.cnf.vars").Observe(int64(sat.NumVars()))
 	}
 
 	// Make sure every free variable of f has a dense index so it receives a
@@ -90,14 +128,29 @@ func Solve(f sym.Expr, opts Options) (Status, *Model) {
 	}
 
 	for round := 0; round < maxRounds; round++ {
-		switch sat.Solve() {
+		var tSAT time.Time
+		if o.Enabled() {
+			tSAT = time.Now()
+		}
+		satRes := sat.Solve()
+		if o.Enabled() {
+			o.Histogram("smt.sat.ns").Observe(int64(time.Since(tSAT)))
+		}
+		switch satRes {
 		case SATUnsat:
 			return StatusUnsat, nil
 		case SATUnknown:
 			return StatusUnknown, nil
 		}
 		ineqs, lits := comp.assertedIneqs()
+		var tLIA time.Time
+		if o.Enabled() {
+			tLIA = time.Now()
+		}
 		model, st := SolveLIA(nvars, ineqs, bounds, opts.MaxNodes)
+		if o.Enabled() {
+			o.Histogram("smt.lia.ns").Observe(int64(time.Since(tLIA)))
+		}
 		switch st {
 		case StatusSat:
 			m := &Model{Vars: make(map[int]int64, nvars), Funcs: funcs}
@@ -115,6 +168,7 @@ func Solve(f sym.Expr, opts Options) (Status, *Model) {
 			return StatusUnknown, nil
 		}
 		// Theory conflict: shrink to a small core and block it.
+		o.Counter("smt.theory_conflicts").Inc()
 		core := minimizeCore(nvars, ineqs, bounds, opts.MaxNodes)
 		block := make([]Lit, 0, len(core))
 		for _, idx := range core {
