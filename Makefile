@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race bench bench-json tables verify
+.PHONY: all build lint vet test race test-faults bench bench-json tables verify
 
 all: build lint vet test
 
@@ -17,12 +17,18 @@ vet:
 	$(GO) vet ./...
 
 test: build
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # The parallel search coordinator, sample-store overlays, and proof fan-out
 # are exercised under the race detector; this is part of the verified path.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
+
+# Fault-injection drills (internal/faults): forced prover panics, solver
+# timeouts, and executor crashes must be contained and accounted, under the
+# race detector. See DESIGN.md §8.
+test-faults:
+	$(GO) test -race -timeout 10m -run 'Injected|Fault|Budget|Degrade|Cancel|Timeout' ./internal/search/ ./internal/faults/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x
@@ -35,4 +41,4 @@ bench-json:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race
+verify: lint vet test race test-faults

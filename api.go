@@ -92,6 +92,35 @@ type SearchOptions = search.Options
 // Stats aggregates a search or fuzzing campaign.
 type Stats = search.Stats
 
+// SearchBudget sets wall-clock ceilings for proofs, targets, and the whole
+// search, and enables graceful degradation down the precision ladder when a
+// higher-order proof exceeds its budget. Attach one via SearchOptions.Budget;
+// the zero value is unlimited. See DESIGN.md §8 and the README's operator
+// handbook.
+type SearchBudget = search.Budget
+
+// BudgetStats is the resource-budget and degradation section of Stats:
+// proofs cut short, targets degraded, recovered failures, and per-rung test
+// counts.
+type BudgetStats = search.BudgetStats
+
+// Rung identifies the precision-ladder rung that produced a test (§5 of the
+// paper, options (3) down to (1)).
+type Rung = search.Rung
+
+// The precision-ladder rungs, strongest first.
+const (
+	// RungProof is a constructive validity proof with uninterpreted
+	// functions — option (3), sound and precise.
+	RungProof = search.RungProof
+	// RungQF is quantifier-free solving with the model checked against the
+	// real functions — option (2), sound but weak.
+	RungQF = search.RungQF
+	// RungConcretize is DART-style concretization of unknown applications —
+	// option (1), unsound.
+	RungConcretize = search.RungConcretize
+)
+
 // Bug is one discovered defect.
 type Bug = search.Bug
 
@@ -109,6 +138,9 @@ const (
 	OutcomeProved  = fol.OutcomeProved
 	OutcomeInvalid = fol.OutcomeInvalid
 	OutcomeUnknown = fol.OutcomeUnknown
+	// OutcomeTimeout means the proof search was cut off by its wall-clock
+	// deadline or cancelled; the formula's validity remains undecided.
+	OutcomeTimeout = fol.OutcomeTimeout
 )
 
 // ProveOptions configures ProveValidity.

@@ -10,6 +10,8 @@
 //	hotg -workload foo -mode dart-unsound -runs 50 -v
 //	hotg -workload lexer -runs 300 -profile
 //	hotg -workload lexer -runs 300 -trace trace.jsonl -trace-chrome trace.json
+//	hotg -workload lexer -runs 300 -proof-timeout 50ms -degrade
+//	hotg -workload lexer -runs 300 -budget 2s
 package main
 
 import (
@@ -37,6 +39,9 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		profile    = flag.Bool("profile", false, "print a metrics profile (latency percentiles, cache traffic) after the run")
 		chromePath = flag.String("trace-chrome", "", "write a Chrome trace_event JSON (Perfetto, chrome://tracing) to this file")
+		budgetD    = flag.Duration("budget", 0, "wall-clock ceiling for the whole search (0 = unlimited); a fired ceiling returns partial results")
+		proofTmo   = flag.Duration("proof-timeout", 0, "wall-clock deadline per validity proof / solver query (0 = unlimited)")
+		degrade    = flag.Bool("degrade", false, "retry timed-out higher-order proofs with quantifier-free solving, then plain concretization (see README)")
 	)
 	flag.Parse()
 
@@ -105,6 +110,11 @@ func main() {
 		stats = hotg.Explore(eng, hotg.SearchOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
 			Workers: *workers, Obs: o,
+			Budget: hotg.SearchBudget{
+				ProofTimeout:  *proofTmo,
+				SearchTimeout: *budgetD,
+				Degrade:       *degrade,
+			},
 		})
 		if *samplesOut != "" {
 			if err := writeSamples(eng, *samplesOut); err != nil {
@@ -118,6 +128,9 @@ func main() {
 	fmt.Println(stats.Summary())
 	if ps := stats.ParallelSummary(); ps != "" {
 		fmt.Println(ps)
+	}
+	if bs := stats.BudgetSummary(); bs != "" {
+		fmt.Println(bs)
 	}
 	if cache != nil {
 		fmt.Printf("summaries: hits=%d misses=%d fallbacks=%d cases=%d\n",

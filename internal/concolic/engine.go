@@ -108,6 +108,10 @@ type Execution struct {
 	UFApps int
 	// NewSamples counts input–output pairs newly added to the IOF store.
 	NewSamples int
+	// Canceled reports that the run was stopped early by Engine.CheckCancel
+	// (cooperative cancellation). The Result and PC cover only the executed
+	// prefix; no bug is recorded for the early stop.
+	Canceled bool
 }
 
 // Formula returns the conjunction of the whole path constraint.
@@ -166,6 +170,13 @@ type Engine struct {
 	// concolic.path.len, samples learned, UF applications). Clones share it;
 	// all updates are atomic. Never affects execution results.
 	Obs *obs.Obs
+	// CheckCancel, when non-nil, is polled every few hundred interpreter
+	// steps; when it reports true the run stops early and the Execution is
+	// marked Canceled (no bug is recorded, the partial path constraint is
+	// kept). The search installs a probe backed by its context so in-flight
+	// executions stop promptly on cancellation. Clones share it; it must be
+	// safe for concurrent use.
+	CheckCancel func() bool
 
 	MaxSteps int
 	MaxDepth int

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hotg/internal/faults"
 	"hotg/internal/mini"
 	"hotg/internal/sym"
 )
@@ -77,6 +78,12 @@ type runtimeFault struct{ msg string }
 
 func (f runtimeFault) Error() string { return f.msg }
 
+// runCanceled aborts a run when Engine.CheckCancel fires; unlike a
+// runtimeFault it records no bug — the execution is simply marked Canceled.
+type runCanceled struct{}
+
+func (runCanceled) Error() string { return "execution canceled" }
+
 type errorReached struct {
 	site int
 	msg  string
@@ -103,6 +110,9 @@ type runner struct {
 // Run executes the program on the flattened input vector, producing the
 // concrete result, the path constraint, and (in ModeHigherOrder) new samples.
 func (e *Engine) Run(input []int64) *Execution {
+	if faults.Active().FireExecPanic() {
+		panic("faults: injected executor failure")
+	}
 	if len(input) != len(e.InputVars) {
 		panic(fmt.Sprintf("concolic: input length %d, want %d", len(input), len(e.InputVars)))
 	}
@@ -159,6 +169,9 @@ func (e *Engine) Run(input []int64) *Execution {
 	case runtimeFault:
 		r.res.Kind = mini.StopRuntime
 		r.res.RuntimeMsg = e.msg
+	case runCanceled:
+		r.res.Kind = mini.StopReturn
+		r.ex.Canceled = true
 	default:
 		panic(err)
 	}
@@ -182,6 +195,12 @@ func (r *runner) tick() error {
 	}
 	if r.steps > max {
 		return runtimeFault{"step budget exceeded (possible non-termination)"}
+	}
+	// Cooperative cancellation: poll every 256 steps so even a long run
+	// notices a cancelled search within microseconds, without paying a
+	// function call per interpreter step.
+	if r.steps&255 == 0 && r.e.CheckCancel != nil && r.e.CheckCancel() {
+		return runCanceled{}
 	}
 	return nil
 }

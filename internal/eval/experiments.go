@@ -36,6 +36,9 @@ func runSearch(cfg Config, w *lexapp.Workload, mode concolic.Mode, opts search.O
 	if opts.Obs == nil {
 		opts.Obs = cfg.Obs
 	}
+	if !opts.Budget.Active() && (cfg.ProofTimeout > 0 || cfg.Degrade) {
+		opts.Budget = search.Budget{ProofTimeout: cfg.ProofTimeout, Degrade: cfg.Degrade}
+	}
 	return search.Run(eng, opts)
 }
 

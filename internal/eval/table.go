@@ -10,6 +10,7 @@ package eval
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"hotg/internal/obs"
 )
@@ -117,6 +118,13 @@ type Config struct {
 	// runs (benchtab -json snapshots it per experiment). Nil disables
 	// observability.
 	Obs *obs.Obs
+	// ProofTimeout, when positive, applies a per-proof wall-clock deadline to
+	// every search the experiments run (benchtab -proof-timeout). Tight
+	// values can defeat paper claims — that is the point of setting it.
+	ProofTimeout time.Duration
+	// Degrade enables the precision-degradation ladder (benchtab -degrade)
+	// on every search the experiments run.
+	Degrade bool
 }
 
 func (c Config) defaults() Config {
@@ -160,6 +168,7 @@ func Experiments() []Experiment {
 		{"A1", "ablation: delayed concretization constraints", A1DelayedConc},
 		{"A2", "ablation: divergence rates by mode", A2DivergenceRates},
 		{"A3", "ablation: compositional summaries", A3Summaries},
+		{"A4", "budgeted search: degradation down the precision ladder", A4BudgetedSearch},
 	}
 }
 

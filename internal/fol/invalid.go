@@ -29,7 +29,10 @@ func Refute(pc sym.Expr, samples *sym.SampleStore, opts Options) bool {
 		}()
 	}
 	if !sym.HasApply(pc) {
-		st, _ := smt.Solve(pc, smt.Options{Pool: opts.Pool, VarBounds: opts.VarBounds, Obs: opts.Obs})
+		st, _ := smt.Solve(pc, smt.Options{
+			Pool: opts.Pool, VarBounds: opts.VarBounds, Obs: opts.Obs,
+			Ctx: opts.Ctx, Deadline: opts.Deadline,
+		})
 		return st == smt.StatusUnsat
 	}
 	defaults := []func(args []*sym.Sum) *sym.Sum{
@@ -83,6 +86,9 @@ func completionUnsat(pc sym.Expr, samples *sym.SampleStore, def func([]*sym.Sum)
 	})
 
 	formula := sym.AndExpr(append(side, replaced)...)
-	st, _ := smt.Solve(formula, smt.Options{Pool: pool, VarBounds: opts.VarBounds, Obs: opts.Obs})
+	st, _ := smt.Solve(formula, smt.Options{
+		Pool: pool, VarBounds: opts.VarBounds, Obs: opts.Obs,
+		Ctx: opts.Ctx, Deadline: opts.Deadline,
+	})
 	return st == smt.StatusUnsat
 }

@@ -107,6 +107,11 @@ const (
 	// OutcomeInvalid: a sample-consistent completion of F falsifies
 	// ∃X: A ⇒ pc, so the formula is invalid and no test exists for all F.
 	OutcomeInvalid
+	// OutcomeTimeout: the wall-clock deadline (Options.Deadline) expired or
+	// the context (Options.Ctx) was cancelled before the proof search ended.
+	// Like OutcomeUnknown it is inconclusive, but the two are distinguished
+	// so the search can degrade on budget events specifically (DESIGN.md §8).
+	OutcomeTimeout
 )
 
 func (o Outcome) String() string {
@@ -115,6 +120,8 @@ func (o Outcome) String() string {
 		return "proved"
 	case OutcomeInvalid:
 		return "invalid"
+	case OutcomeTimeout:
+		return "timeout"
 	default:
 		return "unknown"
 	}

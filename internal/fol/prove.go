@@ -1,12 +1,26 @@
 package fol
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"hotg/internal/faults"
 	"hotg/internal/obs"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
+)
+
+// Defensive resource ceilings, applied regardless of caller options so a
+// pathological formula cannot exhaust memory: HardMaxNodes clamps MaxNodes,
+// and hardMaxConjuncts fails any proof state whose goal grew past it (EUF and
+// sample steps append equations; on adversarial inputs that growth compounds).
+const (
+	// HardMaxNodes is the absolute cap on proof-search nodes per Prove call,
+	// applied even when Options.MaxNodes asks for more.
+	HardMaxNodes = 1 << 20
+	// hardMaxConjuncts bounds the width of any intermediate proof goal.
+	hardMaxConjuncts = 1 << 14
 )
 
 // Options configures Prove.
@@ -32,6 +46,14 @@ type Options struct {
 	// outcome counters, proof-search node usage) and is forwarded to the
 	// residual SMT solves. Never affects prover results.
 	Obs *obs.Obs
+	// Ctx, when non-nil, cancels the proof search cooperatively: the
+	// backtracking loop polls it and unwinds with OutcomeTimeout.
+	Ctx context.Context
+	// Deadline, when non-zero, is an absolute wall-clock cutoff for this
+	// call; past it the proof search unwinds with OutcomeTimeout. The
+	// deadline is forwarded to the residual SMT solves and the refutation
+	// pass, so one Prove call never outlives it by more than a poll interval.
+	Deadline time.Time
 }
 
 // Prove attempts a constructive validity proof of POST(pc) = ∃X: A ⇒ pc,
@@ -54,8 +76,19 @@ func Prove(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outc
 // search memoizes them keyed by the formula and the sample-store version, and
 // applies FillFallback per target.
 func ProveCore(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, Outcome) {
+	if f := faults.Active(); f != nil {
+		if f.FireProvePanic() {
+			panic("faults: injected prover panic")
+		}
+		if f.FireProveTimeout() {
+			return nil, OutcomeTimeout
+		}
+	}
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 20000
+	}
+	if opts.MaxNodes > HardMaxNodes {
+		opts.MaxNodes = HardMaxNodes
 	}
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = 64
@@ -69,11 +102,19 @@ func ProveCore(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, 
 		t0 = time.Now()
 	}
 	p := &prover{samples: samples, opts: opts, budget: opts.MaxNodes}
+	if p.expired() { // an already-passed deadline or cancelled ctx: no search
+		return nil, OutcomeTimeout
+	}
 	st := p.search(sym.Conjuncts(pc), nil, 0)
 	out := OutcomeUnknown
-	if st != nil {
+	switch {
+	case st != nil:
 		out = OutcomeProved
-	} else if !opts.NoRefute && Refute(pc, samples, opts) {
+	case p.timedOut:
+		// No refutation attempt: the budget is spent, and OutcomeInvalid
+		// must only ever come from a completed refutation.
+		out = OutcomeTimeout
+	case !opts.NoRefute && Refute(pc, samples, opts):
 		out = OutcomeInvalid
 	}
 	if o.Enabled() {
@@ -108,6 +149,26 @@ type prover struct {
 	samples *sym.SampleStore
 	opts    Options
 	budget  int
+	// polls counts searchT entries for deadline sampling (the clock is read
+	// every 64 nodes, not every node); timedOut latches once the deadline or
+	// context fires, so the whole backtrack stack unwinds without re-reading
+	// the clock.
+	polls    int
+	timedOut bool
+}
+
+// expired reports (and latches) whether the call's deadline has passed or its
+// context is done. With neither configured it is always false.
+func (p *prover) expired() bool {
+	if p.timedOut {
+		return true
+	}
+	if !p.opts.Deadline.IsZero() && !time.Now().Before(p.opts.Deadline) {
+		p.timedOut = true
+	} else if p.opts.Ctx != nil && p.opts.Ctx.Err() != nil {
+		p.timedOut = true
+	}
+	return p.timedOut
 }
 
 // choice is one applicable proof step.
@@ -134,6 +195,19 @@ func (p *prover) search(conjuncts []sym.Expr, defs []Def, depth int) *Strategy {
 
 func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []string, depth int) *Strategy {
 	if p.budget <= 0 || depth > p.opts.MaxDepth {
+		return nil
+	}
+	// Defensive width guard (independent of the node budget): EUF and sample
+	// steps append equations, so an adversarial goal can grow without ever
+	// burning many nodes. Past the hard cap this branch simply fails.
+	if len(conjuncts) > hardMaxConjuncts {
+		return nil
+	}
+	if p.timedOut {
+		return nil
+	}
+	p.polls++
+	if p.polls&63 == 0 && p.expired() {
 		return nil
 	}
 	p.budget--
@@ -419,7 +493,10 @@ func (p *prover) finish(conjuncts []sym.Expr, defs []Def, trace []string) *Strat
 			bounds[id] = b
 		}
 	}
-	status, model := smt.Solve(residual, smt.Options{Pool: p.opts.Pool, VarBounds: bounds, Obs: p.opts.Obs})
+	status, model := smt.Solve(residual, smt.Options{
+		Pool: p.opts.Pool, VarBounds: bounds, Obs: p.opts.Obs,
+		Ctx: p.opts.Ctx, Deadline: p.opts.Deadline,
+	})
 	if status != smt.StatusSat {
 		return nil
 	}

@@ -1,0 +1,105 @@
+package search_test
+
+import (
+	"strings"
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/faults"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// These tests drive the whole pipeline through the fault-injection harness
+// (internal/faults): forced prover panics, solver timeouts, and executor
+// failures must be contained — recovered, accounted in Stats.Budget, and
+// never allowed to wedge or crash the search. Run under -race by
+// `make test-faults`.
+
+// TestInjectedProverPanicRecovered forces every validity proof to panic. The
+// search must recover each one, count it, and — with the ladder enabled —
+// still generate tests from the lower rungs.
+func TestInjectedProverPanicRecovered(t *testing.T) {
+	defer faults.Set(&faults.Plan{ProvePanic: true})()
+	st := runWorkers(lexapp.Lexer(), concolic.ModeHigherOrder,
+		search.Options{MaxRuns: 60, Budget: search.Budget{Degrade: true}}, 4, false)
+	if st.Budget.ProverPanics == 0 {
+		t.Fatal("injected prover panics never fired")
+	}
+	if st.ProverProved != 0 {
+		t.Errorf("panicking prover reported %d proofs", st.ProverProved)
+	}
+	if st.TestsGenerated == 0 {
+		t.Error("degradation ladder produced no tests despite recovered panics")
+	}
+	if !strings.Contains(st.BudgetSummary(), "prover_panics") {
+		t.Errorf("BudgetSummary misses the recovered panics: %s", st.BudgetSummary())
+	}
+}
+
+// TestInjectedProverPanicWithoutDegrade checks containment alone: without the
+// ladder, recovered panics become unknown outcomes and the search simply runs
+// out of work instead of crashing.
+func TestInjectedProverPanicWithoutDegrade(t *testing.T) {
+	defer faults.Set(&faults.Plan{ProvePanic: true})()
+	st := runWorkers(lexapp.Lexer(), concolic.ModeHigherOrder,
+		search.Options{MaxRuns: 60}, 2, false)
+	if st.Budget.ProverPanics == 0 {
+		t.Fatal("injected prover panics never fired")
+	}
+	if st.ProverUnknown != st.ProverCalls {
+		t.Errorf("want every prover call unknown, got %d/%d", st.ProverUnknown, st.ProverCalls)
+	}
+}
+
+// TestInjectedSolveTimeout forces every satisfiability query to report a
+// timeout: DART-style search then generates nothing, accounts the timeouts,
+// and terminates by exhaustion rather than hanging.
+func TestInjectedSolveTimeout(t *testing.T) {
+	defer faults.Set(&faults.Plan{SolveTimeout: true})()
+	st := runWorkers(lexapp.Lexer(), concolic.ModeUnsound,
+		search.Options{MaxRuns: 60}, 2, false)
+	if st.Budget.ProofTimeouts == 0 {
+		t.Fatal("injected solver timeouts never fired")
+	}
+	if st.TestsGenerated != 0 {
+		t.Errorf("timed-out solver still produced %d tests", st.TestsGenerated)
+	}
+	if !st.Exhausted {
+		t.Error("search should drain its worklist when every query times out")
+	}
+	if st.SolverSat != 0 {
+		t.Errorf("timed-out solver reported %d sat results", st.SolverSat)
+	}
+}
+
+// TestInjectedExecutorPanicDropped lets a few runs through, then makes every
+// execution panic: the panicking runs are dropped and counted, their inputs
+// consumed, and the search terminates.
+func TestInjectedExecutorPanicDropped(t *testing.T) {
+	defer faults.Set(&faults.Plan{ExecPanic: true, Skip: 3})()
+	st := runWorkers(lexapp.Lexer(), concolic.ModeHigherOrder,
+		search.Options{MaxRuns: 60}, 1, false)
+	if st.Budget.ExecFailures == 0 {
+		t.Fatal("injected executor panics never fired")
+	}
+	if st.Runs != 3 {
+		t.Errorf("want exactly the 3 skip-credited runs recorded, got %d", st.Runs)
+	}
+	if !strings.Contains(st.BudgetSummary(), "exec_failures") {
+		t.Errorf("BudgetSummary misses the dropped runs: %s", st.BudgetSummary())
+	}
+}
+
+// TestFaultPlanRestore checks the harness contract itself: restoring the
+// previous plan really disarms injection, so a faulty test cannot leak its
+// plan into later searches.
+func TestFaultPlanRestore(t *testing.T) {
+	restore := faults.Set(&faults.Plan{ExecPanic: true})
+	restore()
+	st := runWorkers(lexapp.Lexer(), concolic.ModeHigherOrder,
+		search.Options{MaxRuns: 10}, 1, false)
+	if st.Budget.ExecFailures != 0 || st.Runs == 0 {
+		t.Errorf("restored plan still fired: %d failures, %d runs", st.Budget.ExecFailures, st.Runs)
+	}
+}

@@ -1,7 +1,9 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,6 +55,18 @@ type Options struct {
 	// IDs — is identical at every worker count. A nil Obs costs one pointer
 	// check per instrumentation site.
 	Obs *obs.Obs
+	// Budget sets wall-clock ceilings for proofs, targets, and the whole
+	// search, and enables graceful degradation down the precision ladder. The
+	// zero value means unlimited with no degradation — bit-identical to an
+	// unbudgeted search at any worker count. See the Budget type and
+	// DESIGN.md §8.
+	Budget Budget
+	// Ctx, when non-nil, cancels the search cooperatively: the coordinator
+	// stops between work units, workers stop picking up tasks, in-flight
+	// executions and proofs return early at their next poll point, and Run
+	// returns partial (well-formed) Stats with Budget.Cancelled or
+	// Budget.TimedOut set.
+	Ctx context.Context
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -102,6 +116,30 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	if s.obs.Enabled() && eng.Obs == nil {
 		eng.Obs = s.obs
 	}
+	s.ctx = opts.Ctx
+	if b := opts.Budget; b.SearchTimeout > 0 {
+		base := s.ctx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, b.SearchTimeout)
+		defer cancel()
+		s.ctx = ctx
+	}
+	if s.ctx != nil {
+		if dl, ok := s.ctx.Deadline(); ok {
+			s.deadline = dl
+		}
+		// Let in-flight executions notice cancellation too, not just the
+		// coordinator between work units. Restored on return: the probe closes
+		// over this search's context and must not outlive it on a shared engine.
+		if eng.CheckCancel == nil {
+			ctx := s.ctx
+			eng.CheckCancel = func() bool { return ctx.Err() != nil }
+			defer func() { eng.CheckCancel = nil }()
+		}
+	}
+	s.stats.Budget.Configured = opts.Budget.Active() || opts.Ctx != nil
 	s.stats.Workers = opts.Workers
 	s.stats.ProofsPerWorker = make([]int64, opts.Workers)
 	s.varBounds = make(map[int]smt.Bound)
@@ -182,6 +220,16 @@ func (s *searcher) flushObs() {
 	o.Counter("search.proof_cache.misses").Add(int64(st.ProofCacheMisses))
 	o.Counter("search.wall_ns").Add(int64(st.WallTime))
 	o.Counter("search.solve_ns").Add(int64(st.SolveTime))
+	if bs := st.Budget; bs.show() {
+		o.Counter("search.budget.proof_timeouts").Add(int64(bs.ProofTimeouts))
+		o.Counter("search.budget.prover_panics").Add(int64(bs.ProverPanics))
+		o.Counter("search.budget.exec_failures").Add(int64(bs.ExecFailures))
+		o.Counter("search.budget.degraded_qf").Add(int64(bs.DegradedQF))
+		o.Counter("search.budget.degraded_concretize").Add(int64(bs.DegradedConc))
+		for r := RungProof; r < NumRungs; r++ {
+			o.Counter("search.budget.tests." + r.String()).Add(int64(bs.TestsByRung[r]))
+		}
+	}
 	if c := s.eng.Summaries; c != nil {
 		o.Gauge("concolic.summary.hits").Set(int64(c.Hits))
 		o.Gauge("concolic.summary.misses").Set(int64(c.Misses))
@@ -195,14 +243,20 @@ func (s *searcher) flushObs() {
 			}
 			return 0
 		}
-		s.emit(obs.Event{Kind: "run_end", Worker: -1,
-			Num: map[string]int64{
-				"runs": int64(st.Runs), "tests": int64(st.TestsGenerated),
-				"covered": int64(st.BranchSidesCovered()), "cov_total": int64(st.BranchSidesTotal()),
-				"paths": int64(st.Paths()), "bugs": int64(len(st.Bugs)),
-				"divergences": int64(st.Divergences), "samples": int64(st.SamplesLearned),
-				"exhausted": boolNum(st.Exhausted), "incomplete": boolNum(st.Incomplete),
-			}})
+		num := map[string]int64{
+			"runs": int64(st.Runs), "tests": int64(st.TestsGenerated),
+			"covered": int64(st.BranchSidesCovered()), "cov_total": int64(st.BranchSidesTotal()),
+			"paths": int64(st.Paths()), "bugs": int64(len(st.Bugs)),
+			"divergences": int64(st.Divergences), "samples": int64(st.SamplesLearned),
+			"exhausted": boolNum(st.Exhausted), "incomplete": boolNum(st.Incomplete),
+		}
+		if st.Budget.show() {
+			num["degraded"] = int64(st.Budget.Degraded())
+			num["proof_timeouts"] = int64(st.Budget.ProofTimeouts)
+			num["timed_out"] = boolNum(st.Budget.TimedOut)
+			num["cancelled"] = boolNum(st.Budget.Cancelled)
+		}
+		s.emit(obs.Event{Kind: "run_end", Worker: -1, Num: num})
 	}
 }
 
@@ -234,7 +288,15 @@ type searcher struct {
 	// from worker goroutines (atomics); trace events are emitted only from
 	// the coordinator, in canonical apply order.
 	obs *obs.Obs
+	// ctx is the search's cancellation context (nil = not cancellable) and
+	// deadline its absolute wall-clock cutoff (zero = none). Both are fixed
+	// before the first work unit; workers only read them.
+	ctx      context.Context
+	deadline time.Time
 }
+
+// canceled reports whether the search context has fired. Safe from workers.
+func (s *searcher) canceled() bool { return s.ctx != nil && s.ctx.Err() != nil }
 
 // inputKey is the dedup key of an input vector: a length-prefixed varint
 // encoding, one short allocation instead of fmt-formatting every element.
@@ -314,6 +376,9 @@ func (s *searcher) run() {
 	s.tried = map[string]bool{}
 	s.targeted = map[string]bool{}
 	for s.stats.Runs < s.opts.MaxRuns {
+		if s.stopEarly() {
+			return
+		}
 		batch, src := s.nextBatch()
 		switch src {
 		case srcEmpty:
@@ -332,6 +397,30 @@ func (s *searcher) run() {
 	}
 }
 
+// stopEarly checks the search context between work units. On cancellation it
+// records the cause — a fired deadline (ours or the caller's) versus an
+// explicit cancel — emits the cancel event, and tells the run loop to return
+// with whatever partial results stand. Everything already merged stays valid:
+// the coordinator only applies completed work, in order.
+func (s *searcher) stopEarly() bool {
+	if !s.canceled() {
+		return false
+	}
+	cause := "canceled"
+	if errors.Is(s.ctx.Err(), context.DeadlineExceeded) {
+		cause = "deadline"
+		s.stats.Budget.TimedOut = true
+	} else {
+		s.stats.Budget.Cancelled = true
+	}
+	if s.tracing() {
+		s.emit(obs.Event{Kind: "cancel", Worker: -1,
+			Num: map[string]int64{"runs": int64(s.stats.Runs)},
+			Str: map[string]string{"cause": cause}})
+	}
+	return true
+}
+
 // processBatch executes the batch (concurrently when it has more than one
 // item), then merges results in batch order: each item's new samples land in
 // the shared store, its run is recorded, and its expansion runs — exactly the
@@ -340,11 +429,23 @@ func (s *searcher) run() {
 // on worker completion order. It returns true when the search should stop.
 func (s *searcher) processBatch(batch []item) bool {
 	type runResult struct {
-		ex      *concolic.Execution
-		overlay *sym.SampleStore
-		worker  int
-		start   time.Time
-		dur     time.Duration
+		ex       *concolic.Execution
+		overlay  *sym.SampleStore
+		panicked bool
+		worker   int
+		start    time.Time
+		dur      time.Duration
+	}
+	// execOne shields the coordinator from executor panics (injected faults or
+	// interpreter defects): a panicking run is dropped and accounted instead of
+	// taking the whole search down.
+	execOne := func(eng *concolic.Engine, input []int64) (ex *concolic.Execution, panicked bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ex, panicked = nil, true
+			}
+		}()
+		return eng.Run(input), false
 	}
 	tracing := s.tracing()
 	// prevLen tracks the shared store size so per-item "samples learned"
@@ -361,7 +462,7 @@ func (s *searcher) processBatch(batch []item) bool {
 		if tracing {
 			t0 = time.Now()
 		}
-		results[0].ex = s.eng.Run(batch[0].input)
+		results[0].ex, results[0].panicked = execOne(s.eng, batch[0].input)
 		if tracing {
 			results[0].start, results[0].dur = t0, time.Since(t0)
 		}
@@ -372,8 +473,8 @@ func (s *searcher) processBatch(batch []item) bool {
 				t0 = time.Now()
 			}
 			overlay := sym.NewOverlay(s.eng.Samples)
-			ex := s.eng.Clone(overlay).Run(batch[i].input)
-			results[i] = runResult{ex: ex, overlay: overlay, worker: worker, start: t0}
+			ex, panicked := execOne(s.eng.Clone(overlay), batch[i].input)
+			results[i] = runResult{ex: ex, overlay: overlay, panicked: panicked, worker: worker, start: t0}
 			if tracing {
 				results[i].dur = time.Since(t0)
 			}
@@ -381,6 +482,22 @@ func (s *searcher) processBatch(batch []item) bool {
 	}
 	for i, it := range batch {
 		r := results[i]
+		if r.ex == nil || r.ex.Canceled {
+			// Dropped: the executor panicked, the run was cancelled mid-flight,
+			// or the batch was cut short before this item started. The input
+			// still counts as tried so the queue cannot loop on it; nothing is
+			// merged or recorded — a partial run's coverage would make reports
+			// depend on cancellation timing.
+			s.tried[inputKey(it.input)] = true
+			if r.panicked {
+				s.stats.Budget.ExecFailures++
+				if tracing {
+					s.emit(obs.Event{Kind: "exec_failure", Worker: -1,
+						Str: map[string]string{"input": fmt.Sprint(it.input)}})
+				}
+			}
+			continue
+		}
 		if r.overlay != nil {
 			s.eng.Samples.MergeLocal(r.overlay)
 		}
@@ -442,6 +559,9 @@ func (s *searcher) parallelDo(n int, fn func(i, worker int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if s.canceled() {
+				return
+			}
 			fn(i, 0)
 		}
 		return
@@ -454,7 +574,7 @@ func (s *searcher) parallelDo(n int, fn func(i, worker int)) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
+				if i >= n || s.canceled() {
 					return
 				}
 				fn(i, w)
@@ -487,9 +607,23 @@ type target struct {
 	// Higher-order result: core strategy (no fallback defs) and outcome.
 	strategy *fol.Strategy
 	outcome  fol.Outcome
-	// Satisfiability result (non-higher-order modes).
+	// Satisfiability result (non-higher-order modes, and the degraded rungs
+	// of higher-order mode).
 	status smt.Status
 	model  *smt.Model
+	// rung is the final precision-ladder rung attempted (higher-order mode):
+	// RungProof unless Budget.Degrade walked the target down after a cut-short
+	// proof, in which case status/model hold the lower rung's result.
+	rung Rung
+	// panicked marks a validity proof that panicked and was recovered (the
+	// outcome is then unknown). fromCache marks a selection-time cache hit —
+	// such targets skip ProveCore but still run degraded retries, which
+	// depend on the parent input and are never cached. done is set by the
+	// worker that finished the target; unset means the fan-out was cancelled
+	// before the target ran, and the coordinator skips it entirely.
+	panicked  bool
+	fromCache bool
+	done      bool
 	// Scheduling facts for the trace (which worker discharged the proof,
 	// when, how long); zero for cache hits. Excluded from canonical streams.
 	worker int
@@ -548,34 +682,70 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 // applied — and the cache is filled — in constraint order on the coordinator.
 // Computing the cache key also memoizes the formula's canonical string, so
 // workers never write the lazy key fields of shared subterms.
+//
+// Under Budget.Degrade, a target whose proof was cut short (timeout, node
+// budget, recovered panic) is walked down the precision ladder on the same
+// worker (degradeTarget). Degraded results depend on the parent input and are
+// never cached; cache-hit targets with a degradable outcome therefore still
+// fan out, just skipping the proof. Timed-out and panicked proofs are not
+// cached either — an entry recording "ran out of wall clock" would poison
+// every later occurrence of the formula.
 func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, hot bool) {
 	version := s.eng.Samples.Len()
+	fb := make(map[int]int64, len(fallback))
+	for i, v := range s.eng.InputVars {
+		fb[v.ID] = fallback[i]
+	}
 	var todo []*target
 	for _, t := range targets {
 		t.cacheKey = proveKey(t.alt, version)
-		if _, ok := s.cache.prove[t.cacheKey]; !ok {
+		if e, ok := s.cache.prove[t.cacheKey]; ok {
+			t.strategy, t.outcome, t.fromCache = e.strategy, e.outcome, true
+			if s.shouldDegrade(t.outcome, false) {
+				todo = append(todo, t)
+			} else {
+				t.done = true
+			}
+		} else {
 			todo = append(todo, t)
 		}
 	}
-	s.parallelDo(len(todo), func(i, worker int) {
-		t := todo[i]
-		t0 := time.Now()
+	// prove shields the coordinator from prover panics (injected faults or
+	// defects): a panicking proof becomes an unknown, degradable outcome.
+	prove := func(t *target, t0 time.Time) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.strategy, t.outcome, t.panicked = nil, fol.OutcomeUnknown, true
+			}
+		}()
 		t.strategy, t.outcome = fol.ProveCore(t.alt, s.eng.Samples, fol.Options{
 			Pool:      s.eng.Pool,
 			VarBounds: s.varBounds,
 			NoRefute:  !s.opts.Refute,
 			MaxNodes:  s.opts.ProverNodes,
 			Obs:       s.obs,
+			Ctx:       s.ctx,
+			Deadline:  s.proofDeadline(t0),
 		})
+	}
+	s.parallelDo(len(todo), func(i, worker int) {
+		t := todo[i]
+		t0 := time.Now()
+		if !t.fromCache {
+			prove(t, t0)
+		}
+		if s.shouldDegrade(t.outcome, t.panicked) {
+			s.degradeTarget(t, fb, t0)
+		}
 		t.worker, t.start, t.dur = worker, t0, time.Since(t0)
 		atomic.AddInt64(&s.solveNanos, int64(t.dur))
 		s.stats.ProofsPerWorker[worker]++
+		t.done = true
 	})
-	fb := make(map[int]int64, len(fallback))
-	for i, v := range s.eng.InputVars {
-		fb[v.ID] = fallback[i]
-	}
 	for _, t := range targets {
+		if !t.done {
+			continue // cancelled before this target's turn; nothing to account
+		}
 		// Cache accounting happens here, in constraint order, so the hit and
 		// miss counts are identical at every worker count. (Two targets of
 		// one fan-out sharing a formula are proved twice concurrently; the
@@ -587,7 +757,9 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 			t.strategy, t.outcome = e.strategy, e.outcome
 		} else {
 			s.stats.ProofCacheMisses++
-			s.cache.prove[t.cacheKey] = proveEntry{strategy: t.strategy, outcome: t.outcome}
+			if t.outcome != fol.OutcomeTimeout && !t.panicked {
+				s.cache.prove[t.cacheKey] = proveEntry{strategy: t.strategy, outcome: t.outcome}
+			}
 		}
 		s.stats.ProverCalls++
 		if s.tracing() {
@@ -601,28 +773,59 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 			s.taskEvent("prove", t.worker, t.start, t.dur, num,
 				map[string]string{"verdict": t.outcome.String(), "cache": cached})
 		}
+		if t.panicked {
+			s.stats.Budget.ProverPanics++
+		}
 		switch t.outcome {
 		case fol.OutcomeInvalid:
 			s.stats.ProverInvalid++
 			continue
+		case fol.OutcomeTimeout:
+			s.stats.Budget.ProofTimeouts++
+			s.stats.ProverUnknown++
 		case fol.OutcomeUnknown:
 			s.stats.ProverUnknown++
+		default:
+			s.stats.ProverProved++
+			pt := &pendingTarget{
+				// The cached strategy is shared; FillFallback copies it while
+				// fixing this target's unconstrained variables at the parent
+				// input's values.
+				strategy: fol.FillFallback(t.strategy, t.alt, fb),
+				alt:      t.alt,
+				expected: t.expected,
+				fallback: fallback,
+				bound:    t.k + 1,
+				retries:  s.opts.MaxMultiStep,
+				hot:      hot,
+			}
+			s.resolveAndEnqueue(pt, true)
 			continue
 		}
-		s.stats.ProverProved++
-		pt := &pendingTarget{
-			// The cached strategy is shared; FillFallback copies it while
-			// fixing this target's unconstrained variables at the parent
-			// input's values.
-			strategy: fol.FillFallback(t.strategy, t.alt, fb),
-			alt:      t.alt,
-			expected: t.expected,
-			fallback: fallback,
-			bound:    t.k + 1,
-			retries:  s.opts.MaxMultiStep,
-			hot:      hot,
+		// The proof was cut short. If the degradation ladder ran, the target
+		// carries a lower rung's satisfiability result; account it and turn a
+		// sat model into a test tagged with its rung.
+		if t.rung == RungProof {
+			continue
 		}
-		s.resolveAndEnqueue(pt, true)
+		switch t.rung {
+		case RungQF:
+			s.stats.Budget.DegradedQF++
+		case RungConcretize:
+			s.stats.Budget.DegradedConc++
+		}
+		if t.status == smt.StatusTimeout {
+			s.stats.Budget.ProofTimeouts++
+		}
+		if s.tracing() {
+			s.emit(obs.Event{Kind: "degrade", Worker: -1,
+				Num: map[string]int64{"k": int64(t.k)},
+				Str: map[string]string{"rung": t.rung.String(), "status": t.status.String()}})
+		}
+		if t.status != smt.StatusSat {
+			continue
+		}
+		s.enqueueTest(s.inputFrom(t.model.Vars, fallback), t.expected, t.k+1, hot, t.rung)
 	}
 }
 
@@ -640,12 +843,21 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 	s.parallelDo(len(todo), func(i, worker int) {
 		t := todo[i]
 		t0 := time.Now()
-		t.status, t.model = smt.Solve(t.alt, smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs})
+		t.status, t.model = smt.Solve(t.alt, smt.Options{
+			Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs,
+			Ctx: s.ctx, Deadline: s.proofDeadline(t0),
+		})
 		t.worker, t.start, t.dur = worker, t0, time.Since(t0)
 		atomic.AddInt64(&s.solveNanos, int64(t.dur))
 		s.stats.ProofsPerWorker[worker]++
+		t.done = true
 	})
 	for _, t := range targets {
+		if !t.done {
+			if _, ok := s.cache.solve[t.cacheKey]; !ok {
+				continue // cancelled before this target's turn
+			}
+		}
 		cached := "miss"
 		if e, ok := s.cache.solve[t.cacheKey]; ok {
 			cached = "hit"
@@ -653,7 +865,14 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 			t.status, t.model = e.status, e.model
 		} else {
 			s.stats.ProofCacheMisses++
-			s.cache.solve[t.cacheKey] = solveEntry{status: t.status, model: t.model}
+			// A timed-out query is not cached: the verdict records wall-clock
+			// exhaustion, not a property of the formula.
+			if t.status != smt.StatusTimeout {
+				s.cache.solve[t.cacheKey] = solveEntry{status: t.status, model: t.model}
+			}
+		}
+		if t.status == smt.StatusTimeout {
+			s.stats.Budget.ProofTimeouts++
 		}
 		s.stats.SolverCalls++
 		if s.tracing() {
@@ -674,7 +893,9 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 				input[i] = val
 			}
 		}
-		s.enqueueTest(input, t.expected, t.k+1, hot)
+		// Lower modes already solve at the quantifier-free rung; tag their
+		// tests accordingly so per-rung counts are meaningful across modes.
+		s.enqueueTest(input, t.expected, t.k+1, hot, RungQF)
 	}
 }
 
@@ -697,7 +918,7 @@ func (s *searcher) resolveAndEnqueue(pt *pendingTarget, first bool) bool {
 		if ok, probes := fol.Holds(pt.alt, values, s.eng.Samples); len(probes) == 0 && !ok {
 			return false
 		}
-		s.enqueueTest(input, pt.expected, pt.bound, pt.hot)
+		s.enqueueTest(input, pt.expected, pt.bound, pt.hot, RungProof)
 		return true
 	}
 	if pt.retries <= 0 {
@@ -758,11 +979,15 @@ func (s *searcher) inBounds(input []int64) bool {
 	return true
 }
 
-func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound int, hot bool) {
+// enqueueTest queues a generated test, recording which precision-ladder rung
+// produced it (RungProof for strategies, RungQF for plain solving, lower for
+// degraded targets).
+func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound int, hot bool, rung Rung) {
 	if s.tried[inputKey(input)] {
 		return
 	}
 	s.stats.TestsGenerated++
+	s.stats.Budget.TestsByRung[rung]++
 	if s.tracing() {
 		queue := "cold"
 		if hot {
@@ -770,7 +995,7 @@ func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound
 		}
 		s.emit(obs.Event{Kind: "test_generated", Worker: -1,
 			Num: map[string]int64{"bound": int64(bound)},
-			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue}})
+			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue, "rung": rung.String()}})
 	}
 	it := item{input: input, expected: expected, bound: bound}
 	if hot {

@@ -64,6 +64,12 @@ type Stats struct {
 	WallTime  time.Duration
 	SolveTime time.Duration
 
+	// Budget is the resource-budget and degradation section: what the
+	// ceilings cut short, which ladder rungs produced the tests, and whether
+	// the search ended early. Zero-valued (and absent from Summary) for
+	// unbudgeted runs.
+	Budget BudgetStats
+
 	Incomplete bool // some branch produced no constraint (static mode)
 
 	// Exhausted reports that the search drained its entire worklist before
@@ -87,6 +93,47 @@ type Stats struct {
 	// CovTrace[i] is the cumulative branch-side coverage after run i+1 —
 	// the series behind coverage-vs-runs plots.
 	CovTrace []int
+}
+
+// BudgetStats accounts resource-budget activity during one search: proofs cut
+// short, targets degraded down the precision ladder, recovered failures, and
+// how the generated tests distribute over the ladder rungs.
+type BudgetStats struct {
+	// Configured reports that a budget ceiling, the degradation ladder, or an
+	// external cancellation context was supplied to the search.
+	Configured bool
+	// ProofTimeouts counts proof and satisfiability attempts cut off by a
+	// wall-clock deadline, including degraded-rung retries.
+	ProofTimeouts int
+	// ProverPanics counts validity proofs that panicked and were recovered;
+	// each is treated as an unknown (degradable) outcome.
+	ProverPanics int
+	// ExecFailures counts program executions that panicked inside the engine
+	// and were dropped (the input is consumed, no run is recorded).
+	ExecFailures int
+	// DegradedQF and DegradedConc count targets that finished on the
+	// quantifier-free and concretization rungs after their validity proof was
+	// cut short — each one is precision given up to stay within budget.
+	DegradedQF   int
+	DegradedConc int
+	// TestsByRung counts generated tests by the ladder rung that produced
+	// them. Higher-order searches generate at RungProof unless degraded;
+	// lower modes generate at RungQF.
+	TestsByRung [NumRungs]int
+	// TimedOut and Cancelled report that the search ended early — on a fired
+	// deadline or an explicit context cancellation — with partial results.
+	TimedOut  bool
+	Cancelled bool
+}
+
+// Degraded returns how many targets fell below the proof rung.
+func (b BudgetStats) Degraded() int { return b.DegradedQF + b.DegradedConc }
+
+// show reports whether the budget section carries any information worth
+// printing: a budget was configured or some budget event fired.
+func (b BudgetStats) show() bool {
+	return b.Configured || b.ProofTimeouts > 0 || b.ProverPanics > 0 || b.ExecFailures > 0 ||
+		b.Degraded() > 0 || b.TimedOut || b.Cancelled
 }
 
 // NewFuzzStats creates a Stats collector for the blackbox-random baseline.
@@ -220,6 +267,11 @@ func (s *Stats) Summary() string {
 	if s.ProofCacheHits+s.ProofCacheMisses > 0 {
 		fmt.Fprintf(&b, " cache=%d/%d", s.ProofCacheHits, s.ProofCacheHits+s.ProofCacheMisses)
 	}
+	if s.Budget.show() {
+		fmt.Fprintf(&b, " rungs=%d/%d/%d degraded=%d timeouts=%d",
+			s.Budget.TestsByRung[RungProof], s.Budget.TestsByRung[RungQF],
+			s.Budget.TestsByRung[RungConcretize], s.Budget.Degraded(), s.Budget.ProofTimeouts)
+	}
 	if s.Workers > 1 {
 		fmt.Fprintf(&b, " workers=%d wall=%v solve=%v", s.Workers,
 			s.WallTime.Round(time.Millisecond), s.SolveTime.Round(time.Millisecond))
@@ -229,6 +281,36 @@ func (s *Stats) Summary() string {
 	}
 	if s.Exhausted {
 		b.WriteString(" (exhausted)")
+	}
+	if s.Budget.TimedOut {
+		b.WriteString(" (timed out)")
+	}
+	if s.Budget.Cancelled {
+		b.WriteString(" (cancelled)")
+	}
+	return b.String()
+}
+
+// BudgetSummary renders a one-line report of budget activity: how the tests
+// distribute over the precision ladder, what the ceilings cut short, and what
+// was recovered. Returns "" when no budget was configured and nothing fired.
+func (s *Stats) BudgetSummary() string {
+	bs := s.Budget
+	if !bs.show() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rungs: proof=%d qf=%d concretize=%d | degraded=%d (qf=%d conc=%d) proof_timeouts=%d",
+		bs.TestsByRung[RungProof], bs.TestsByRung[RungQF], bs.TestsByRung[RungConcretize],
+		bs.Degraded(), bs.DegradedQF, bs.DegradedConc, bs.ProofTimeouts)
+	if bs.ProverPanics > 0 || bs.ExecFailures > 0 {
+		fmt.Fprintf(&b, " | recovered: prover_panics=%d exec_failures=%d", bs.ProverPanics, bs.ExecFailures)
+	}
+	if bs.TimedOut {
+		b.WriteString(" | search hit its deadline (partial results)")
+	}
+	if bs.Cancelled {
+		b.WriteString(" | search cancelled (partial results)")
 	}
 	return b.String()
 }

@@ -14,6 +14,12 @@ const (
 	StatusSat
 	// StatusUnsat means unsatisfiable.
 	StatusUnsat
+	// StatusTimeout means the wall-clock deadline (Options.Deadline) expired
+	// or the context (Options.Ctx) was cancelled before a verdict. Like
+	// StatusUnknown it is inconclusive, but callers distinguish the two: a
+	// timeout is a budget event the search may degrade on, not an intrinsic
+	// limit of the solver.
+	StatusTimeout
 )
 
 func (s Status) String() string {
@@ -22,6 +28,8 @@ func (s Status) String() string {
 		return "sat"
 	case StatusUnsat:
 		return "unsat"
+	case StatusTimeout:
+		return "timeout"
 	default:
 		return "unknown"
 	}
@@ -38,6 +46,12 @@ type Bound struct {
 // simplex relaxations refined by branch-and-bound. maxNodes caps the number
 // of explored branch nodes (0 means a generous default).
 func SolveLIA(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) ([]int64, Status) {
+	return solveLIA(nvars, ineqs, bounds, maxNodes, nil)
+}
+
+// solveLIA is SolveLIA with a cooperative stop probe: when stop returns true
+// the search unwinds and reports StatusTimeout. A nil stop never fires.
+func solveLIA(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int, stop func() bool) ([]int64, Status) {
 	if maxNodes <= 0 {
 		maxNodes = 20000
 	}
@@ -47,12 +61,15 @@ func SolveLIA(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) ([]int64, S
 	for len(extra) < nvars {
 		extra = append(extra, Bound{})
 	}
-	return bnb(nvars, ineqs, extra, &budget)
+	return bnb(nvars, ineqs, extra, &budget, stop)
 }
 
-func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int) ([]int64, Status) {
+func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool) ([]int64, Status) {
 	if *budget <= 0 {
 		return nil, StatusUnknown
+	}
+	if stop != nil && stop() {
+		return nil, StatusTimeout
 	}
 	*budget--
 
@@ -109,7 +126,7 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int) ([]int64, Status)
 	if !left[frac].HasHi || left[frac].Hi > fl {
 		left[frac].Hi, left[frac].HasHi = fl, true
 	}
-	if m, st := bnb(nvars, ineqs, left, budget); st != StatusUnsat {
+	if m, st := bnb(nvars, ineqs, left, budget, stop); st != StatusUnsat {
 		return m, st
 	}
 
@@ -118,7 +135,7 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int) ([]int64, Status)
 	if !right[frac].HasLo || right[frac].Lo < fl+1 {
 		right[frac].Lo, right[frac].HasLo = fl+1, true
 	}
-	return bnb(nvars, ineqs, right, budget)
+	return bnb(nvars, ineqs, right, budget, stop)
 }
 
 func ratFloor(r *big.Rat) int64 {

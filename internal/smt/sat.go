@@ -87,6 +87,12 @@ type SAT struct {
 	nConflicts   int
 	maxConflicts int
 
+	// stop, when non-nil, is polled on every conflict and every decision;
+	// when it reports true the search abandons work with SATUnknown. It is
+	// how wall-clock deadlines and context cancellation reach the inner
+	// CDCL loop (see SetStop).
+	stop func() bool
+
 	unsat bool
 }
 
@@ -340,6 +346,11 @@ const (
 	SATUnsat
 )
 
+// SetStop installs a cooperative cancellation probe, polled on every conflict
+// and every decision. When it reports true, Solve returns SATUnknown at the
+// next poll; the caller decides whether that is a timeout or a budget stop.
+func (s *SAT) SetStop(stop func() bool) { s.stop = stop }
+
 // Solve runs the CDCL search. On SATSat the model is available via Value.
 func (s *SAT) Solve() SATResult {
 	if s.unsat {
@@ -354,6 +365,9 @@ func (s *SAT) Solve() SATResult {
 		if confl != nil {
 			s.nConflicts++
 			if s.nConflicts > s.maxConflicts {
+				return SATUnknown
+			}
+			if s.stop != nil && s.stop() {
 				return SATUnknown
 			}
 			if s.decisionLevel() == 0 {
@@ -372,6 +386,9 @@ func (s *SAT) Solve() SATResult {
 			}
 			s.varInc /= 0.95
 			continue
+		}
+		if s.stop != nil && s.stop() {
+			return SATUnknown
 		}
 		v := s.pickBranchVar()
 		if v == -1 {

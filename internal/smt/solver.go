@@ -1,9 +1,11 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"hotg/internal/faults"
 	"hotg/internal/obs"
 	"hotg/internal/sym"
 )
@@ -31,6 +33,34 @@ type Options struct {
 	// (smt.sat.ns, smt.lia.ns, smt.euf.ns), CNF size, Ackermann expansion
 	// counts, and verdict counters. Never affects solver results.
 	Obs *obs.Obs
+	// Ctx, when non-nil, cancels the solve cooperatively: the SAT loop and
+	// the branch-and-bound search poll it and unwind with StatusTimeout.
+	Ctx context.Context
+	// Deadline, when non-zero, is an absolute wall-clock cutoff for this
+	// call; past it the solve unwinds with StatusTimeout. Combined with Ctx
+	// when both are set (whichever fires first wins).
+	Deadline time.Time
+}
+
+// stopProbe builds the cooperative cancellation probe for one solve call, or
+// nil when neither a deadline nor a context is configured. The probe latches:
+// once it fires it stays fired, so a deep unwind never re-checks the clock.
+func (o Options) stopProbe() func() bool {
+	if o.Ctx == nil && o.Deadline.IsZero() {
+		return nil
+	}
+	fired := false
+	return func() bool {
+		if fired {
+			return true
+		}
+		if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
+			fired = true
+		} else if o.Ctx != nil && o.Ctx.Err() != nil {
+			fired = true
+		}
+		return fired
+	}
 }
 
 // Model is a satisfying assignment: concrete values for the input variables
@@ -49,6 +79,9 @@ type Model struct {
 // call is accounted in the metrics registry (smt.solve.* and the per-theory
 // latency histograms); a nil Obs adds a single branch of overhead.
 func Solve(f sym.Expr, opts Options) (Status, *Model) {
+	if faults.Active().FireSolveTimeout() {
+		return StatusTimeout, nil
+	}
 	o := opts.Obs
 	if !o.Enabled() {
 		return solve(f, opts)
@@ -99,8 +132,10 @@ func solve(f sym.Expr, opts Options) (Status, *Model) {
 	if maxRounds <= 0 {
 		maxRounds = 200
 	}
+	stop := opts.stopProbe()
 
 	sat := NewSAT(opts.MaxConflicts)
+	sat.SetStop(stop)
 	comp := newCompiler(sat)
 	top := comp.compile(f)
 	if !sat.AddClause(top) {
@@ -140,6 +175,9 @@ func solve(f sym.Expr, opts Options) (Status, *Model) {
 		case SATUnsat:
 			return StatusUnsat, nil
 		case SATUnknown:
+			if stop != nil && stop() {
+				return StatusTimeout, nil
+			}
 			return StatusUnknown, nil
 		}
 		ineqs, lits := comp.assertedIneqs()
@@ -147,7 +185,7 @@ func solve(f sym.Expr, opts Options) (Status, *Model) {
 		if o.Enabled() {
 			tLIA = time.Now()
 		}
-		model, st := SolveLIA(nvars, ineqs, bounds, opts.MaxNodes)
+		model, st := solveLIA(nvars, ineqs, bounds, opts.MaxNodes, stop)
 		if o.Enabled() {
 			o.Histogram("smt.lia.ns").Observe(int64(time.Since(tLIA)))
 		}
@@ -164,12 +202,15 @@ func solve(f sym.Expr, opts Options) (Status, *Model) {
 				delete(m.Vars, av.ID)
 			}
 			return StatusSat, m
-		case StatusUnknown:
-			return StatusUnknown, nil
+		case StatusUnknown, StatusTimeout:
+			return st, nil
 		}
 		// Theory conflict: shrink to a small core and block it.
 		o.Counter("smt.theory_conflicts").Inc()
 		core := minimizeCore(nvars, ineqs, bounds, opts.MaxNodes)
+		if stop != nil && stop() {
+			return StatusTimeout, nil
+		}
 		block := make([]Lit, 0, len(core))
 		for _, idx := range core {
 			block = append(block, lits[idx].Flip())
