@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults bench bench-json tables verify
+.PHONY: all build lint vet test race test-faults test-campaign bench bench-json tables verify
 
 all: build lint vet test
 
@@ -30,6 +30,13 @@ race:
 test-faults:
 	$(GO) test -race -timeout 10m -run 'Injected|Fault|Budget|Degrade|Cancel|Timeout' ./internal/search/ ./internal/faults/...
 
+# Campaign persistence drills: kill-and-resume determinism (resumed searches
+# must be bit-identical to uninterrupted ones at any worker count), corpus
+# integrity, and cross-session triage dedup, under the race detector. See
+# DESIGN.md §9.
+test-campaign:
+	$(GO) test -race -timeout 15m -run 'Checkpoint|Resume|Snapshot|Campaign' ./internal/search/ ./internal/campaign/ ./cmd/hotg/
+
 bench:
 	$(GO) test -bench . -benchtime 1x
 
@@ -41,4 +48,4 @@ bench-json:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race test-faults
+verify: lint vet test race test-faults test-campaign

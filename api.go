@@ -38,7 +38,9 @@ package hotg
 
 import (
 	"io"
+	"os"
 
+	"hotg/internal/campaign"
 	"hotg/internal/concolic"
 	"hotg/internal/eval"
 	"hotg/internal/fol"
@@ -183,6 +185,28 @@ type MetricValue = obs.MetricValue
 // Workload is a ready-to-search program under test.
 type Workload = lexapp.Workload
 
+// Snapshot is a restorable image of the full search state — sample store,
+// proof cache, work queues, dedup sets, statistics — taken at a work-loop
+// boundary. See SearchOptions.Checkpoint/Restore and DESIGN.md §9.
+type Snapshot = search.Snapshot
+
+// CheckpointOptions configures periodic snapshotting of a running search.
+type CheckpointOptions = search.CheckpointOptions
+
+// RunRecord describes one applied execution, delivered to
+// SearchOptions.OnRun in canonical apply order.
+type RunRecord = search.RunRecord
+
+// Campaign is a persistent on-disk testing campaign: a content-addressed
+// corpus, triaged crash buckets, and resumable checkpoints. See DESIGN.md §9.
+type Campaign = campaign.Campaign
+
+// CorpusEntry is one deduplicated corpus input with scheduling metadata.
+type CorpusEntry = campaign.Entry
+
+// TriageBucket is one deduplicated failure class of a campaign.
+type TriageBucket = campaign.Bucket
+
 // Experiment reproduces one table/figure of EXPERIMENTS.md.
 type Experiment = eval.Experiment
 
@@ -282,3 +306,21 @@ func Experiments() []Experiment { return eval.Experiments() }
 
 // GetExperiment returns one experiment by ID (e.g. "E12").
 func GetExperiment(id string) (Experiment, bool) { return eval.Get(id) }
+
+// OpenCampaign opens (creating if needed) a persistent campaign directory
+// bound to one workload/mode pair. Wire the campaign into a search with
+// SearchOptions.OnRun = c.RecordRun and CheckpointOptions.Sink =
+// c.SaveCheckpoint, and call c.Commit when the session ends.
+func OpenCampaign(dir, workload, mode string, o *Observer) (*Campaign, error) {
+	return campaign.Open(dir, workload, mode, o)
+}
+
+// ScheduleSeeds ranks corpus entries for seeding a fresh session (bugs first,
+// then cheaper precision rung, more coverage, earlier discovery).
+func ScheduleSeeds(entries []*CorpusEntry) []*CorpusEntry { return campaign.Schedule(entries) }
+
+// WriteFileAtomic writes data to path via a same-directory temp file and an
+// atomic rename, so readers never observe partial content.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return campaign.WriteFileAtomic(path, data, perm)
+}

@@ -44,6 +44,11 @@ type jsonResult struct {
 	TestsProof       int64              `json:"tests_proof,omitempty"`
 	TestsQF          int64              `json:"tests_qf,omitempty"`
 	TestsConcretize  int64              `json:"tests_concretize,omitempty"`
+	CorpusEntries    int64              `json:"corpus_entries,omitempty"`
+	CorpusDedup      int64              `json:"corpus_dedup_hits,omitempty"`
+	CrashBuckets     int64              `json:"crash_buckets,omitempty"`
+	TriageDedup      int64              `json:"triage_dedup_hits,omitempty"`
+	Checkpoints      int64              `json:"checkpoints_saved,omitempty"`
 	Failed           []string           `json:"failed,omitempty"`
 	Table            *hotg.Table        `json:"table"`
 	Metrics          []hotg.MetricValue `json:"metrics,omitempty"`
@@ -113,6 +118,11 @@ func main() {
 				TestsProof:       m.Get("search.budget.tests.proof"),
 				TestsQF:          m.Get("search.budget.tests.qf"),
 				TestsConcretize:  m.Get("search.budget.tests.concretize"),
+				CorpusEntries:    m.Get("campaign.corpus.entries"),
+				CorpusDedup:      m.Get("campaign.corpus.dedup_hits"),
+				CrashBuckets:     m.Get("campaign.triage.buckets"),
+				TriageDedup:      m.Get("campaign.triage.dedup_hits"),
+				Checkpoints:      m.Get("campaign.checkpoints.saved"),
 				Failed:           failed,
 				Table:            tab,
 				Metrics:          m.Snapshot(),

@@ -12,82 +12,125 @@
 //	hotg -workload lexer -runs 300 -trace trace.jsonl -trace-chrome trace.json
 //	hotg -workload lexer -runs 300 -proof-timeout 50ms -degrade
 //	hotg -workload lexer -runs 300 -budget 2s
+//	hotg -workload lexer -runs 300 -corpus ./camp -checkpoint-every 50
+//	hotg -workload lexer -runs 300 -corpus ./camp -resume
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"hotg"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// validModes are the -mode values, in ladder order, plus the special "all".
+var validModes = []string{
+	"static", "dart-unsound", "dart-sound", "dart-sound-delayed",
+	"higher-order", "random", "all",
+}
+
+func validModeList() string { return strings.Join(validModes, ", ") }
+
+func validWorkloadList() string {
+	var names []string
+	for _, w := range hotg.Workloads() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// run is the whole command; it returns the process exit code so tests can
+// drive the CLI without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hotg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list       = flag.Bool("list", false, "list available workloads and modes")
-		workload   = flag.String("workload", "obscure", "workload name (see -list)")
-		mode       = flag.String("mode", "higher-order", "technique: static | dart-unsound | dart-sound | dart-sound-delayed | higher-order | random | all")
-		runs       = flag.Int("runs", 100, "execution budget")
-		refute     = flag.Bool("refute", false, "enable the invalidity prover (higher-order mode)")
-		seed       = flag.Int64("seed", 1, "random seed (random mode)")
-		verbose    = flag.Bool("v", false, "print every bug input")
-		samplesIn  = flag.String("samples-in", "", "load IOF samples from a previous session (JSON)")
-		samplesOut = flag.String("samples-out", "", "save the IOF store at exit (JSON)")
-		summaries  = flag.Bool("summaries", false, "enable compositional path summaries (higher-order mode)")
-		workers    = flag.Int("workers", 0, "worker goroutines for test execution and proving (0 = GOMAXPROCS); results are identical at any count")
-		tracePath  = flag.String("trace", "", "write a structured JSONL event trace to this file")
-		profile    = flag.Bool("profile", false, "print a metrics profile (latency percentiles, cache traffic) after the run")
-		chromePath = flag.String("trace-chrome", "", "write a Chrome trace_event JSON (Perfetto, chrome://tracing) to this file")
-		budgetD    = flag.Duration("budget", 0, "wall-clock ceiling for the whole search (0 = unlimited); a fired ceiling returns partial results")
-		proofTmo   = flag.Duration("proof-timeout", 0, "wall-clock deadline per validity proof / solver query (0 = unlimited)")
-		degrade    = flag.Bool("degrade", false, "retry timed-out higher-order proofs with quantifier-free solving, then plain concretization (see README)")
+		list       = fs.Bool("list", false, "list available workloads and modes")
+		workload   = fs.String("workload", "obscure", "workload name (see -list)")
+		mode       = fs.String("mode", "higher-order", "technique: "+validModeList())
+		runs       = fs.Int("runs", 100, "execution budget")
+		refute     = fs.Bool("refute", false, "enable the invalidity prover (higher-order mode)")
+		seed       = fs.Int64("seed", 1, "random seed (random mode)")
+		verbose    = fs.Bool("v", false, "print every bug input")
+		samplesIn  = fs.String("samples-in", "", "load IOF samples from a previous session (JSON)")
+		samplesOut = fs.String("samples-out", "", "save the IOF store at exit (JSON, written atomically)")
+		summaries  = fs.Bool("summaries", false, "enable compositional path summaries (higher-order mode)")
+		workers    = fs.Int("workers", 0, "worker goroutines for test execution and proving (0 = GOMAXPROCS); results are identical at any count")
+		tracePath  = fs.String("trace", "", "write a structured JSONL event trace to this file")
+		profile    = fs.Bool("profile", false, "print a metrics profile (latency percentiles, cache traffic) after the run")
+		chromePath = fs.String("trace-chrome", "", "write a Chrome trace_event JSON (Perfetto, chrome://tracing) to this file")
+		budgetD    = fs.Duration("budget", 0, "wall-clock ceiling for the whole search (0 = unlimited); a fired ceiling returns partial results")
+		proofTmo   = fs.Duration("proof-timeout", 0, "wall-clock deadline per validity proof / solver query (0 = unlimited)")
+		degrade    = fs.Bool("degrade", false, "retry timed-out higher-order proofs with quantifier-free solving, then plain concretization (see README)")
+		corpusDir  = fs.String("corpus", "", "campaign directory: persist corpus, crash buckets, and checkpoints here across sessions")
+		resume     = fs.Bool("resume", false, "resume the search from the campaign's latest checkpoint (requires -corpus)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "checkpoint the search every N runs into the campaign directory (requires -corpus)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("workloads:")
+		fmt.Fprintln(stdout, "workloads:")
 		for _, w := range hotg.Workloads() {
-			fmt.Printf("  %-16s %s\n", w.Name, w.Description)
+			fmt.Fprintf(stdout, "  %-16s %s\n", w.Name, w.Description)
 		}
-		fmt.Println("modes: static, dart-unsound, dart-sound, dart-sound-delayed, higher-order, random")
-		return
+		fmt.Fprintln(stdout, "modes:", validModeList())
+		return 0
 	}
 
 	w, ok := hotg.GetWorkload(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hotg: unknown workload %q (try -list)\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hotg: unknown workload %q\nvalid workloads: %s\n", *workload, validWorkloadList())
+		return 2
+	}
+	m, modeKnown := parseMode(*mode)
+	if !modeKnown && *mode != "random" && *mode != "all" {
+		fmt.Fprintf(stderr, "hotg: unknown mode %q\nvalid modes: %s\n", *mode, validModeList())
+		return 2
+	}
+	if *corpusDir == "" && (*resume || *ckptEvery > 0) {
+		fmt.Fprintln(stderr, "hotg: -resume and -checkpoint-every require -corpus")
+		return 2
+	}
+	if *corpusDir != "" && (*mode == "random" || *mode == "all") {
+		fmt.Fprintf(stderr, "hotg: -corpus requires a concolic mode, not %q\n", *mode)
+		return 2
 	}
 	prog := w.Build()
 
 	if *mode == "all" {
-		compareAll(w, *runs, *seed, *workers, *refute, *summaries)
-		return
+		compareAll(stdout, w, *runs, *seed, *workers, *refute, *summaries)
+		return 0
 	}
 
 	o, traceFile, err := buildObs(*tracePath, *chromePath, *profile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hotg:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hotg:", err)
+		return 2
 	}
 
 	var stats *hotg.Stats
 	var cache *hotg.SummaryCache
+	var camp *hotg.Campaign
 	if *mode == "random" {
 		if o != nil {
-			fmt.Fprintln(os.Stderr, "hotg: -trace/-profile/-trace-chrome instrument the concolic pipeline and are ignored in random mode")
+			fmt.Fprintln(stderr, "hotg: -trace/-profile/-trace-chrome instrument the concolic pipeline and are ignored in random mode")
 		}
 		stats = hotg.Fuzz(prog, hotg.FuzzOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds,
 			Rand: rand.New(rand.NewSource(*seed)),
 		})
 	} else {
-		m, ok := parseMode(*mode)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "hotg: unknown mode %q\n", *mode)
-			os.Exit(2)
-		}
 		eng := hotg.NewEngine(prog, m)
 		if *summaries {
 			cache = hotg.NewSummaryCache()
@@ -96,18 +139,18 @@ func main() {
 		if *samplesIn != "" {
 			f, err := os.Open(*samplesIn)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hotg:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "hotg:", err)
+				return 2
 			}
 			n, err := hotg.LoadSamples(eng, f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hotg:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "hotg:", err)
+				return 2
 			}
-			fmt.Printf("loaded %d samples from %s\n", n, *samplesIn)
+			fmt.Fprintf(stdout, "loaded %d samples from %s\n", n, *samplesIn)
 		}
-		stats = hotg.Explore(eng, hotg.SearchOptions{
+		opts := hotg.SearchOptions{
 			MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
 			Workers: *workers, Obs: o,
 			Budget: hotg.SearchBudget{
@@ -115,41 +158,92 @@ func main() {
 				SearchTimeout: *budgetD,
 				Degrade:       *degrade,
 			},
-		})
+		}
+		if *corpusDir != "" {
+			camp, err = hotg.OpenCampaign(*corpusDir, w.Name, m.String(), o)
+			if err != nil {
+				fmt.Fprintln(stderr, "hotg:", err)
+				return 2
+			}
+			opts.OnRun = camp.RecordRun
+			if *ckptEvery > 0 {
+				opts.Checkpoint = hotg.CheckpointOptions{Every: *ckptEvery, Sink: camp.SaveCheckpoint}
+			}
+			if *resume {
+				if *samplesIn != "" {
+					fmt.Fprintln(stderr, "hotg: -samples-in cannot combine with -resume (the checkpoint restores the sample store)")
+					return 2
+				}
+				snap, err := camp.LatestCheckpoint()
+				if err != nil {
+					fmt.Fprintln(stderr, "hotg:", err)
+					return 2
+				}
+				if snap == nil {
+					fmt.Fprintf(stderr, "hotg: campaign %s has no checkpoint to resume from\n", *corpusDir)
+					return 2
+				}
+				if err := snap.Validate(eng); err != nil {
+					fmt.Fprintln(stderr, "hotg:", err)
+					return 2
+				}
+				opts.Restore = snap
+				fmt.Fprintf(stdout, "resuming campaign %s at run %d (session %d)\n", *corpusDir, snap.Runs, camp.Session)
+			} else if seeds := camp.SeedInputs(0); len(seeds) > 0 {
+				// A fresh session over an existing corpus starts from the
+				// scheduler-ranked saved inputs instead of the workload seeds.
+				opts.Seeds = seeds
+				fmt.Fprintf(stdout, "seeding from corpus: %d ranked inputs (session %d)\n", len(seeds), camp.Session)
+			}
+		}
+		stats = hotg.Explore(eng, opts)
+		if camp != nil {
+			if err := camp.Commit(); err != nil {
+				fmt.Fprintln(stderr, "hotg:", err)
+				return 1
+			}
+		}
 		if *samplesOut != "" {
 			if err := writeSamples(eng, *samplesOut); err != nil {
-				fmt.Fprintln(os.Stderr, "hotg:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "hotg:", err)
+				return 2
 			}
-			fmt.Printf("saved %d samples to %s\n", eng.Samples.Len(), *samplesOut)
+			fmt.Fprintf(stdout, "saved %d samples to %s\n", eng.Samples.Len(), *samplesOut)
 		}
 	}
 
-	fmt.Println(stats.Summary())
+	fmt.Fprintln(stdout, stats.Summary())
 	if ps := stats.ParallelSummary(); ps != "" {
-		fmt.Println(ps)
+		fmt.Fprintln(stdout, ps)
 	}
 	if bs := stats.BudgetSummary(); bs != "" {
-		fmt.Println(bs)
+		fmt.Fprintln(stdout, bs)
+	}
+	if stats.CheckpointError != "" {
+		fmt.Fprintf(stderr, "hotg: checkpointing disabled mid-run: %s\n", stats.CheckpointError)
 	}
 	if cache != nil {
-		fmt.Printf("summaries: hits=%d misses=%d fallbacks=%d cases=%d\n",
+		fmt.Fprintf(stdout, "summaries: hits=%d misses=%d fallbacks=%d cases=%d\n",
 			cache.Hits, cache.Misses, cache.Fallbacks, cache.Cases())
 	}
+	if camp != nil {
+		fmt.Fprintf(stdout, "campaign: %d corpus entries, %d crash buckets (%d new), %d checkpoints\n",
+			len(camp.Entries()), len(camp.Buckets()), camp.NewBuckets(), stats.Checkpoints)
+	}
 	if len(stats.Bugs) == 0 {
-		fmt.Println("no bugs found")
+		fmt.Fprintln(stdout, "no bugs found")
 	} else {
-		fmt.Printf("%d bug(s):\n", len(stats.Bugs))
+		fmt.Fprintf(stdout, "%d bug(s):\n", len(stats.Bugs))
 		for _, b := range stats.Bugs {
 			if *verbose {
-				fmt.Printf("  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+				fmt.Fprintf(stdout, "  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
 			} else {
-				fmt.Printf("  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+				fmt.Fprintf(stdout, "  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
 			}
 		}
 	}
 
-	finishObs(o, traceFile, *tracePath, *chromePath, *profile)
+	return finishObs(stdout, stderr, o, traceFile, *tracePath, *chromePath, *profile)
 }
 
 // buildObs assembles the observer requested by -trace/-profile/-trace-chrome,
@@ -178,39 +272,41 @@ func buildObs(tracePath, chromePath string, profile bool) (*hotg.Observer, *os.F
 	return o, f, nil
 }
 
-// finishObs flushes and closes the trace outputs and prints the profile.
-func finishObs(o *hotg.Observer, traceFile *os.File, tracePath, chromePath string, profile bool) {
+// finishObs flushes and closes the trace outputs and prints the profile,
+// returning the exit code (1 on any output failure).
+func finishObs(stdout, stderr io.Writer, o *hotg.Observer, traceFile *os.File, tracePath, chromePath string, profile bool) int {
 	if o == nil {
-		return
+		return 0
 	}
 	failed := false
 	if err := o.Trace.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "hotg: trace:", err)
+		fmt.Fprintln(stderr, "hotg: trace:", err)
 		failed = true
 	}
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "hotg: trace:", err)
+			fmt.Fprintln(stderr, "hotg: trace:", err)
 			failed = true
 		} else {
-			fmt.Printf("trace written to %s\n", tracePath)
+			fmt.Fprintf(stdout, "trace written to %s\n", tracePath)
 		}
 	}
 	if chromePath != "" {
 		if err := writeChrome(o, chromePath); err != nil {
-			fmt.Fprintln(os.Stderr, "hotg: trace-chrome:", err)
+			fmt.Fprintln(stderr, "hotg: trace-chrome:", err)
 			failed = true
 		} else {
-			fmt.Printf("chrome trace written to %s (load in Perfetto or chrome://tracing)\n", chromePath)
+			fmt.Fprintf(stdout, "chrome trace written to %s (load in Perfetto or chrome://tracing)\n", chromePath)
 		}
 	}
 	if profile {
-		fmt.Println("\nprofile:")
-		fmt.Print(o.Metrics.ProfileTable())
+		fmt.Fprintln(stdout, "\nprofile:")
+		fmt.Fprint(stdout, o.Metrics.ProfileTable())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeChrome exports the retained events as a Chrome trace_event file.
@@ -226,32 +322,28 @@ func writeChrome(o *hotg.Observer, path string) error {
 	return f.Close()
 }
 
-// writeSamples saves the engine's IOF store to path. The file is closed on
-// every path, and close errors are reported: a failed close can silently
-// truncate the sample file.
+// writeSamples saves the engine's IOF store to path atomically (temp file in
+// the same directory + rename), so an interrupted save never leaves a
+// truncated sample file behind.
 func writeSamples(eng *hotg.Engine, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := hotg.SaveSamples(eng, &buf); err != nil {
 		return err
 	}
-	if err := hotg.SaveSamples(eng, f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return hotg.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // compareAll runs every technique (random included) on the workload and
 // prints one row per technique. The -workers, -refute, and -summaries flags
 // apply to every technique's search (refute and summaries only change
 // higher-order behavior but are threaded uniformly).
-func compareAll(w *hotg.Workload, runs int, seed int64, workers int, refute, summaries bool) {
-	fmt.Printf("%-20s %-6s %-10s %-6s %-6s %-6s\n", "technique", "runs", "coverage", "paths", "bugs", "div")
+func compareAll(stdout io.Writer, w *hotg.Workload, runs int, seed int64, workers int, refute, summaries bool) {
+	fmt.Fprintf(stdout, "%-20s %-6s %-10s %-6s %-6s %-6s\n", "technique", "runs", "coverage", "paths", "bugs", "div")
 	fz := hotg.Fuzz(w.Build(), hotg.FuzzOptions{
 		MaxRuns: runs, Seeds: w.Seeds, Bounds: w.Bounds, Rand: rand.New(rand.NewSource(seed)),
 	})
 	row := func(name string, st *hotg.Stats) {
-		fmt.Printf("%-20s %-6d %3d/%-6d %-6d %-6d %-6d\n", name, st.Runs,
+		fmt.Fprintf(stdout, "%-20s %-6d %3d/%-6d %-6d %-6d %-6d\n", name, st.Runs,
 			st.BranchSidesCovered(), st.BranchSidesTotal(), st.Paths(),
 			len(st.ErrorSitesFound()), st.Divergences)
 	}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workload", "foo", "-mode", "nonsense")
+	if code == 0 {
+		t.Fatal("unknown -mode exited 0")
+	}
+	if !strings.Contains(stderr, `"nonsense"`) {
+		t.Errorf("stderr does not name the bad mode: %q", stderr)
+	}
+	for _, m := range validModes {
+		if !strings.Contains(stderr, m) {
+			t.Errorf("stderr does not list valid mode %q: %q", m, stderr)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workload", "nonsense")
+	if code == 0 {
+		t.Fatal("unknown -workload exited 0")
+	}
+	if !strings.Contains(stderr, `"nonsense"`) {
+		t.Errorf("stderr does not name the bad workload: %q", stderr)
+	}
+	for _, name := range []string{"obscure", "foo", "lexer"} {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr does not list valid workload %q: %q", name, stderr)
+		}
+	}
+}
+
+func TestCampaignFlagValidation(t *testing.T) {
+	if code, _, _ := runCLI(t, "-workload", "foo", "-resume"); code == 0 {
+		t.Error("-resume without -corpus exited 0")
+	}
+	if code, _, _ := runCLI(t, "-workload", "foo", "-checkpoint-every", "5"); code == 0 {
+		t.Error("-checkpoint-every without -corpus exited 0")
+	}
+	if code, _, _ := runCLI(t, "-workload", "foo", "-mode", "random", "-corpus", t.TempDir()); code == 0 {
+		t.Error("-corpus with random mode exited 0")
+	}
+	dir := t.TempDir()
+	if code, _, stderr := runCLI(t, "-workload", "foo", "-corpus", dir, "-resume"); code == 0 {
+		t.Error("-resume with no saved checkpoint exited 0")
+	} else if !strings.Contains(stderr, "no checkpoint") {
+		t.Errorf("unexpected stderr: %q", stderr)
+	}
+}
+
+// TestCampaignCLIRoundTrip drives the full flag surface: a first session that
+// checkpoints into -corpus, then a -resume session over the same directory.
+func TestCampaignCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t,
+		"-workload", "foo", "-runs", "30", "-corpus", dir, "-checkpoint-every", "2")
+	if code != 0 {
+		t.Fatalf("first session exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "campaign:") {
+		t.Errorf("no campaign summary printed:\n%s", stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Errorf("no manifest committed: %v", err)
+	}
+
+	code, stdout, stderr = runCLI(t,
+		"-workload", "foo", "-runs", "30", "-corpus", dir, "-checkpoint-every", "2", "-resume")
+	if code != 0 {
+		t.Fatalf("resume session exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "resuming campaign") {
+		t.Errorf("resume session did not announce the restored checkpoint:\n%s", stdout)
+	}
+
+	// A fresh (non-resume) session over the same corpus seeds from it.
+	code, stdout, stderr = runCLI(t, "-workload", "foo", "-runs", "30", "-corpus", dir)
+	if code != 0 {
+		t.Fatalf("corpus-seeded session exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "seeding from corpus") {
+		t.Errorf("corpus-seeded session did not use saved inputs:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "(0 new)") {
+		t.Errorf("corpus-seeded session reported new crash buckets:\n%s", stdout)
+	}
+}
+
+func TestSamplesOutAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "samples.json")
+	code, _, stderr := runCLI(t, "-workload", "foo", "-runs", "20", "-samples-out", path)
+	if code != 0 {
+		t.Fatalf("exited %d\nstderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("samples file missing: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ManifestFormatVersion stamps manifest.json. Loaders reject newer versions;
+// older versions are upgraded in memory on load and rewritten at the current
+// version on the next Commit (there are no older versions yet, so today this
+// is a strict equality check).
+const ManifestFormatVersion = 1
+
+// Entry is one deduplicated corpus input with the metadata the seed scheduler
+// ranks on. Entries are content-addressed: Hash is the sha256 of the
+// canonical input encoding, so the same input re-discovered in a later
+// session maps to the same entry file.
+type Entry struct {
+	Hash    string  `json:"hash"`
+	Input   []int64 `json:"input"`
+	Path    string  `json:"path"`    // branch path the input executed when recorded
+	Rung    string  `json:"rung"`    // precision-ladder rung that generated it ("seed" for seeds)
+	Gained  int     `json:"gained"`  // branch directions newly covered by its run
+	Run     int     `json:"run"`     // run index that first produced it (novelty: lower = earlier)
+	Session int     `json:"session"` // campaign session that first recorded it
+	Bug     bool    `json:"bug,omitempty"`
+}
+
+// manifestEntry pins one corpus file in the manifest with an integrity hash.
+type manifestEntry struct {
+	Hash string `json:"hash"`   // content address (also the file name stem)
+	Sum  string `json:"sha256"` // sha256 of the entry file's bytes
+}
+
+// Manifest is the versioned corpus index. It is rewritten atomically on every
+// Commit; the entry files it references are immutable once written.
+type Manifest struct {
+	FormatVersion int             `json:"format_version"`
+	Workload      string          `json:"workload"`
+	Mode          string          `json:"mode"`
+	Sessions      int             `json:"sessions"`
+	Entries       []manifestEntry `json:"entries"` // sorted by hash
+	Buckets       []*Bucket       `json:"buckets"` // sorted by signature
+}
+
+// HashInput computes the content address of an input: the sha256 of its
+// canonical encoding (decimal values joined by commas), so equal inputs hash
+// equal regardless of which session produced them.
+func HashInput(input []int64) string {
+	var b strings.Builder
+	for i, v := range input {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *Campaign) inputsDir() string      { return filepath.Join(c.Dir, "inputs") }
+func (c *Campaign) checkpointsDir() string { return filepath.Join(c.Dir, "checkpoints") }
+func (c *Campaign) manifestPath() string   { return filepath.Join(c.Dir, "manifest.json") }
+
+func entryFileName(hash string) string { return hash + ".json" }
+
+// addEntry records an input in the in-memory corpus, deduplicating by content
+// address. It returns true when the input is new.
+func (c *Campaign) addEntry(e *Entry) bool {
+	if _, ok := c.entries[e.Hash]; ok {
+		c.obs.Counter("campaign.corpus.dedup_hits").Add(1)
+		return false
+	}
+	c.entries[e.Hash] = e
+	c.fresh[e.Hash] = true
+	c.obs.Counter("campaign.corpus.entries").Add(1)
+	return true
+}
+
+// Entries returns the corpus entries sorted by content address.
+func (c *Campaign) Entries() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// loadManifest reads and validates manifest.json, then loads every corpus
+// entry it references, verifying each file's integrity hash.
+func (c *Campaign) loadManifest() error {
+	raw, err := os.ReadFile(c.manifestPath())
+	if err != nil {
+		return err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("campaign: manifest %s: %w", c.manifestPath(), err)
+	}
+	if m.FormatVersion != ManifestFormatVersion {
+		return fmt.Errorf("campaign: manifest %s: format version %d, this build reads %d",
+			c.manifestPath(), m.FormatVersion, ManifestFormatVersion)
+	}
+	if m.Workload != c.Workload || m.Mode != c.Mode {
+		return fmt.Errorf("campaign: corpus at %s belongs to workload %q mode %q, not %q/%q",
+			c.Dir, m.Workload, m.Mode, c.Workload, c.Mode)
+	}
+	for _, me := range m.Entries {
+		path := filepath.Join(c.inputsDir(), entryFileName(me.Hash))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("campaign: corpus entry: %w", err)
+		}
+		if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != me.Sum {
+			return fmt.Errorf("campaign: corpus entry %s: integrity hash mismatch", path)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return fmt.Errorf("campaign: corpus entry %s: %w", path, err)
+		}
+		if e.Hash != me.Hash || HashInput(e.Input) != e.Hash {
+			return fmt.Errorf("campaign: corpus entry %s: content address does not match input", path)
+		}
+		c.entries[e.Hash] = &e
+	}
+	for _, b := range m.Buckets {
+		c.buckets[b.Signature] = b
+	}
+	c.manifest = m
+	return nil
+}
+
+// Commit persists the session: every new corpus entry file, then the
+// manifest (atomically, so a crash mid-commit leaves the previous manifest
+// — and therefore a consistent corpus view — in place).
+func (c *Campaign) Commit() error {
+	for hash := range c.fresh {
+		e := c.entries[hash]
+		data, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			return fmt.Errorf("campaign: encoding entry %s: %w", hash, err)
+		}
+		data = append(data, '\n')
+		if err := WriteFileAtomic(filepath.Join(c.inputsDir(), entryFileName(hash)), data, 0o644); err != nil {
+			return err
+		}
+	}
+	c.fresh = map[string]bool{}
+
+	m := Manifest{
+		FormatVersion: ManifestFormatVersion,
+		Workload:      c.Workload,
+		Mode:          c.Mode,
+		Sessions:      c.manifest.Sessions,
+		Buckets:       c.Buckets(),
+	}
+	for _, e := range c.Entries() {
+		data, err := os.ReadFile(filepath.Join(c.inputsDir(), entryFileName(e.Hash)))
+		if err != nil {
+			return fmt.Errorf("campaign: hashing entry: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		m.Entries = append(m.Entries, manifestEntry{Hash: e.Hash, Sum: hex.EncodeToString(sum[:])})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := WriteFileAtomic(c.manifestPath(), data, 0o644); err != nil {
+		return err
+	}
+	c.manifest = m
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package campaign persists a search across process lifetimes: a
+// content-addressed on-disk corpus of interesting inputs, crash triage into
+// stable deduplicated buckets, and checkpoint files from which an interrupted
+// search resumes bit-identically (DESIGN.md §9).
+//
+// The package is stdlib-only and deliberately free of search internals beyond
+// the serialization surface (search.Snapshot, search.RunRecord, search.Bug):
+// it owns the filesystem layout and the cross-session bookkeeping, while
+// internal/search owns what a snapshot means.
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a partial
+// file: the bytes go to a temporary file in the same directory (same
+// filesystem, so the final rename is atomic), are synced to disk, and only
+// then renamed over the destination. An interrupted write leaves any previous
+// content of path untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotg/internal/search"
+)
+
+// Bucket is one deduplicated failure class. Buckets persist in the manifest,
+// so a bug rediscovered in a later session lands in its existing bucket
+// instead of being reported as new.
+type Bucket struct {
+	Signature string  `json:"signature"` // stable: workload|kind|site|normalized-msg
+	Kind      string  `json:"kind"`      // "error" or "runtime-fault"
+	Site      int     `json:"site"`      // error-site ID, -1 for runtime faults
+	Msg       string  `json:"msg"`       // normalized message
+	Count     int     `json:"count"`     // total occurrences across all sessions
+	FirstRun  int     `json:"first_run"` // run index of the first occurrence
+	Session   int     `json:"session"`   // session of the first occurrence
+	Example   []int64 `json:"example"`   // input of the first occurrence
+}
+
+// NormalizeMsg collapses every run of decimal digits to '#', so messages that
+// embed concrete values ("index 17 out of bounds") triage into one bucket.
+func NormalizeMsg(s string) string {
+	var b strings.Builder
+	inDigits := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// SignatureFor derives the stable triage signature of a bug: the workload
+// name, failure kind, error site, and normalized message, joined with '|'.
+// Everything unstable across sessions (inputs, run indices, concrete values
+// inside messages) is excluded, so the signature identifies the failure
+// class, not the occurrence.
+func SignatureFor(workload string, b search.Bug) string {
+	return workload + "|" + b.Kind.String() + "|" + strconv.Itoa(b.Site) + "|" + NormalizeMsg(b.Msg)
+}
+
+// triageBug files a bug into its bucket, creating the bucket on first sight.
+// It returns true when the bucket is new (a failure class never seen in any
+// session of this campaign).
+func (c *Campaign) triageBug(b search.Bug) bool {
+	sig := SignatureFor(c.Workload, b)
+	if bk, ok := c.buckets[sig]; ok {
+		bk.Count++
+		c.obs.Counter("campaign.triage.dedup_hits").Add(1)
+		return false
+	}
+	c.buckets[sig] = &Bucket{
+		Signature: sig,
+		Kind:      b.Kind.String(),
+		Site:      b.Site,
+		Msg:       NormalizeMsg(b.Msg),
+		Count:     1,
+		FirstRun:  b.Run,
+		Session:   c.Session,
+		Example:   append([]int64(nil), b.Input...),
+	}
+	c.obs.Counter("campaign.triage.buckets").Add(1)
+	return true
+}
+
+// Buckets returns the triage buckets sorted by signature.
+func (c *Campaign) Buckets() []*Bucket {
+	out := make([]*Bucket, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}

@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"hotg/internal/campaign"
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// A5CampaignResume measures the persistent-campaign guarantee on the
+// Section 7 lexer: a campaign killed at an arbitrary checkpoint and resumed
+// in a new session reproduces the uninterrupted run exactly — same final
+// statistics byte for byte, same bug buckets — and a later session re-running
+// over the saved corpus reports every previously found bug exactly once per
+// bucket (triage deduplication across sessions).
+func A5CampaignResume(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:    "A5",
+		Title: "persistent campaigns: kill, resume, and triage across sessions (§7 lexer)",
+		PaperClaim: "\"the test generation process can be run over a long period of time\" (§7): " +
+			"persisted samples — and here the whole search state — let testing sessions stop and " +
+			"resume without losing or double-counting results",
+		Columns: []string{"session", "runs", "tests", "bugs", "buckets (new)", "corpus", "checkpoints"},
+	}
+	budget := cfg.Budget
+	if budget > 300 {
+		budget = 300 // the guarantee is budget-independent; keep A5 cheap
+	}
+	w := lexapp.Lexer()
+	mode := concolic.ModeHigherOrder
+	every := budget / 10
+	if every < 2 {
+		every = 2
+	}
+
+	tmp, err := os.MkdirTemp("", "hotg-a5-")
+	if err != nil {
+		t.claim(false, "create campaign directories: %v", err)
+		return t
+	}
+	defer os.RemoveAll(tmp)
+
+	row := func(name string, st *search.Stats, c *campaign.Campaign) {
+		buckets, entries := "—", "—"
+		if c != nil {
+			buckets = fmt.Sprintf("%d (%d)", len(c.Buckets()), c.NewBuckets())
+			entries = fmt.Sprintf("%d", len(c.Entries()))
+		}
+		t.addRow(name, fmt.Sprintf("%d", st.Runs), fmt.Sprintf("%d", st.TestsGenerated),
+			fmt.Sprintf("%d", len(st.Bugs)), buckets, entries, fmt.Sprintf("%d", st.Checkpoints))
+	}
+	fail := func(format string, args ...interface{}) *Table {
+		t.claim(false, format, args...)
+		return t
+	}
+
+	// Uninterrupted reference campaign.
+	refDir := tmp + "/ref"
+	refCamp, err := campaign.Open(refDir, w.Name, mode.String(), cfg.Obs)
+	if err != nil {
+		return fail("open reference campaign: %v", err)
+	}
+	ref := runSearch(cfg, w, mode, search.Options{MaxRuns: budget, OnRun: refCamp.RecordRun})
+	if err := refCamp.Commit(); err != nil {
+		return fail("commit reference campaign: %v", err)
+	}
+	row("uninterrupted", ref, refCamp)
+	refCanon, err := ref.Canonical()
+	if err != nil {
+		return fail("canonicalize reference stats: %v", err)
+	}
+
+	// Session 1: killed (context cancellation) after its second checkpoint.
+	dir := tmp + "/camp"
+	c1, err := campaign.Open(dir, w.Name, mode.String(), cfg.Obs)
+	if err != nil {
+		return fail("open campaign: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	saved := 0
+	st1 := runSearch(cfg, w, mode, search.Options{
+		MaxRuns: budget, OnRun: c1.RecordRun, Ctx: ctx,
+		Checkpoint: search.CheckpointOptions{Every: every, Sink: func(s *search.Snapshot) error {
+			if err := c1.SaveCheckpoint(s); err != nil {
+				return err
+			}
+			if saved++; saved == 2 {
+				cancel()
+			}
+			return nil
+		}},
+	})
+	if err := c1.Commit(); err != nil {
+		return fail("commit interrupted session: %v", err)
+	}
+	row("1: killed mid-search", st1, c1)
+	t.claim(st1.Budget.Cancelled && st1.Runs < ref.Runs,
+		"session 1 was killed mid-search (%d of %d runs)", st1.Runs, ref.Runs)
+
+	// Session 2: resume from the campaign's latest checkpoint.
+	c2, err := campaign.Open(dir, w.Name, mode.String(), cfg.Obs)
+	if err != nil {
+		return fail("reopen campaign: %v", err)
+	}
+	snap, err := c2.LatestCheckpoint()
+	if err != nil || snap == nil {
+		return fail("load latest checkpoint: snap=%v err=%v", snap != nil, err)
+	}
+	eng := concolic.New(w.Build(), mode)
+	if err := snap.Validate(eng); err != nil {
+		return fail("validate checkpoint: %v", err)
+	}
+	st2 := search.Run(eng, search.Options{
+		MaxRuns: budget, Seeds: w.Seeds, Bounds: w.Bounds, Obs: cfg.Obs,
+		Restore: snap, OnRun: c2.RecordRun,
+		Checkpoint: search.CheckpointOptions{Every: every, Sink: c2.SaveCheckpoint},
+	})
+	if err := c2.Commit(); err != nil {
+		return fail("commit resumed session: %v", err)
+	}
+	row(fmt.Sprintf("2: resumed at run %d", snap.Runs), st2, c2)
+
+	gotCanon, err := st2.Canonical()
+	if err != nil {
+		return fail("canonicalize resumed stats: %v", err)
+	}
+	t.claim(string(gotCanon) == string(refCanon),
+		"the resumed session's final state is bit-identical to the uninterrupted run "+
+			"(runs %d, tests %d, coverage %d/%d)",
+		st2.Runs, st2.TestsGenerated, st2.BranchSidesCovered(), st2.BranchSidesTotal())
+
+	refBuckets, gotBuckets := refCamp.Buckets(), c2.Buckets()
+	sameBuckets := len(refBuckets) == len(gotBuckets)
+	if sameBuckets {
+		for i := range refBuckets {
+			if refBuckets[i].Signature != gotBuckets[i].Signature {
+				sameBuckets = false
+				break
+			}
+		}
+	}
+	t.claim(sameBuckets && len(gotBuckets) > 0,
+		"the interrupted-and-resumed campaign found the same %d bug buckets as the uninterrupted one",
+		len(refBuckets))
+
+	// Session 3: a fresh run over the saved corpus — every bug deduplicates
+	// into its existing bucket.
+	c3, err := campaign.Open(dir, w.Name, mode.String(), cfg.Obs)
+	if err != nil {
+		return fail("reopen campaign for session 3: %v", err)
+	}
+	seeds := c3.SeedInputs(0)
+	if len(seeds) == 0 {
+		return fail("saved corpus yielded no seeds")
+	}
+	entriesBefore := len(c3.Entries())
+	before := map[string]int{}
+	for _, b := range c3.Buckets() {
+		before[b.Signature] = b.Session
+	}
+	st3 := runSearch(cfg, w, mode, search.Options{MaxRuns: budget, Seeds: seeds, OnRun: c3.RecordRun})
+	if err := c3.Commit(); err != nil {
+		return fail("commit session 3: %v", err)
+	}
+	row("3: re-run over corpus", st3, c3)
+	// Every bucket known before session 3 keeps its original first-discovery
+	// session: rediscovered bugs deduplicate into existing buckets instead of
+	// being reported as new. Buckets the session did create are genuinely new
+	// failure classes (first seen in session 3).
+	dedupOK := true
+	newOK := 0
+	for _, b := range c3.Buckets() {
+		if sess, known := before[b.Signature]; known {
+			if b.Session != sess {
+				dedupOK = false
+			}
+		} else {
+			if b.Session != c3.Session {
+				dedupOK = false
+			}
+			newOK++
+		}
+	}
+	t.claim(len(st3.Bugs) > 0 && dedupOK && newOK == c3.NewBuckets(),
+		"re-running over the saved corpus re-found bugs (%d occurrences): every known bug "+
+			"deduplicated into its existing bucket, and only never-seen failure classes (%d) opened new ones",
+		len(st3.Bugs), c3.NewBuckets())
+	t.note("corpus entries before session 3: %d, after: %d (content addressing deduplicates re-found inputs)",
+		entriesBefore, len(c3.Entries()))
+	t.note("the determinism guarantee and its caveats (matching options, timing fields) are spelled out in DESIGN.md §9")
+	return t
+}

@@ -169,6 +169,7 @@ func Experiments() []Experiment {
 		{"A2", "ablation: divergence rates by mode", A2DivergenceRates},
 		{"A3", "ablation: compositional summaries", A3Summaries},
 		{"A4", "budgeted search: degradation down the precision ladder", A4BudgetedSearch},
+		{"A5", "persistent campaigns: kill, resume, and triage across sessions", A5CampaignResume},
 	}
 }
 

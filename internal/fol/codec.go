@@ -1,0 +1,79 @@
+package fol
+
+import (
+	"fmt"
+
+	"hotg/internal/sym"
+)
+
+// This file serializes proved strategies and proof outcomes for the campaign
+// subsystem's checkpoints: the search's proof cache and pending multi-step
+// continuations persist across process restarts (internal/search.Snapshot),
+// so a resumed campaign replays neither the proofs nor the intermediate runs
+// that produced them.
+
+// DefRec is the serialized form of one strategy step.
+type DefRec struct {
+	Var  *sym.VarRec `json:"var"`
+	Term *sym.SumRec `json:"term"`
+}
+
+// StrategyRec is the serialized form of a *Strategy.
+type StrategyRec struct {
+	Defs  []DefRec `json:"defs"`
+	Proof []string `json:"proof,omitempty"`
+}
+
+// EncodeStrategy serializes a strategy. A nil strategy encodes as nil (the
+// proof cache stores nil strategies for unproved outcomes).
+func EncodeStrategy(st *Strategy) (*StrategyRec, error) {
+	if st == nil {
+		return nil, nil
+	}
+	rec := &StrategyRec{Proof: st.Proof}
+	for _, d := range st.Defs {
+		term, err := sym.EncodeSum(d.Term)
+		if err != nil {
+			return nil, err
+		}
+		rec.Defs = append(rec.Defs, DefRec{
+			Var:  &sym.VarRec{ID: d.Var.ID, Name: d.Var.Name},
+			Term: term,
+		})
+	}
+	return rec, nil
+}
+
+// DecodeStrategy rebuilds a strategy, resolving variables and function
+// symbols through the resolver. A nil record decodes as nil.
+func DecodeStrategy(rec *StrategyRec, r *sym.Resolver) (*Strategy, error) {
+	if rec == nil {
+		return nil, nil
+	}
+	st := &Strategy{Proof: rec.Proof}
+	for i, d := range rec.Defs {
+		if d.Var == nil {
+			return nil, fmt.Errorf("fol: strategy def %d has no variable", i)
+		}
+		term, err := sym.DecodeSum(d.Term, r)
+		if err != nil {
+			return nil, fmt.Errorf("fol: strategy def %d: %w", i, err)
+		}
+		v, err := r.DecodeVar(d.Var)
+		if err != nil {
+			return nil, fmt.Errorf("fol: strategy def %d: %w", i, err)
+		}
+		st.Defs = append(st.Defs, Def{Var: v, Term: term})
+	}
+	return st, nil
+}
+
+// ParseOutcome inverts Outcome.String, for checkpoint decoding.
+func ParseOutcome(s string) (Outcome, bool) {
+	for _, o := range []Outcome{OutcomeUnknown, OutcomeProved, OutcomeInvalid, OutcomeTimeout} {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}

@@ -67,6 +67,24 @@ type Options struct {
 	// returns partial (well-formed) Stats with Budget.Cancelled or
 	// Budget.TimedOut set.
 	Ctx context.Context
+	// Checkpoint, when configured (Every > 0 and Sink non-nil), periodically
+	// snapshots the full coordinator state — sample store, proof cache, work
+	// queues, dedup sets, statistics — at work-loop boundaries. Restoring
+	// any snapshot via Restore continues the search bit-identically to the
+	// uninterrupted run, at any worker count. See DESIGN.md §9.
+	Checkpoint CheckpointOptions
+	// Restore, when non-nil, resumes the search from a snapshot instead of
+	// the Seeds. The engine must be fresh (empty sample store) and built for
+	// the same program and mode; validate with Snapshot.Validate first — Run
+	// panics on a snapshot it cannot restore. For a bit-identical
+	// continuation the session must use the same MaxRuns, Bounds, Budget,
+	// Refute, and ProverNodes as the interrupted one (Workers may differ).
+	Restore *Snapshot
+	// OnRun, when non-nil, is called by the coordinator for every applied
+	// execution, in canonical apply order — the stream the campaign corpus
+	// is built from. The callback runs synchronously on the coordinator;
+	// keep it cheap.
+	OnRun func(RunRecord)
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -76,6 +94,10 @@ type item struct {
 	expected []mini.BranchEvent
 	bound    int
 	pending  *pendingTarget
+	// rung records which precision-ladder rung generated the input
+	// (RungProof for seeds, which predate any solving); it rides along so
+	// run records and checkpoints can report test provenance.
+	rung Rung
 	// noExpand marks sample-collection (intermediate) runs, which are not
 	// expanded into new targets.
 	noExpand bool
@@ -107,7 +129,7 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	if len(opts.Seeds) == 0 {
+	if len(opts.Seeds) == 0 && opts.Restore == nil {
 		panic("search: at least one seed input is required")
 	}
 	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
@@ -151,19 +173,40 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 			}
 		}
 	}
-	for _, seed := range opts.Seeds {
-		s.hot = append(s.hot, item{input: seed})
+	if opts.Restore != nil {
+		// Resume: the queues, dedup sets, cache, statistics, and sample
+		// store all come from the snapshot; the seeds were consumed by the
+		// interrupted session and must not be re-enqueued.
+		if err := s.restoreSnapshot(opts.Restore); err != nil {
+			panic("search: restoring snapshot: " + err.Error())
+		}
+		s.stats.Resumed = true
+	} else {
+		for _, seed := range opts.Seeds {
+			s.hot = append(s.hot, item{input: seed})
+		}
 	}
 	if s.tracing() {
 		// The resolved worker count is deliberately absent: like worker IDs
 		// and timestamps it is scheduling configuration, and the canonical
 		// stream must be identical at every worker count. It is reported via
 		// the search.workers gauge and Stats instead.
-		s.emit(obs.Event{Kind: "run_start", Worker: -1,
-			Num: map[string]int64{
-				"max_runs": int64(opts.MaxRuns),
-				"seeds":    int64(len(opts.Seeds)), "branches": int64(eng.Prog.NumBranches),
-			},
+		kind := "run_start"
+		num := map[string]int64{
+			"max_runs": int64(opts.MaxRuns),
+			"seeds":    int64(len(opts.Seeds)), "branches": int64(eng.Prog.NumBranches),
+		}
+		if opts.Restore != nil {
+			// A resumed session opens with "resume" instead of "run_start";
+			// both are session-boundary markers, filtered out of
+			// cross-session stream comparisons (DESIGN.md §9).
+			kind = "resume"
+			num["runs"] = int64(s.stats.Runs)
+			num["tests"] = int64(s.stats.TestsGenerated)
+			num["samples"] = int64(eng.Samples.Len())
+			num["frontier"] = int64(len(s.hot) + len(s.cold))
+		}
+		s.emit(obs.Event{Kind: kind, Worker: -1, Num: num,
 			Str: map[string]string{"mode": eng.Mode.String()}})
 	}
 	start := time.Now()
@@ -293,6 +336,11 @@ type searcher struct {
 	// before the first work unit; workers only read them.
 	ctx      context.Context
 	deadline time.Time
+	// lastCkpt is the Runs value at the most recent checkpoint (or restore),
+	// driving the checkpoint cadence; ckptFailed latches after a sink error
+	// so a broken sink is reported once, not once per cadence.
+	lastCkpt   int
+	ckptFailed bool
 }
 
 // canceled reports whether the search context has fired. Safe from workers.
@@ -373,12 +421,21 @@ func (s *searcher) nextBatch() ([]item, batchSource) {
 }
 
 func (s *searcher) run() {
-	s.tried = map[string]bool{}
-	s.targeted = map[string]bool{}
+	if s.tried == nil {
+		s.tried = map[string]bool{}
+	}
+	if s.targeted == nil {
+		s.targeted = map[string]bool{}
+	}
 	for s.stats.Runs < s.opts.MaxRuns {
 		if s.stopEarly() {
 			return
 		}
+		// Checkpoint after the cancellation check: a cancelled batch drops
+		// items nondeterministically (whichever were in flight), so the
+		// post-cancel state is not on the canonical trajectory and must
+		// never become a resume point.
+		s.maybeCheckpoint()
 		batch, src := s.nextBatch()
 		switch src {
 		case srcEmpty:
@@ -537,6 +594,19 @@ func (s *searcher) processBatch(batch []item) bool {
 					Num: map[string]int64{"run": int64(b.Run), "site": int64(b.Site)},
 					Str: map[string]string{"kind": b.Kind.String(), "msg": b.Msg, "input": fmt.Sprint(b.Input)}})
 			}
+		}
+		if s.opts.OnRun != nil {
+			rec := RunRecord{
+				Run: s.stats.Runs, Input: it.input, Path: r.ex.Result.Path(),
+				Gained: gained, Rung: it.rung,
+				Seed:         !it.noExpand && it.expected == nil,
+				Intermediate: it.noExpand,
+				Diverged:     div,
+			}
+			if len(s.stats.Bugs) > bugsBefore {
+				rec.Bugs = append([]Bug(nil), s.stats.Bugs[bugsBefore:]...)
+			}
+			s.opts.OnRun(rec)
 		}
 		if s.opts.StopAtFirstBug && len(s.stats.ErrorSitesFound()) > 0 {
 			return true
@@ -997,7 +1067,7 @@ func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound
 			Num: map[string]int64{"bound": int64(bound)},
 			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue, "rung": rung.String()}})
 	}
-	it := item{input: input, expected: expected, bound: bound}
+	it := item{input: input, expected: expected, bound: bound, rung: rung}
 	if hot {
 		s.hot = append(s.hot, it)
 	} else {

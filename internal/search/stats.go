@@ -64,6 +64,17 @@ type Stats struct {
 	WallTime  time.Duration
 	SolveTime time.Duration
 
+	// Checkpoints counts coordinator-state snapshots taken, cumulatively
+	// across resumed sessions (a restored snapshot carries its count).
+	Checkpoints int
+	// CheckpointError holds the first checkpoint-sink failure, after which
+	// checkpointing was disabled for the rest of the search ("" = none).
+	// Session-local: not part of snapshots or Canonical.
+	CheckpointError string
+	// Resumed reports that this session was restored from a snapshot.
+	// Session-local: not part of snapshots or Canonical.
+	Resumed bool
+
 	// Budget is the resource-budget and degradation section: what the
 	// ceilings cut short, which ladder rungs produced the tests, and whether
 	// the search ended early. Zero-valued (and absent from Summary) for

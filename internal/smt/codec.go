@@ -1,0 +1,22 @@
+package smt
+
+// ParseStatus inverts Status.String, for checkpoint decoding: the search's
+// solve cache persists across campaign sessions (internal/search.Snapshot)
+// with statuses stored as their canonical strings. Note that "unknown" is the
+// String of every unrecognized Status value; ParseStatus maps it back to
+// StatusUnknown, which is the only value the search ever caches with that
+// rendering.
+func ParseStatus(s string) (Status, bool) {
+	switch s {
+	case "unknown":
+		return StatusUnknown, true
+	case "sat":
+		return StatusSat, true
+	case "unsat":
+		return StatusUnsat, true
+	case "timeout":
+		return StatusTimeout, true
+	default:
+		return 0, false
+	}
+}

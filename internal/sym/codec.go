@@ -1,0 +1,275 @@
+package sym
+
+import "fmt"
+
+// This file is the serialization layer for symbolic expressions: a JSON-shaped
+// record tree mirroring the Expr structure, plus a Resolver that reattaches
+// decoded atoms to a live Pool. It exists for the campaign subsystem's
+// checkpoints (internal/search.Snapshot), where queued targets and proved
+// strategies must survive a process restart bit-identically: the decoded
+// expression must have the same canonical Key() as the original, and decoded
+// function applications must resolve to the *same* *Func pointers the engine
+// uses (the sample store indexes by pointer identity).
+//
+// Variables are resolved by ID: a Resolver seeded with the engine's input
+// variables returns the engine's own *Var for known IDs and a detached
+// (but identity-stable within one Resolver) *Var otherwise. Nothing in the
+// pipeline compares Var pointers — lookups key on Var.ID — so detached
+// variables are safe; they occur only for prover-internal temporaries, which
+// checkpointed state does not normally contain.
+
+// VarRec is the serialized form of a *Var.
+type VarRec struct {
+	ID   int    `json:"id"`
+	Name string `json:"n"`
+}
+
+// AppRec is the serialized form of an *Apply. The function symbol travels as
+// name+arity and is re-interned through the Pool on decode.
+type AppRec struct {
+	Fn    string    `json:"fn"`
+	Arity int       `json:"a"`
+	Args  []*SumRec `json:"args"`
+}
+
+// TermRec is the serialized form of one Term: exactly one of Var and App is
+// set.
+type TermRec struct {
+	Coef int64   `json:"k"`
+	Var  *VarRec `json:"v,omitempty"`
+	App  *AppRec `json:"f,omitempty"`
+}
+
+// SumRec is the serialized form of a *Sum.
+type SumRec struct {
+	Const int64     `json:"c,omitempty"`
+	Terms []TermRec `json:"ts,omitempty"`
+}
+
+// ExprRec is the serialized form of an Expr: a tagged union over the formula
+// node kinds, with *Sum doubling as the integer-sorted leaf.
+type ExprRec struct {
+	Kind string     `json:"k"`            // "bool", "cmp", "not", "and", "or", "sum"
+	B    bool       `json:"b,omitempty"`  // Kind "bool": the constant
+	Op   string     `json:"op,omitempty"` // Kind "cmp": "=", "!=", "<="
+	Sum  *SumRec    `json:"s,omitempty"`  // Kind "cmp" or "sum"
+	Xs   []*ExprRec `json:"xs,omitempty"` // Kind "not" (1), "and", "or"
+}
+
+// EncodeSum serializes a canonical linear term.
+func EncodeSum(s *Sum) (*SumRec, error) {
+	rec := &SumRec{Const: s.Const}
+	for _, t := range s.Terms {
+		tr := TermRec{Coef: t.Coef}
+		switch a := t.Atom.(type) {
+		case *Var:
+			tr.Var = &VarRec{ID: a.ID, Name: a.Name}
+		case *Apply:
+			app := &AppRec{Fn: a.Fn.Name, Arity: a.Fn.Arity}
+			for _, arg := range a.Args {
+				ar, err := EncodeSum(arg)
+				if err != nil {
+					return nil, err
+				}
+				app.Args = append(app.Args, ar)
+			}
+			tr.App = app
+		default:
+			return nil, fmt.Errorf("sym: cannot encode atom %T", t.Atom)
+		}
+		rec.Terms = append(rec.Terms, tr)
+	}
+	return rec, nil
+}
+
+// EncodeExpr serializes an expression tree.
+func EncodeExpr(e Expr) (*ExprRec, error) {
+	switch x := e.(type) {
+	case *Bool:
+		return &ExprRec{Kind: "bool", B: x.V}, nil
+	case *Cmp:
+		s, err := EncodeSum(x.S)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprRec{Kind: "cmp", Op: x.Op.String(), Sum: s}, nil
+	case *Not:
+		inner, err := EncodeExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprRec{Kind: "not", Xs: []*ExprRec{inner}}, nil
+	case *And:
+		rec := &ExprRec{Kind: "and"}
+		for _, sub := range x.Xs {
+			r, err := EncodeExpr(sub)
+			if err != nil {
+				return nil, err
+			}
+			rec.Xs = append(rec.Xs, r)
+		}
+		return rec, nil
+	case *Or:
+		rec := &ExprRec{Kind: "or"}
+		for _, sub := range x.Xs {
+			r, err := EncodeExpr(sub)
+			if err != nil {
+				return nil, err
+			}
+			rec.Xs = append(rec.Xs, r)
+		}
+		return rec, nil
+	case *Sum:
+		s, err := EncodeSum(x)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprRec{Kind: "sum", Sum: s}, nil
+	default:
+		return nil, fmt.Errorf("sym: cannot encode expression %T", e)
+	}
+}
+
+// Resolver reattaches decoded records to a live Pool: function symbols are
+// re-interned by name (so decoded applications share the engine's *Func
+// pointers), and variables are resolved by ID against the seeded set, with
+// identity-stable detached fallbacks for unknown IDs.
+type Resolver struct {
+	pool *Pool
+	vars map[int]*Var
+}
+
+// NewResolver returns a Resolver over pool that resolves the given variables
+// by ID (typically the engine's input variables).
+func NewResolver(pool *Pool, vars []*Var) *Resolver {
+	r := &Resolver{pool: pool, vars: make(map[int]*Var, len(vars))}
+	for _, v := range vars {
+		r.vars[v.ID] = v
+	}
+	return r
+}
+
+// DecodeVar returns the live variable for a record (exported for the codecs
+// of dependent packages, e.g. fol strategy defs).
+func (r *Resolver) DecodeVar(rec *VarRec) (*Var, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("sym: missing variable record")
+	}
+	return r.resolveVar(rec), nil
+}
+
+// resolveVar returns the live variable for a record, creating (and caching) a
+// detached one when the ID is not seeded.
+func (r *Resolver) resolveVar(rec *VarRec) *Var {
+	if v, ok := r.vars[rec.ID]; ok {
+		return v
+	}
+	v := &Var{ID: rec.ID, Name: rec.Name}
+	r.vars[rec.ID] = v
+	return v
+}
+
+// DecodeSum rebuilds a canonical linear term. The result is renormalized, so
+// even a hand-edited record yields a Sum honoring the package invariants.
+func DecodeSum(rec *SumRec, r *Resolver) (*Sum, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("sym: missing sum record")
+	}
+	terms := make([]Term, 0, len(rec.Terms))
+	for i, tr := range rec.Terms {
+		switch {
+		case tr.Var != nil && tr.App == nil:
+			terms = append(terms, Term{Coef: tr.Coef, Atom: r.resolveVar(tr.Var)})
+		case tr.App != nil && tr.Var == nil:
+			app := tr.App
+			if len(app.Args) != app.Arity {
+				return nil, fmt.Errorf("sym: application %s has %d args, declared arity %d",
+					app.Fn, len(app.Args), app.Arity)
+			}
+			fn, err := safeFuncSym(r.pool, app.Fn, app.Arity)
+			if err != nil {
+				return nil, err
+			}
+			args := make([]*Sum, len(app.Args))
+			for j, ar := range app.Args {
+				arg, err := DecodeSum(ar, r)
+				if err != nil {
+					return nil, err
+				}
+				args[j] = arg
+			}
+			terms = append(terms, Term{Coef: tr.Coef, Atom: &Apply{Fn: fn, Args: args}})
+		default:
+			return nil, fmt.Errorf("sym: term %d must have exactly one of var/app", i)
+		}
+	}
+	if len(terms) == 0 {
+		return &Sum{Const: rec.Const}, nil
+	}
+	return normalize(rec.Const, terms), nil
+}
+
+// parseCmpOp inverts CmpOp.String.
+func parseCmpOp(s string) (CmpOp, bool) {
+	switch s {
+	case "=":
+		return OpEq, true
+	case "!=":
+		return OpNe, true
+	case "<=":
+		return OpLe, true
+	default:
+		return 0, false
+	}
+}
+
+// DecodeExpr rebuilds an expression tree. Decoded expressions have the same
+// canonical Key() as the originals they were encoded from.
+func DecodeExpr(rec *ExprRec, r *Resolver) (Expr, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("sym: missing expression record")
+	}
+	switch rec.Kind {
+	case "bool":
+		if rec.B {
+			return True, nil
+		}
+		return False, nil
+	case "cmp":
+		op, ok := parseCmpOp(rec.Op)
+		if !ok {
+			return nil, fmt.Errorf("sym: unknown comparison operator %q", rec.Op)
+		}
+		s, err := DecodeSum(rec.Sum, r)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: op, S: s}, nil
+	case "not":
+		if len(rec.Xs) != 1 {
+			return nil, fmt.Errorf("sym: negation must have exactly one operand, got %d", len(rec.Xs))
+		}
+		inner, err := DecodeExpr(rec.Xs[0], r)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: inner}, nil
+	case "and", "or":
+		xs := make([]Expr, len(rec.Xs))
+		for i, sub := range rec.Xs {
+			x, err := DecodeExpr(sub, r)
+			if err != nil {
+				return nil, err
+			}
+			xs[i] = x
+		}
+		if rec.Kind == "and" {
+			return &And{Xs: xs}, nil
+		}
+		return &Or{Xs: xs}, nil
+	case "sum":
+		return DecodeSum(rec.Sum, r)
+	default:
+		return nil, fmt.Errorf("sym: unknown expression kind %q", rec.Kind)
+	}
+}

@@ -1,0 +1,136 @@
+package sym
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// encodedFixture returns a store with a few samples and its encoding.
+func encodedFixture(t *testing.T) ([]byte, *SampleStore) {
+	t.Helper()
+	var p Pool
+	h := p.FuncSym("hash", 1)
+	g := p.FuncSym("hashstr", 3)
+	s := NewSampleStore()
+	s.Add(h, []int64{42}, 567)
+	s.Add(h, []int64{-3}, 12)
+	s.Add(g, []int64{105, 102, 0}, 52)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s
+}
+
+// TestDecodeSamplesTruncated: a sample file cut off at any byte boundary is
+// rejected with an error, never a panic or a silent partial load that claims
+// success.
+func TestDecodeSamplesTruncated(t *testing.T) {
+	data, _ := encodedFixture(t)
+	for _, frac := range []int{0, 1, 2, 3} {
+		cut := len(data) * frac / 4
+		if cut == len(data) {
+			continue
+		}
+		var p Pool
+		_, err := DecodeSamples(bytes.NewReader(data[:cut]), NewSampleStore(), &p)
+		if err == nil {
+			t.Errorf("truncation at byte %d/%d decoded without error", cut, len(data))
+		} else if !strings.Contains(err.Error(), "sym:") {
+			t.Errorf("truncation error lacks package context: %v", err)
+		}
+	}
+}
+
+// TestDecodeSamplesCorrupted: structurally damaged files fail with an error
+// naming the problem; the store is never left observably half-poisoned with
+// values from rejected records' functions.
+func TestDecodeSamplesCorrupted(t *testing.T) {
+	data, _ := encodedFixture(t)
+	mutations := []struct {
+		name string
+		old  string
+		new  string
+	}{
+		{"string-out", `"out": 567`, `"out": "567"`},
+		{"null-args", "\"args\": [\n      42\n    ]", `"args": null`},
+		{"float-arg", `42`, `42.5`},
+		{"object-root", `[`, `{`},
+	}
+	for _, m := range mutations {
+		mut := strings.Replace(string(data), m.old, m.new, 1)
+		if mut == string(data) {
+			t.Fatalf("%s: mutation %q not applied (fixture format changed?)", m.name, m.old)
+		}
+		var p Pool
+		if _, err := DecodeSamples(strings.NewReader(mut), NewSampleStore(), &p); err == nil {
+			t.Errorf("%s: corrupted file decoded without error", m.name)
+		}
+	}
+}
+
+// TestDecodeSamplesDuplicateKeysInStream: two records for the same (fn, args)
+// key inside one file — agreeing duplicates collapse silently, conflicting
+// ones are rejected with an error that names the sample and both values'
+// context.
+func TestDecodeSamplesDuplicateKeysInStream(t *testing.T) {
+	agreeing := `[
+  {"fn":"h","arity":1,"args":[1],"out":5},
+  {"fn":"h","arity":1,"args":[1],"out":5}
+]`
+	var p Pool
+	dst := NewSampleStore()
+	added, err := DecodeSamples(strings.NewReader(agreeing), dst, &p)
+	if err != nil {
+		t.Fatalf("agreeing duplicate rejected: %v", err)
+	}
+	if added != 1 || dst.Len() != 1 {
+		t.Errorf("agreeing duplicate: added=%d len=%d, want 1/1", added, dst.Len())
+	}
+
+	conflicting := `[
+  {"fn":"h","arity":1,"args":[1],"out":5},
+  {"fn":"h","arity":1,"args":[1],"out":6}
+]`
+	var p2 Pool
+	_, err = DecodeSamples(strings.NewReader(conflicting), NewSampleStore(), &p2)
+	if err == nil {
+		t.Fatal("conflicting in-stream duplicate accepted")
+	}
+	if !strings.Contains(err.Error(), "conflict") {
+		t.Errorf("conflict error unclear: %v", err)
+	}
+}
+
+// TestSamplesSaveLoadSaveByteStable: save → load → save reproduces the file
+// byte for byte — insertion order and all values survive, so campaign
+// artifacts containing embedded sample stores are content-stable.
+func TestSamplesSaveLoadSaveByteStable(t *testing.T) {
+	first, _ := encodedFixture(t)
+	var p Pool
+	dst := NewSampleStore()
+	if _, err := DecodeSamples(bytes.NewReader(first), dst, &p); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := dst.Encode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second.Bytes()) {
+		t.Errorf("save→load→save not byte-stable:\nfirst:  %s\nsecond: %s", first, second.Bytes())
+	}
+	// And once more through a second generation, from the reloaded store.
+	var p2 Pool
+	dst2 := NewSampleStore()
+	if _, err := DecodeSamples(bytes.NewReader(second.Bytes()), dst2, &p2); err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := dst2.Encode(&third); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second.Bytes(), third.Bytes()) {
+		t.Error("second-generation reload changed the encoding")
+	}
+}
