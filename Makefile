@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign bench bench-json tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-json tables verify
 
 all: build lint vet test
 
@@ -37,6 +37,20 @@ test-faults:
 test-campaign:
 	$(GO) test -race -timeout 15m -run 'Checkpoint|Resume|Snapshot|Campaign' ./internal/search/ ./internal/campaign/ ./cmd/hotg/
 
+# Differential-oracle pass: the deterministic seeded O1–O3 suite (prover
+# verdicts vs exhaustive enumeration, cross-technique replay, metamorphic
+# relations) plus the committed regression corpus, under the race detector.
+# See DESIGN.md §10.
+test-difftest:
+	$(GO) test -race -timeout 15m ./internal/difftest/ ./cmd/difftest/
+
+# Short native-fuzz smoke: each entry point gets a few seconds from its seed
+# corpus. `go test -fuzz` accepts one target per invocation, hence the list.
+fuzz-smoke:
+	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzParser$$' -fuzztime 10s
+	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzLexRoundTrip$$' -fuzztime 5s
+	$(GO) test ./internal/smt/ -run '^$$' -fuzz 'FuzzSolveConjunction$$' -fuzztime 10s
+
 bench:
 	$(GO) test -bench . -benchtime 1x
 
@@ -48,4 +62,4 @@ bench-json:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race test-faults test-campaign
+verify: lint vet test race test-faults test-campaign test-difftest

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -55,22 +56,32 @@ type jsonResult struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command; it returns the process exit code so tests can
+// drive the CLI without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick    = flag.Bool("quick", false, "CI-sized budgets")
-		budget   = flag.Int("budget", 0, "execution budget for the lexer experiments (default 1500)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		jsonOut  = flag.Bool("json", false, "emit one JSON array of results instead of rendered tables")
-		proofTmo = flag.Duration("proof-timeout", 0, "per-proof wall-clock deadline applied to every search (0 = unlimited)")
-		degrade  = flag.Bool("degrade", false, "degrade cut-short proofs down the precision ladder (DESIGN.md §8)")
+		quick    = fs.Bool("quick", false, "CI-sized budgets")
+		budget   = fs.Int("budget", 0, "execution budget for the lexer experiments (default 1500)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		jsonOut  = fs.Bool("json", false, "emit one JSON array of results instead of rendered tables")
+		proofTmo = fs.Duration("proof-timeout", 0, "per-proof wall-clock deadline applied to every search (0 = unlimited)")
+		degrade  = fs.Bool("degrade", false, "degrade cut-short proofs down the precision ladder (DESIGN.md §8)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	baseCfg := hotg.ExperimentConfig{
 		Quick: *quick, Budget: *budget, Seed: *seed,
 		ProofTimeout: *proofTmo, Degrade: *degrade,
 	}
 
-	selected := flag.Args()
+	selected := fs.Args()
 	run := func(e hotg.Experiment) bool {
 		if len(selected) == 0 {
 			return true
@@ -129,19 +140,20 @@ func main() {
 			})
 			continue
 		}
-		fmt.Println(tab.Render())
-		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, secs)
+		fmt.Fprintln(stdout, tab.Render())
+		fmt.Fprintf(stdout, "(%s finished in %.1fs)\n\n", e.ID, secs)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: %d claim(s) FAILED\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchtab: %d claim(s) FAILED\n", failures)
+		return 1
 	}
+	return 0
 }

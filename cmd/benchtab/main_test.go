@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var regen = flag.Bool("regen", false, "regenerate golden files")
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestJSONShapeGolden pins the machine-readable interface of -json against a
+// golden key set: every emitted key must be known (additions are a conscious
+// golden update), and the always-present core must be there. Values are not
+// pinned — timings vary — but types and the table payload are checked.
+func TestJSONShapeGolden(t *testing.T) {
+	code, out, stderr := runCLI(t, "-quick", "-json", "E7")
+	if code != 0 {
+		t.Fatalf("benchtab exited %d\nstderr: %s", code, stderr)
+	}
+
+	var results []map[string]any
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("selected one experiment, got %d results", len(results))
+	}
+	res := results[0]
+
+	var keys []string
+	for k := range res {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "json_keys.golden")
+	if *regen {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -regen to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-json key set drifted from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	if res["id"] != "E7" {
+		t.Errorf("id = %v, want E7", res["id"])
+	}
+	for _, k := range []string{"seconds", "wall_seconds", "solve_seconds", "workers"} {
+		if _, ok := res[k].(float64); !ok {
+			t.Errorf("%s is %T, want a number", k, res[k])
+		}
+	}
+	tab, ok := res["table"].(map[string]any)
+	if !ok {
+		t.Fatalf("table is %T, want an object", res["table"])
+	}
+	for _, k := range []string{"ID", "Title", "Columns", "Rows", "Claims"} {
+		if _, ok := tab[k]; !ok {
+			t.Errorf("table payload is missing %q", k)
+		}
+	}
+	if _, ok := res["failed"]; ok {
+		t.Error("quick E7 reported failed claims; the claim set regressed")
+	}
+}
+
+// TestJSONEmptySelection pins the edge the docs promise: -json always emits
+// an array, even when nothing is selected.
+func TestJSONEmptySelection(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "NOPE")
+	if code != 0 {
+		t.Fatalf("empty selection exited %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("empty selection output %q, want []", out)
+	}
+}
+
+// TestBadFlagExitsUsage checks flag errors exit 2 without running anything.
+func TestBadFlagExitsUsage(t *testing.T) {
+	if code, _, _ := runCLI(t, "-nonsense"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,182 @@
+// Command difftest runs a differential-oracle campaign: a stream of seeded
+// random cases — mini programs checked end-to-end across every technique
+// (O1), and POST formulas checked against exhaustive finite-domain
+// enumeration (O2) — with the metamorphic relations (O3) applied to both.
+// Program-level findings are auto-minimized by the delta-debugging shrinker.
+//
+// Usage:
+//
+//	difftest -duration 60s                       # campaign with a time budget
+//	difftest -seed 100 -count 50                 # fixed seed range, no clock
+//	difftest -duration 60s -jobs 8               # parallel cases
+//	difftest -duration 60s -findings f.jsonl     # JSONL findings log
+//	difftest -count 10 -fault vm-wrong-mod       # drill: inject a known fault
+//
+// The exit code is 0 when the campaign finds nothing, 1 when at least one
+// oracle fired, and 2 on usage errors. The findings log is one obs.Event per
+// line: a "case" event per checked seed (elided unless -v), a "finding"
+// event per violation, and a final "summary" event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotg/internal/difftest"
+	"hotg/internal/faults"
+	"hotg/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command; it returns the process exit code so tests can
+// drive the CLI without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("difftest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		duration = fs.Duration("duration", 0, "time budget (0 = use -count only)")
+		seed     = fs.Int64("seed", 1, "first generator seed")
+		count    = fs.Int64("count", 0, "number of seeds to check (0 with -duration = until the clock runs out)")
+		jobs     = fs.Int("jobs", 1, "cases checked in parallel")
+		runs     = fs.Int("runs", 0, "per-search execution budget (0 = library default)")
+		findings = fs.String("findings", "", "write a JSONL findings log to this file")
+		fault    = fs.String("fault", "", "install a named fault plan for the whole campaign (drill mode)")
+		verbose  = fs.Bool("v", false, "log every checked case, not just findings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *duration <= 0 && *count <= 0 {
+		fmt.Fprintln(stderr, "difftest: need -duration and/or -count")
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintln(stderr, "difftest: -jobs must be >= 1")
+		return 2
+	}
+	plan, err := difftest.FaultPlan(*fault)
+	if err != nil {
+		fmt.Fprintln(stderr, "difftest:", err)
+		return 2
+	}
+	if plan != nil {
+		defer faults.Set(plan)()
+	}
+
+	var logw io.Writer
+	if *findings != "" {
+		f, err := os.Create(*findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "difftest:", err)
+			return 2
+		}
+		defer f.Close()
+		logw = f
+	}
+	tracer := obs.NewTracer(logw) // nil logw: events are dropped, code path identical
+
+	cfg := difftest.Config{}
+	if *runs > 0 {
+		cfg.MaxRuns = *runs
+	}
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	expired := func() bool { return !deadline.IsZero() && !time.Now().Before(deadline) }
+
+	var (
+		next     = *seed - 1 // atomically incremented; each goroutine claims seeds
+		cases    int64
+		found    int64
+		mu       sync.Mutex // serializes tracer + stdout reporting
+		wg       sync.WaitGroup
+		minTries = 400 // shrink budget per finding; campaigns favor throughput
+	)
+	report := func(seed int64, fs []difftest.Finding) {
+		mu.Lock()
+		defer mu.Unlock()
+		if *verbose || len(fs) > 0 {
+			tracer.Emit(obs.Event{Kind: "case", Num: map[string]int64{
+				"seed": seed, "findings": int64(len(fs)),
+			}})
+		}
+		for _, f := range fs {
+			if f.Oracle == "O1" && f.Source != "" {
+				if min, stmts, err := difftest.MinimizeFinding(f, cfg, minTries); err == nil {
+					f.Minimized = min
+					fmt.Fprintf(stdout, "finding (seed %d, shrunk to %d stmts): %s/%s: %s\n",
+						f.Seed, stmts, f.Oracle, f.Relation, f.Detail)
+				} else {
+					fmt.Fprintf(stdout, "finding (seed %d): %s/%s: %s\n", f.Seed, f.Oracle, f.Relation, f.Detail)
+				}
+			} else {
+				fmt.Fprintf(stdout, "finding (seed %d): %s/%s: %s\n", f.Seed, f.Oracle, f.Relation, f.Detail)
+			}
+			ev := obs.Event{Kind: "finding",
+				Num: map[string]int64{"seed": f.Seed},
+				Str: map[string]string{"oracle": f.Oracle, "relation": f.Relation, "detail": f.Detail},
+			}
+			if f.Fault != "" {
+				ev.Str["fault"] = f.Fault
+			}
+			if f.Formula != "" {
+				ev.Str["formula"] = f.Formula
+			}
+			if f.Source != "" {
+				ev.Str["source"] = f.Source
+			}
+			if f.Minimized != "" {
+				ev.Str["minimized"] = f.Minimized
+			}
+			tracer.Emit(ev)
+		}
+	}
+
+	start := time.Now()
+	for w := 0; w < *jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := atomic.AddInt64(&next, 1)
+				if *count > 0 && s >= *seed+*count {
+					return
+				}
+				if expired() {
+					return
+				}
+				fs := difftest.CheckO2(difftest.NewFolCase(s))
+				fs = append(fs, difftest.CheckCase(difftest.NewCase(s), cfg)...)
+				atomic.AddInt64(&cases, 1)
+				atomic.AddInt64(&found, int64(len(fs)))
+				report(s, fs)
+			}
+		}()
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start).Round(time.Millisecond)
+	tracer.Emit(obs.Event{Kind: "summary", Num: map[string]int64{
+		"cases": cases, "findings": found, "elapsed_ms": elapsed.Milliseconds(),
+	}})
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(stderr, "difftest: findings log:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "difftest: %d cases, %d findings in %s (first seed %d, jobs %d)\n",
+		cases, found, elapsed, *seed, *jobs)
+	if found > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no budget flags should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-count", "1", "-jobs", "0"); code != 2 {
+		t.Error("-jobs 0 should exit 2")
+	}
+	if code, _, stderr := runCLI(t, "-count", "1", "-fault", "nonsense"); code != 2 {
+		t.Error("unknown -fault should exit 2")
+	} else if !strings.Contains(stderr, "nonsense") {
+		t.Errorf("stderr does not name the bad fault: %q", stderr)
+	}
+}
+
+func TestCleanCampaignExitsZero(t *testing.T) {
+	code, out, stderr := runCLI(t, "-seed", "1", "-count", "4", "-jobs", "2")
+	if code != 0 {
+		t.Fatalf("clean campaign exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "4 cases, 0 findings") {
+		t.Errorf("summary line missing: %q", out)
+	}
+}
+
+func TestFaultDrillFindsAndLogs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault drill shrinks findings; skipped in -short")
+	}
+	log := filepath.Join(t.TempDir(), "findings.jsonl")
+	// Seed 41 is the committed vm-wrong-mod reproducer's origin; a window
+	// around it must trip the O1 oracle under the injected fault.
+	code, out, stderr := runCLI(t,
+		"-seed", "40", "-count", "3", "-fault", "vm-wrong-mod", "-findings", log)
+	if code != 1 {
+		t.Fatalf("fault drill exited %d, want 1\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "finding (seed") {
+		t.Errorf("stdout has no finding line: %q", out)
+	}
+
+	f, err := os.Open(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]int{}
+	var lastSummary map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Kind string           `json:"kind"`
+			Num  map[string]int64 `json:"num"`
+			Str  map[string]any   `json:"str"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("findings log line is not JSON: %v\n%s", err, sc.Text())
+		}
+		kinds[ev.Kind]++
+		if ev.Kind == "finding" {
+			if ev.Str["oracle"] == "" || ev.Str["relation"] == "" {
+				t.Errorf("finding event missing oracle/relation: %s", sc.Text())
+			}
+		}
+		if ev.Kind == "summary" {
+			lastSummary = map[string]any{"cases": ev.Num["cases"], "findings": ev.Num["findings"]}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds["finding"] == 0 {
+		t.Error("findings log has no finding events")
+	}
+	if kinds["summary"] != 1 {
+		t.Errorf("findings log has %d summary events, want 1", kinds["summary"])
+	}
+	if lastSummary != nil && lastSummary["findings"].(int64) == 0 {
+		t.Error("summary reports zero findings despite drill")
+	}
+}
+
+func TestDurationBudgetStops(t *testing.T) {
+	code, out, _ := runCLI(t, "-duration", "150ms", "-jobs", "2")
+	if code != 0 {
+		t.Fatalf("timed clean campaign exited %d: %s", code, out)
+	}
+	if !strings.Contains(out, "findings in") {
+		t.Errorf("summary line missing: %q", out)
+	}
+}

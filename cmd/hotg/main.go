@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
 	"hotg"
@@ -40,9 +41,18 @@ var validModes = []string{
 
 func validModeList() string { return strings.Join(validModes, ", ") }
 
+// sortedWorkloads returns the registry in name order — the registry itself
+// is in registration order, which is not stable as workloads are added, so
+// every user-facing listing sorts first.
+func sortedWorkloads() []*hotg.Workload {
+	ws := append([]*hotg.Workload(nil), hotg.Workloads()...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+	return ws
+}
+
 func validWorkloadList() string {
 	var names []string
-	for _, w := range hotg.Workloads() {
+	for _, w := range sortedWorkloads() {
 		names = append(names, w.Name)
 	}
 	return strings.Join(names, ", ")
@@ -81,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		fmt.Fprintln(stdout, "workloads:")
-		for _, w := range hotg.Workloads() {
+		for _, w := range sortedWorkloads() {
 			fmt.Fprintf(stdout, "  %-16s %s\n", w.Name, w.Description)
 		}
 		fmt.Fprintln(stdout, "modes:", validModeList())

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -119,5 +120,39 @@ func TestSamplesOutAtomic(t *testing.T) {
 		if strings.HasPrefix(e.Name(), ".") {
 			t.Errorf("leftover temp file %q", e.Name())
 		}
+	}
+}
+
+// TestListGolden pins the -list output: workloads sorted by name with their
+// descriptions, then the mode ladder. Regenerate with
+// `go run ./cmd/hotg -list > cmd/hotg/testdata/list.golden` after adding a
+// workload.
+func TestListGolden(t *testing.T) {
+	code, out, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "list.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("-list drifted from golden:\ngot:\n%swant:\n%s", out, want)
+	}
+
+	// The workload block must be sorted regardless of registration order.
+	var names []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  ") {
+			if f := strings.Fields(line); len(f) > 0 {
+				names = append(names, f[0])
+			}
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("-list shows %d workloads, expected more", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list workloads are not sorted: %v", names)
 	}
 }

@@ -1,0 +1,150 @@
+package difftest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hotg/internal/campaign"
+	"hotg/internal/faults"
+	"hotg/internal/mini"
+)
+
+// Regression is one minimized reproducer pinned in the corpus: enough to
+// replay the violation — the shrunk source, the fault plan that was
+// installed (if any), and the oracle relation that fired. Regression files
+// live under internal/difftest/testdata/regress and are replayed by the
+// seeded oracle test on every `make test-difftest` run.
+type Regression struct {
+	// Name is the stable human-readable identity ("vm-wrong-mod").
+	Name string `json:"name"`
+	// Oracle and Relation identify the violated invariant.
+	Oracle   string `json:"oracle"`
+	Relation string `json:"relation"`
+	// Fault names the faults.Plan to install during replay ("" = none).
+	Fault string `json:"fault,omitempty"`
+	// Source is the minimized program.
+	Source string `json:"source"`
+	// Stmts is the statement count of Source at commit time.
+	Stmts int `json:"stmts"`
+	// Seed is the generator seed the original failing program came from.
+	Seed int64 `json:"seed"`
+	// Detail preserves the original finding's evidence.
+	Detail string `json:"detail,omitempty"`
+}
+
+// FaultPlan maps a regression's fault name to an installable plan. Unknown
+// names return an error so corpus entries cannot silently replay without
+// their fault.
+func FaultPlan(name string) (*faults.Plan, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "vm-wrong-mod":
+		return &faults.Plan{VMWrongMod: true}, nil
+	}
+	return nil, fmt.Errorf("difftest: unknown fault plan %q", name)
+}
+
+// WriteRegression persists one corpus entry atomically, named by the entry
+// name and a content hash of the minimized source, and returns the path.
+func WriteRegression(dir string, reg Regression) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(reg.Source))
+	name := fmt.Sprintf("%s-%s.json", reg.Name, hex.EncodeToString(sum[:6]))
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(reg, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, campaign.WriteFileAtomic(path, append(data, '\n'), 0o644)
+}
+
+// LoadRegressions reads every corpus entry under dir, sorted by filename.
+// A missing directory is an empty corpus.
+func LoadRegressions(dir string) ([]Regression, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Regression
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		var reg Regression
+		if err := json.Unmarshal(data, &reg); err != nil {
+			return nil, fmt.Errorf("difftest: corpus entry %s: %w", n, err)
+		}
+		out = append(out, reg)
+	}
+	return out, nil
+}
+
+// ReplayRegression re-runs the O1 oracle on a corpus entry under its fault
+// plan and reports the findings. An entry that no longer reproduces returns
+// no findings — the regression test treats that as failure (the pinned
+// defect must stay caught as long as its fault is injectable).
+func ReplayRegression(reg Regression, cfg Config) ([]Finding, error) {
+	c, err := CaseFromSource(reg.Source, reg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: corpus entry %s does not check: %w", reg.Name, err)
+	}
+	plan, err := FaultPlan(reg.Fault)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		defer faults.Set(plan)()
+	}
+	return CheckO1(c, cfg), nil
+}
+
+// MinimizeFinding shrinks a failing program-level finding: the predicate
+// re-runs the O1 oracle (under the finding's fault plan, when set) and keeps
+// any source that still produces a finding for the same oracle. The
+// minimized source and its statement count are returned.
+func MinimizeFinding(f Finding, cfg Config, maxTries int) (string, int, error) {
+	plan, err := FaultPlan(f.Fault)
+	if err != nil {
+		return "", 0, err
+	}
+	natives := CaseNatives()
+	keep := func(src string) bool {
+		c, err := CaseFromSource(src, f.Seed)
+		if err != nil {
+			return false
+		}
+		if plan != nil {
+			defer faults.Set(plan)()
+		}
+		return len(CheckO1(c, cfg)) > 0
+	}
+	if !keep(f.Source) {
+		return "", 0, fmt.Errorf("difftest: finding does not reproduce from source; cannot shrink")
+	}
+	min := Shrink(f.Source, natives, keep, maxTries)
+	prog, err := mini.Parse(min)
+	if err != nil {
+		return "", 0, err
+	}
+	return min, CountStmts(prog), nil
+}

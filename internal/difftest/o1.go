@@ -1,0 +1,209 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fuzz"
+	"hotg/internal/mini"
+	"hotg/internal/search"
+)
+
+// Techniques are the end-to-end test-generation techniques the oracle
+// cross-checks, in the vocabulary of the paper's evaluation: blackbox random
+// testing, DART with unsound constraint dropping, DART with sound
+// concretization, and higher-order test generation.
+var Techniques = []string{"random", "dart-unsound", "dart-concretize", "higher-order"}
+
+// techMode maps a technique name to its concolic mode ("random" has none).
+func techMode(name string) (concolic.Mode, bool) {
+	switch name {
+	case "dart-unsound":
+		return concolic.ModeUnsound, true
+	case "dart-concretize":
+		return concolic.ModeSound, true
+	case "higher-order":
+		return concolic.ModeHigherOrder, true
+	}
+	return 0, false
+}
+
+// searchParams bundles the per-run knobs of runSearch; the zero value is a
+// plain sequential search.
+type searchParams struct {
+	workers    int
+	checkpoint search.CheckpointOptions
+	restore    *search.Snapshot
+	ctx        context.Context
+	onRun      func(search.RunRecord)
+}
+
+// runSearch executes one directed search on a fresh engine built from the
+// case source (re-parsing keeps engines independent, as snapshot restore
+// requires).
+func (c *Case) runSearch(mode concolic.Mode, cfg Config, p searchParams) *search.Stats {
+	prog := mini.MustCheck(mini.MustParse(c.Src), c.Natives)
+	eng := concolic.New(prog, mode)
+	workers := p.workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return search.Run(eng, search.Options{
+		MaxRuns:    cfg.MaxRuns,
+		Seeds:      c.Seeds,
+		Bounds:     c.Bounds,
+		Workers:    workers,
+		Checkpoint: p.checkpoint,
+		Restore:    p.restore,
+		Ctx:        p.ctx,
+		OnRun:      p.onRun,
+	})
+}
+
+// runRandom executes the blackbox fuzzing baseline with the case seed.
+func (c *Case) runRandom(cfg Config) *search.Stats {
+	return fuzz.Run(c.Prog, fuzz.Options{
+		MaxRuns: cfg.MaxRuns,
+		Seeds:   c.Seeds,
+		Bounds:  c.Bounds,
+		Rand:    rand.New(rand.NewSource(c.Seed)),
+	})
+}
+
+// CheckO1 runs every technique end-to-end and checks the replay and
+// differential-execution invariants: each recorded input replays along its
+// recorded path in the interpreter, interpreter and VM agree on every
+// executed input, and every reported bug reproduces in both.
+func CheckO1(c *Case, cfg Config) []Finding {
+	cfg = cfg.defaults()
+	var findings []Finding
+	compiled := mini.CompileVM(c.Prog)
+	optimized := mini.CompileVM(c.Prog).Optimize()
+
+	report := func(relation, detail string, input []int64) {
+		findings = append(findings, Finding{
+			Oracle: "O1", Relation: relation, Detail: detail,
+			Seed: c.Seed, Source: c.Src, Input: input,
+		})
+	}
+
+	for _, tech := range Techniques {
+		mode, ok := techMode(tech)
+		var stats *search.Stats
+		var recs []search.RunRecord
+		if ok {
+			stats = c.runSearch(mode, cfg, searchParams{
+				onRun: func(r search.RunRecord) { recs = append(recs, r) },
+			})
+		} else {
+			stats = c.runRandom(cfg)
+		}
+
+		for _, rec := range recs {
+			interp := mini.Run(c.Prog, rec.Input, mini.RunOptions{})
+			if interp.Path() != rec.Path {
+				report("replay-path", fmt.Sprintf("%s run %d: recorded path %q, interpreter replays %q",
+					tech, rec.Run, rec.Path, interp.Path()), rec.Input)
+				continue
+			}
+			vmres := mini.RunVM(compiled, rec.Input, mini.RunOptions{})
+			if d := diffResults(interp, vmres); d != "" {
+				report("interp-vm", fmt.Sprintf("%s run %d: %s", tech, rec.Run, d), rec.Input)
+			}
+			optres := mini.RunVM(optimized, rec.Input, mini.RunOptions{})
+			if d := diffResults(interp, optres); d != "" {
+				report("interp-vm", fmt.Sprintf("%s run %d (optimized): %s", tech, rec.Run, d), rec.Input)
+			}
+		}
+
+		for _, bug := range stats.Bugs {
+			interp := mini.Run(c.Prog, bug.Input, mini.RunOptions{})
+			if d := diffBug(bug, interp); d != "" {
+				report("bug-reproduce", fmt.Sprintf("%s: interpreter: %s", tech, d), bug.Input)
+			}
+			vmres := mini.RunVM(compiled, bug.Input, mini.RunOptions{})
+			if d := diffBug(bug, vmres); d != "" {
+				report("bug-reproduce", fmt.Sprintf("%s: vm: %s", tech, d), bug.Input)
+			}
+		}
+	}
+	return findings
+}
+
+// faultCategory normalizes a runtime-fault message to its class, since the
+// interpreter reports source positions and the VM does not.
+func faultCategory(msg string) string {
+	switch {
+	case strings.Contains(msg, "division by zero"):
+		return "div0"
+	case strings.Contains(msg, "modulo by zero"):
+		return "mod0"
+	case strings.Contains(msg, "out of bounds"):
+		return "oob"
+	case strings.Contains(msg, "step budget"):
+		return "steps"
+	case strings.Contains(msg, "recursion"):
+		return "depth"
+	}
+	return msg
+}
+
+// budgetLimited reports a result cut short by a step or recursion budget;
+// the interpreter and VM count steps differently, so such runs are excluded
+// from strict comparison.
+func budgetLimited(r *mini.Result) bool {
+	return r.Kind == mini.StopRuntime &&
+		(faultCategory(r.RuntimeMsg) == "steps" || faultCategory(r.RuntimeMsg) == "depth")
+}
+
+// diffResults compares an interpreter and a VM result for observable
+// equivalence, returning "" on agreement.
+func diffResults(interp, vm *mini.Result) string {
+	if budgetLimited(interp) || budgetLimited(vm) {
+		return ""
+	}
+	if interp.Kind != vm.Kind {
+		return fmt.Sprintf("interp stopped with %v, vm with %v", interp.Kind, vm.Kind)
+	}
+	if interp.Path() != vm.Path() {
+		return fmt.Sprintf("interp path %q, vm path %q", interp.Path(), vm.Path())
+	}
+	switch interp.Kind {
+	case mini.StopReturn:
+		if interp.Return != vm.Return {
+			return fmt.Sprintf("interp returned %d, vm returned %d", interp.Return, vm.Return)
+		}
+	case mini.StopError:
+		if interp.ErrorSite != vm.ErrorSite || interp.ErrorMsg != vm.ErrorMsg {
+			return fmt.Sprintf("interp error site %d %q, vm site %d %q",
+				interp.ErrorSite, interp.ErrorMsg, vm.ErrorSite, vm.ErrorMsg)
+		}
+	case mini.StopRuntime:
+		if faultCategory(interp.RuntimeMsg) != faultCategory(vm.RuntimeMsg) {
+			return fmt.Sprintf("interp fault %q, vm fault %q", interp.RuntimeMsg, vm.RuntimeMsg)
+		}
+	}
+	return ""
+}
+
+// diffBug checks that a replayed result reproduces a recorded bug,
+// returning "" when it does.
+func diffBug(bug search.Bug, res *mini.Result) string {
+	if res.Kind != bug.Kind {
+		return fmt.Sprintf("recorded %v %q, replay stopped with %v", bug.Kind, bug.Msg, res.Kind)
+	}
+	switch bug.Kind {
+	case mini.StopError:
+		if res.ErrorSite != bug.Site {
+			return fmt.Sprintf("recorded error site %d, replay hit site %d", bug.Site, res.ErrorSite)
+		}
+	case mini.StopRuntime:
+		if faultCategory(res.RuntimeMsg) != faultCategory(bug.Msg) {
+			return fmt.Sprintf("recorded fault %q, replay faulted %q", bug.Msg, res.RuntimeMsg)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,371 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotg/internal/fol"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// O2 makes the paper's theorems executable on a finite domain. A FolCase is
+// a random POST(pc) = ∃X: A ⇒ pc instance over two integer variables and one
+// unary uninterpreted function h, constructed so that every h application's
+// argument is a plain variable or a constant of the finite domain folDomain.
+// The prover runs with VarBounds restricting X to folDomain, so for any
+// fixed table every pc evaluation only ever consults h on folDomain, and
+// "for all interpretations of h" becomes an exhaustive loop over the finite
+// set folRange^folDomain. The two verdict directions are checked by the two
+// mechanisms that are actually sound for them:
+//
+//   - OutcomeInvalid comes from fol.Refute, whose completion witnesses
+//     (constants 0 and 1, projection, successor, and -1-x over folDomain
+//     arguments) all have ranges inside folRange; a completion with no
+//     witness inside the box restricts to an enumerated table with no
+//     witness. Invalid with every enumerated table satisfiable is therefore
+//     a genuine refuter bug ("enum-invalid").
+//   - OutcomeProved is constructive: the strategy must build a concrete
+//     witness for EVERY interpretation. The oracle replays it against every
+//     enumerated table — totalized outside folDomain, since strategy values
+//     are not box-clamped — and checks pc holds ("strategy-table",
+//     Theorems 1, 2 and 4 as executable checks). Enumeration alone cannot
+//     check this direction: a proved witness may lie outside any finite box.
+//   - OutcomeUnknown/OutcomeTimeout claim nothing and are not checked.
+var (
+	folDomain = []int64{-1, 0, 1, 2}
+	folRange  = []int64{-3, -2, -1, 0, 1, 2, 3}
+)
+
+// folBounds is the VarBounds box matching folDomain.
+func folBounds(c *FolCase) map[int]smt.Bound {
+	lo, hi := folDomain[0], folDomain[len(folDomain)-1]
+	b := smt.Bound{Lo: lo, Hi: hi, HasLo: true, HasHi: true}
+	return map[int]smt.Bound{c.X.ID: b, c.Y.ID: b}
+}
+
+// FolCase is one generated O2 instance.
+type FolCase struct {
+	Seed    int64
+	Pool    *sym.Pool
+	X, Y    *sym.Var
+	H       *sym.Func
+	Conjs   []sym.Expr
+	PC      sym.Expr
+	Samples *sym.SampleStore
+}
+
+// String renders the case as the POST formula under its antecedent.
+func (c *FolCase) String() string { return fol.PostString(c.PC, c.Samples) }
+
+// NewFolCase deterministically generates the formula case for a seed: one to
+// three conjuncts of linear atoms over x, y, and h applications (arguments
+// restricted to variables and folDomain constants), occasionally disjoined
+// pairwise, plus zero to two h samples with folDomain arguments and folRange
+// values.
+func NewFolCase(seed int64) *FolCase {
+	r := rand.New(rand.NewSource(seed))
+	c := &FolCase{Seed: seed, Pool: &sym.Pool{}}
+	c.X = c.Pool.NewVar("x")
+	c.Y = c.Pool.NewVar("y")
+	c.H = c.Pool.FuncSym("h", 1)
+
+	coef := func() int64 { return int64(r.Intn(5) - 2) } // -2..2
+	coefNZ := func() int64 {
+		for {
+			if v := coef(); v != 0 {
+				return v
+			}
+		}
+	}
+	arg := func() *sym.Sum {
+		switch r.Intn(3) {
+		case 0:
+			return sym.VarTerm(c.X)
+		case 1:
+			return sym.VarTerm(c.Y)
+		}
+		return sym.Int(folDomain[r.Intn(len(folDomain))])
+	}
+	term := func() *sym.Sum {
+		s := sym.Int(int64(r.Intn(7) - 3))
+		if r.Intn(2) == 0 {
+			s = sym.AddSum(s, sym.ScaleSum(coefNZ(), sym.VarTerm(c.X)))
+		}
+		if r.Intn(2) == 0 {
+			s = sym.AddSum(s, sym.ScaleSum(coefNZ(), sym.VarTerm(c.Y)))
+		}
+		if r.Intn(2) == 0 {
+			s = sym.AddSum(s, sym.ScaleSum(coefNZ(), sym.ApplyTerm(c.H, arg())))
+		}
+		return s
+	}
+	atom := func() sym.Expr {
+		a, b := term(), term()
+		switch r.Intn(4) {
+		case 0:
+			return sym.Eq(a, b)
+		case 1:
+			return sym.Ne(a, b)
+		case 2:
+			return sym.Le(a, b)
+		}
+		return sym.Lt(a, b)
+	}
+
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		if r.Intn(10) < 3 {
+			c.Conjs = append(c.Conjs, sym.OrExpr(atom(), atom()))
+		} else {
+			c.Conjs = append(c.Conjs, atom())
+		}
+	}
+	c.PC = sym.AndExpr(c.Conjs...)
+
+	c.Samples = sym.NewSampleStore()
+	perm := r.Perm(len(folDomain))
+	for i := 0; i < r.Intn(3); i++ {
+		a := folDomain[perm[i]]
+		v := folRange[r.Intn(len(folRange))]
+		c.Samples.Add(c.H, []int64{a}, v)
+	}
+	return c
+}
+
+// table is one total interpretation of h over folDomain.
+type table map[int64]int64
+
+func (t table) String() string {
+	s := ""
+	for _, a := range folDomain {
+		s += fmt.Sprintf("h(%d)=%d ", a, t[a])
+	}
+	return s
+}
+
+// forEachTable enumerates every folRange-valued table over folDomain that is
+// consistent with the samples, calling fn until it returns false. It reports
+// whether enumeration ran to completion.
+func forEachTable(samples *sym.SampleStore, h *sym.Func, fn func(table) bool) bool {
+	pinned := map[int64]int64{}
+	for _, s := range samples.All() {
+		if s.Fn == h && len(s.Args) == 1 {
+			pinned[s.Args[0]] = s.Out
+		}
+	}
+	var free []int64
+	for _, a := range folDomain {
+		if _, ok := pinned[a]; !ok {
+			free = append(free, a)
+		}
+	}
+	idx := make([]int, len(free))
+	for {
+		t := table{}
+		for a, v := range pinned {
+			t[a] = v
+		}
+		for i, a := range free {
+			t[a] = folRange[idx[i]]
+		}
+		if !fn(t) {
+			return false
+		}
+		// Odometer step.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(folRange) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return true
+		}
+	}
+}
+
+// witness reports whether some assignment of the variables over folDomain
+// satisfies pc under the table.
+func (c *FolCase) witness(pc sym.Expr, t table) bool {
+	env := sym.Env{
+		Vars: map[int]int64{},
+		Fn: func(f *sym.Func, args []int64) (int64, bool) {
+			v, ok := t[args[0]]
+			return v, ok
+		},
+	}
+	for _, vx := range folDomain {
+		for _, vy := range folDomain {
+			env.Vars[c.X.ID] = vx
+			env.Vars[c.Y.ID] = vy
+			if v, err := sym.EvalBool(pc, env); err == nil && v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// groundValid exhaustively decides POST(pc) over the finite domain: true iff
+// every consistent table admits a witness assignment. The second result is a
+// counterexample table when the first is false.
+func (c *FolCase) groundValid(pc sym.Expr, samples *sym.SampleStore) (bool, table) {
+	var cex table
+	complete := forEachTable(samples, c.H, func(t table) bool {
+		if !c.witness(pc, t) {
+			cex = t
+			return false
+		}
+		return true
+	})
+	return complete, cex
+}
+
+// tableStore materializes a table as a sample store (a total record of h on
+// folDomain), the form strategy resolution consumes.
+func (c *FolCase) tableStore(t table) *sym.SampleStore {
+	st := sym.NewSampleStore()
+	for _, a := range folDomain {
+		st.Add(c.H, []int64{a}, t[a])
+	}
+	return st
+}
+
+// prove runs the validity prover exactly as the search does — refutation
+// enabled, input domains bounded to the finite box.
+func (c *FolCase) prove(pc sym.Expr, samples *sym.SampleStore) (*fol.Strategy, fol.Outcome) {
+	return fol.Prove(pc, samples, fol.Options{Pool: c.Pool, VarBounds: folBounds(c)})
+}
+
+// replayStrategy resolves the strategy under one enumerated table and checks
+// pc at the resolved witness. Strategy values are not clamped to the box, so
+// the table is totalized on demand: any probe outside folDomain is answered
+// by the identity extension h(a)=a (a legal interpretation consistent with
+// every sample, whose folDomain restriction is the enumerated table as far
+// as box-bounded evaluation can observe). Returns "" on success.
+func (c *FolCase) replayStrategy(st *fol.Strategy, t table) string {
+	ext := func(a int64) int64 {
+		if v, ok := t[a]; ok {
+			return v
+		}
+		return a
+	}
+	store := c.tableStore(t)
+	var res *fol.Resolution
+	for iter := 0; ; iter++ {
+		res = st.Resolve(store)
+		if res.Complete {
+			break
+		}
+		if len(res.Probes) == 0 || iter > 64 {
+			return fmt.Sprintf("strategy %v does not resolve under table %s", st, t)
+		}
+		for _, pb := range res.Probes {
+			store.Add(pb.Fn, pb.Args, ext(pb.Args[0]))
+		}
+	}
+	for iter := 0; ; iter++ {
+		holds, probes := fol.Holds(c.PC, res.Values, store)
+		if len(probes) > 0 && iter <= 64 {
+			for _, pb := range probes {
+				store.Add(pb.Fn, pb.Args, ext(pb.Args[0]))
+			}
+			continue
+		}
+		if len(probes) > 0 || !holds {
+			return fmt.Sprintf("strategy witness %v fails pc under table %s", res.Values, t)
+		}
+		return ""
+	}
+}
+
+// CheckO2 cross-checks the prover verdict for the case against exhaustive
+// enumeration, and — on OutcomeProved — replays the returned strategy against
+// every enumerated table (the constructive content of Theorems 1–4).
+func CheckO2(c *FolCase) []Finding {
+	var findings []Finding
+	report := func(relation, detail string) {
+		findings = append(findings, Finding{
+			Oracle: "O2", Relation: relation, Detail: detail,
+			Seed: c.Seed, Formula: c.String(),
+		})
+	}
+
+	st, out := c.prove(c.PC, c.Samples)
+
+	switch out {
+	case fol.OutcomeProved:
+		forEachTable(c.Samples, c.H, func(t table) bool {
+			if msg := c.replayStrategy(st, t); msg != "" {
+				report("strategy-table", msg)
+				return false
+			}
+			return true
+		})
+	case fol.OutcomeInvalid:
+		if valid, _ := c.groundValid(c.PC, c.Samples); valid {
+			report("enum-invalid",
+				"prover claims invalidity but every enumerated table has a witness")
+		}
+	}
+
+	findings = append(findings, checkFolMetamorphic(c, out)...)
+	return findings
+}
+
+// checkFolMetamorphic checks the formula-level O3 relations: determinism,
+// conjunct reordering, and sample-set supersets.
+func checkFolMetamorphic(c *FolCase, out fol.Outcome) []Finding {
+	var findings []Finding
+	report := func(relation, detail string) {
+		findings = append(findings, Finding{
+			Oracle: "O3", Relation: relation, Detail: detail,
+			Seed: c.Seed, Formula: c.String(),
+		})
+	}
+
+	// Determinism: the prover is a pure function of (pc, samples, options).
+	if _, out2 := c.prove(c.PC, c.Samples); out2 != out {
+		report("prove-deterministic", fmt.Sprintf("verdict %v then %v on identical input", out, out2))
+	}
+
+	// Conjunct reordering: POST(pc) is conjunction over a set; rotating the
+	// conjuncts must not change the verdict.
+	if len(c.Conjs) > 1 {
+		rot := make([]sym.Expr, 0, len(c.Conjs))
+		rot = append(rot, c.Conjs[1:]...)
+		rot = append(rot, c.Conjs[0])
+		if _, outR := c.prove(sym.AndExpr(rot...), c.Samples); outR != out {
+			report("conjunct-reorder", fmt.Sprintf("verdict %v, reordered verdict %v", out, outR))
+		}
+	}
+
+	// Sample supersets: adding a consistent sample strengthens the
+	// antecedent, so validity is monotone — Proved must never flip to
+	// Invalid, and the ground-truth enumeration must agree with itself.
+	r := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	super := c.Samples.Clone()
+	added := false
+	for _, a := range folDomain {
+		if _, ok := super.Lookup(c.H, []int64{a}); !ok {
+			super.Add(c.H, []int64{a}, folRange[r.Intn(len(folRange))])
+			added = true
+			break
+		}
+	}
+	if added {
+		_, outS := c.prove(c.PC, super)
+		if out == fol.OutcomeProved && outS == fol.OutcomeInvalid {
+			report("sample-superset", "Proved under A flipped to Invalid under a consistent superset A'")
+		}
+		valid, _ := c.groundValid(c.PC, c.Samples)
+		validS, _ := c.groundValid(c.PC, super)
+		if valid && !validS {
+			report("sample-superset", "ground enumeration is not monotone under a sample superset")
+		}
+	}
+	return findings
+}

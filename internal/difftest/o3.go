@@ -1,0 +1,163 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hotg/internal/campaign"
+	"hotg/internal/concolic"
+	"hotg/internal/search"
+)
+
+// canonical returns the scheduling-independent fingerprint of a search
+// (Stats.Canonical): equal fingerprints mean the same explored trajectory —
+// runs, tests, coverage, bugs, samples, and prover verdicts.
+func canonical(s *search.Stats) (string, error) {
+	b, err := s.Canonical()
+	return string(b), err
+}
+
+// buckets returns the sorted triage-bucket signatures of a search's bugs,
+// the identity under which the campaign subsystem deduplicates crashes.
+func buckets(s *search.Stats) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, b := range s.Bugs {
+		sig := campaign.SignatureFor("difftest", b)
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameBuckets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckO3 checks the program-level metamorphic relations on the higher-order
+// search (the mode with the most machinery in play): worker-count invariance,
+// variable-renaming invariance, and checkpoint/kill/resume invariance, all
+// compared by canonical stats and triage buckets.
+func CheckO3(c *Case, cfg Config) []Finding {
+	cfg = cfg.defaults()
+	var findings []Finding
+	report := func(relation, detail string) {
+		findings = append(findings, Finding{
+			Oracle: "O3", Relation: relation, Detail: detail,
+			Seed: c.Seed, Source: c.Src,
+		})
+	}
+
+	mode := concolic.ModeHigherOrder
+	ref := c.runSearch(mode, cfg, searchParams{workers: 1})
+	refC, err := canonical(ref)
+	if err != nil {
+		report("workers-canonical", fmt.Sprintf("reference run has no canonical form: %v", err))
+		return findings
+	}
+	refB := buckets(ref)
+
+	// Worker counts: the coordinator's canonical apply order makes every
+	// worker count explore the identical trajectory.
+	for _, w := range cfg.Workers {
+		if w == 1 {
+			continue
+		}
+		s := c.runSearch(mode, cfg, searchParams{workers: w})
+		sc, err := canonical(s)
+		if err != nil || sc != refC {
+			report("workers-canonical", fmt.Sprintf(
+				"canonical stats at %d workers differ from 1 worker (err=%v)", w, err))
+		}
+		if !sameBuckets(buckets(s), refB) {
+			report("workers-canonical", fmt.Sprintf("bug buckets at %d workers differ from 1 worker", w))
+		}
+	}
+
+	// Variable renaming: names never steer the search, so a consistent
+	// alpha-renaming of every program identifier leaves the trajectory
+	// untouched.
+	renamed, err := RenameSource(c.Src, c.Natives)
+	if err != nil {
+		report("rename-canonical", fmt.Sprintf("renamer broke the program: %v", err))
+	} else {
+		rc := &Case{Seed: c.Seed, Src: renamed, Prog: c.Prog, Natives: c.Natives,
+			Seeds: c.Seeds, Bounds: c.Bounds}
+		s := rc.runSearch(mode, cfg, searchParams{workers: 1})
+		sc, err := canonical(s)
+		if err != nil || sc != refC {
+			report("rename-canonical", fmt.Sprintf(
+				"canonical stats changed under alpha-renaming (err=%v)", err))
+		}
+		if !sameBuckets(buckets(s), refB) {
+			report("rename-buckets", "bug buckets changed under alpha-renaming")
+		}
+	}
+
+	// Checkpoint/kill/resume: a checkpointed run matches the uninterrupted
+	// one; killing a session mid-flight and resuming its last snapshot — at
+	// a different worker count — still lands on the identical trajectory.
+	var snaps []*search.Snapshot
+	cp := c.runSearch(mode, cfg, searchParams{
+		workers: 2,
+		checkpoint: search.CheckpointOptions{
+			Every: 3,
+			Sink:  func(s *search.Snapshot) error { snaps = append(snaps, s); return nil },
+		},
+	})
+	if sc, err := canonical(cp); err != nil || sc != refC {
+		report("checkpoint-resume", fmt.Sprintf(
+			"checkpointing perturbed the search (err=%v)", err))
+	}
+	if len(snaps) > 0 {
+		snap := snaps[len(snaps)/2]
+		s := c.runSearch(mode, cfg, searchParams{workers: 2, restore: snap})
+		if sc, err := canonical(s); err != nil || sc != refC {
+			report("checkpoint-resume", fmt.Sprintf(
+				"resume from snapshot at run %d diverged from the uninterrupted search (err=%v)",
+				snap.Runs, err))
+		}
+	}
+
+	// The kill: cancel after the first checkpoint lands, then resume the
+	// last delivered snapshot to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var killSnaps []*search.Snapshot
+	c.runSearch(mode, cfg, searchParams{
+		workers: 2,
+		ctx:     ctx,
+		checkpoint: search.CheckpointOptions{
+			Every: 2,
+			Sink: func(s *search.Snapshot) error {
+				killSnaps = append(killSnaps, s)
+				if len(killSnaps) >= 2 {
+					cancel()
+				}
+				return nil
+			},
+		},
+	})
+	if len(killSnaps) > 0 {
+		snap := killSnaps[len(killSnaps)-1]
+		s := c.runSearch(mode, cfg, searchParams{workers: 2, restore: snap})
+		if sc, err := canonical(s); err != nil || sc != refC {
+			report("checkpoint-resume", fmt.Sprintf(
+				"resume after kill (snapshot at run %d) diverged from the uninterrupted search (err=%v)",
+				snap.Runs, err))
+		}
+	}
+	return findings
+}

@@ -1,0 +1,114 @@
+package difftest
+
+import (
+	"fmt"
+
+	"hotg/internal/mini"
+)
+
+// RenameSource alpha-renames every program identifier — function names
+// (except main), parameters, and locals — by prefixing "r", leaving native
+// names untouched, and returns the re-formatted source. The renamed program
+// is re-checked before being returned, so callers always receive a valid
+// program. Used by the O3 rename-invariance relation: identifiers never
+// steer the search, so the renamed program must explore the identical
+// trajectory.
+func RenameSource(src string, natives mini.Natives) (string, error) {
+	prog, err := mini.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("difftest: rename parse: %w", err)
+	}
+	ren := func(name string) string {
+		if name == "main" {
+			return name
+		}
+		if _, ok := natives[name]; ok {
+			return name
+		}
+		return "r" + name
+	}
+
+	var renameExpr func(e mini.Expr)
+	renameExpr = func(e mini.Expr) {
+		switch x := e.(type) {
+		case *mini.Ident:
+			x.Name = ren(x.Name)
+		case *mini.Unary:
+			renameExpr(x.X)
+		case *mini.Binary:
+			renameExpr(x.X)
+			renameExpr(x.Y)
+		case *mini.Call:
+			x.Name = ren(x.Name)
+			for _, a := range x.Args {
+				renameExpr(a)
+			}
+		case *mini.Index:
+			x.Name = ren(x.Name)
+			renameExpr(x.Idx)
+		}
+	}
+	var renameStmt func(s mini.Stmt)
+	renameBlock := func(b *mini.Block) {
+		for _, s := range b.Stmts {
+			renameStmt(s)
+		}
+	}
+	renameStmt = func(s mini.Stmt) {
+		switch x := s.(type) {
+		case *mini.VarDecl:
+			x.Name = ren(x.Name)
+			renameExpr(x.Init)
+		case *mini.ArrDecl:
+			x.Name = ren(x.Name)
+		case *mini.Assign:
+			x.Name = ren(x.Name)
+			renameExpr(x.Val)
+		case *mini.IndexAssign:
+			x.Name = ren(x.Name)
+			renameExpr(x.Idx)
+			renameExpr(x.Val)
+		case *mini.If:
+			renameExpr(x.Cond)
+			renameBlock(x.Then)
+			if x.Else != nil {
+				renameStmt(x.Else)
+			}
+		case *mini.While:
+			renameExpr(x.Cond)
+			renameBlock(x.Body)
+		case *mini.Return:
+			if x.Val != nil {
+				renameExpr(x.Val)
+			}
+		case *mini.ExprStmt:
+			renameExpr(x.X)
+		case *mini.Block:
+			renameBlock(x)
+		}
+	}
+
+	funcs := map[string]*mini.FuncDecl{}
+	order := make([]string, 0, len(prog.Order))
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		fn.Name = ren(fn.Name)
+		for i := range fn.Params {
+			fn.Params[i].Name = ren(fn.Params[i].Name)
+		}
+		renameBlock(fn.Body)
+		funcs[fn.Name] = fn
+		order = append(order, fn.Name)
+	}
+	prog.Funcs, prog.Order = funcs, order
+
+	out := mini.Format(prog)
+	reparsed, err := mini.Parse(out)
+	if err != nil {
+		return "", fmt.Errorf("difftest: renamed program does not reparse: %w", err)
+	}
+	if err := mini.Check(reparsed, natives); err != nil {
+		return "", fmt.Errorf("difftest: renamed program does not check: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package difftest
+
+import (
+	"hotg/internal/mini"
+)
+
+// The shrinker is a hierarchical delta debugger over mini ASTs. Given a
+// failing program and a predicate that re-runs the oracle, it repeatedly
+// applies the single reduction (statement deletion, branch splicing, or
+// expression simplification) with the lowest index that keeps the program
+// (a) statically valid — every candidate is re-parsed and re-checked — and
+// (b) still failing, until no reduction applies. Each accepted candidate is
+// strictly smaller, so termination is by node count.
+
+// Shrink minimizes src while keep(src) stays true. keep is only called on
+// programs that parse and check against the natives; the returned source
+// always satisfies keep (at worst it is the input). maxTries bounds the
+// total number of candidate evaluations (0 = a generous default), since
+// keep typically re-runs whole searches.
+func Shrink(src string, natives mini.Natives, keep func(string) bool, maxTries int) string {
+	if maxTries <= 0 {
+		maxTries = 2000
+	}
+	best := src
+	tries := 0
+	for {
+		prog, err := mini.Parse(best)
+		if err != nil {
+			return best
+		}
+		n := countEdits(prog)
+		improved := false
+		for i := 0; i < n && tries < maxTries; i++ {
+			cand, ok := editedSource(best, i)
+			if !ok || cand == best {
+				continue
+			}
+			reparsed, err := mini.Parse(cand)
+			if err != nil {
+				continue
+			}
+			if mini.Check(reparsed, natives) != nil {
+				continue
+			}
+			tries++
+			if keep(cand) {
+				best = cand
+				improved = true
+				break
+			}
+		}
+		if !improved || tries >= maxTries {
+			return best
+		}
+	}
+}
+
+// CountStmts counts statement nodes across all functions — the size metric
+// of the regression corpus ("shrunk to ≤ N statements").
+func CountStmts(prog *mini.Program) int {
+	n := 0
+	var walk func(s mini.Stmt)
+	walkBlock := func(b *mini.Block) {
+		for _, s := range b.Stmts {
+			walk(s)
+		}
+	}
+	walk = func(s mini.Stmt) {
+		n++
+		switch x := s.(type) {
+		case *mini.If:
+			walkBlock(x.Then)
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		case *mini.While:
+			walkBlock(x.Body)
+		case *mini.Block:
+			n-- // a bare block is structure, not a statement
+			walkBlock(x)
+		}
+	}
+	for _, name := range prog.Order {
+		walkBlock(prog.Funcs[name].Body)
+	}
+	return n
+}
+
+// editor enumerates reduction points in a deterministic pre-order walk.
+// With target < 0 it only counts; otherwise the target-th point applies its
+// reduction and the walk keeps rebuilding the rest of the tree unmodified.
+type editor struct {
+	n      int
+	target int
+}
+
+func (e *editor) hit() bool {
+	e.n++
+	return e.n-1 == e.target
+}
+
+// countEdits returns the number of reduction points in the program.
+func countEdits(prog *mini.Program) int {
+	e := &editor{target: -1}
+	e.program(prog)
+	return e.n
+}
+
+// editedSource applies reduction point target to a fresh parse of src and
+// returns the formatted result. ok is false when the point does not exist
+// or the edit had no effect.
+func editedSource(src string, target int) (out string, ok bool) {
+	prog, err := mini.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	e := &editor{target: target}
+	e.program(prog)
+	if e.n <= target {
+		return "", false
+	}
+	return mini.Format(prog), true
+}
+
+func (e *editor) program(prog *mini.Program) {
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		fn.Body.Stmts = e.stmts(fn.Body.Stmts)
+	}
+}
+
+// stmts rebuilds a statement list, offering one deletion point per statement
+// and splice points for control flow, then descending into what remains.
+func (e *editor) stmts(in []mini.Stmt) []mini.Stmt {
+	var out []mini.Stmt
+	for _, s := range in {
+		if e.hit() { // delete the statement outright
+			continue
+		}
+		switch x := s.(type) {
+		case *mini.If:
+			if e.hit() { // replace the if with its then-arm
+				out = append(out, e.stmts(x.Then.Stmts)...)
+				continue
+			}
+			if x.Else != nil && e.hit() { // replace the if with its else-arm
+				switch alt := x.Else.(type) {
+				case *mini.Block:
+					out = append(out, e.stmts(alt.Stmts)...)
+				default:
+					out = append(out, e.stmt(alt))
+				}
+				continue
+			}
+			if x.Else != nil && e.hit() { // drop just the else-arm
+				x.Else = nil
+			}
+		case *mini.While:
+			if e.hit() { // replace the loop with one body pass
+				out = append(out, e.stmts(x.Body.Stmts)...)
+				continue
+			}
+		}
+		out = append(out, e.stmt(s))
+	}
+	return out
+}
+
+// stmt descends into one statement's children.
+func (e *editor) stmt(s mini.Stmt) mini.Stmt {
+	switch x := s.(type) {
+	case *mini.VarDecl:
+		e.expr(&x.Init, false)
+	case *mini.Assign:
+		e.expr(&x.Val, false)
+	case *mini.IndexAssign:
+		e.expr(&x.Idx, false)
+		e.expr(&x.Val, false)
+	case *mini.If:
+		e.expr(&x.Cond, true)
+		x.Then.Stmts = e.stmts(x.Then.Stmts)
+		if x.Else != nil {
+			x.Else = e.stmt(x.Else)
+		}
+	case *mini.While:
+		e.expr(&x.Cond, true)
+		x.Body.Stmts = e.stmts(x.Body.Stmts)
+	case *mini.Return:
+		if x.Val != nil {
+			e.expr(&x.Val, false)
+		}
+	case *mini.ExprStmt:
+		e.expr(&x.X, false)
+	case *mini.Block:
+		x.Stmts = e.stmts(x.Stmts)
+	}
+	return s
+}
+
+// boolOp reports whether the binary operator yields a bool.
+func boolOp(op mini.TokKind) bool {
+	switch op {
+	case mini.TokEq, mini.TokNe, mini.TokLt, mini.TokLe, mini.TokGt, mini.TokGe,
+		mini.TokAndAnd, mini.TokOrOr:
+		return true
+	}
+	return false
+}
+
+// expr offers replacement points for one expression slot, then descends.
+// isBool tracks the type the slot demands so replacements stay well-typed
+// (the re-check is still the authority; typing here just avoids wasted
+// candidates).
+func (e *editor) expr(p *mini.Expr, isBool bool) {
+	switch x := (*p).(type) {
+	case *mini.IntLit, *mini.BoolLit, *mini.Ident:
+		return // already minimal
+	case *mini.Unary:
+		if e.hit() { // strip the operator
+			*p = x.X
+			return
+		}
+		e.expr(&x.X, x.Op == mini.TokBang)
+	case *mini.Binary:
+		opBool := boolOp(x.Op)
+		sameType := !opBool || x.Op == mini.TokAndAnd || x.Op == mini.TokOrOr
+		if sameType {
+			if e.hit() { // keep only the left operand
+				*p = x.X
+				return
+			}
+			if e.hit() { // keep only the right operand
+				*p = x.Y
+				return
+			}
+		}
+		if isBool {
+			if e.hit() {
+				*p = &mini.BoolLit{P: x.P, V: true}
+				return
+			}
+			if e.hit() {
+				*p = &mini.BoolLit{P: x.P, V: false}
+				return
+			}
+		} else if e.hit() {
+			*p = &mini.IntLit{P: x.P}
+			return
+		}
+		operandBool := x.Op == mini.TokAndAnd || x.Op == mini.TokOrOr
+		e.expr(&x.X, operandBool)
+		e.expr(&x.Y, operandBool)
+	case *mini.Call:
+		if !isBool && e.hit() { // replace the call with zero
+			*p = &mini.IntLit{P: x.P}
+			return
+		}
+		for i := range x.Args {
+			e.expr(&x.Args[i], false)
+		}
+	case *mini.Index:
+		if !isBool && e.hit() {
+			*p = &mini.IntLit{P: x.P}
+			return
+		}
+		e.expr(&x.Idx, false)
+	}
+}

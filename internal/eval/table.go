@@ -128,10 +128,12 @@ type Config struct {
 }
 
 func (c Config) defaults() Config {
-	if c.Budget == 0 {
+	// Zero and negative values both mean "unset": experiments must never see
+	// a non-positive budget or seed (benchtab passes flag values through).
+	if c.Budget <= 0 {
 		c.Budget = 1500
 	}
-	if c.Seed == 0 {
+	if c.Seed <= 0 {
 		c.Seed = 1
 	}
 	if c.Quick && c.Budget > 300 {
@@ -170,6 +172,7 @@ func Experiments() []Experiment {
 		{"A3", "ablation: compositional summaries", A3Summaries},
 		{"A4", "budgeted search: degradation down the precision ladder", A4BudgetedSearch},
 		{"A5", "persistent campaigns: kill, resume, and triage across sessions", A5CampaignResume},
+		{"A6", "differential oracle campaign: clean sweep and fault drill", A6OracleCampaign},
 	}
 }
 

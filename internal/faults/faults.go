@@ -37,6 +37,15 @@ type Plan struct {
 	// ExecPanic makes every concolic Engine.Run call panic. The search batch
 	// executor must recover, drop the item, and keep going.
 	ExecPanic bool
+	// VMWrongMod makes mini.RunVM compute floored (Python-style) modulo
+	// instead of Go's truncated modulo, so results differ from the
+	// interpreter exactly when the dividend is negative and the remainder is
+	// nonzero. Unlike the crash faults above, this is a *silent semantic*
+	// defect: nothing panics and no Stats field flags it — only a
+	// differential oracle comparing the VM against the interpreter
+	// (internal/difftest, DESIGN.md §10) can catch it. One credit is
+	// consumed per RunVM call, not per instruction.
+	VMWrongMod bool
 
 	// Skip lets the first Skip firings (across all fault kinds) pass through
 	// unharmed before faults start triggering, so a search can make partial
@@ -79,3 +88,6 @@ func (p *Plan) FireSolveTimeout() bool { return p != nil && p.fire(p.SolveTimeou
 
 // FireExecPanic reports whether this Engine.Run call must panic.
 func (p *Plan) FireExecPanic() bool { return p != nil && p.fire(p.ExecPanic) }
+
+// FireVMWrongMod reports whether this mini.RunVM call must miscompute modulo.
+func (p *Plan) FireVMWrongMod() bool { return p != nil && p.fire(p.VMWrongMod) }

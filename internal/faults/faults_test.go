@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestNilPlanNeverFires pins the production fast path: with no plan
+// installed, every probe is a nil check that reports false.
+func TestNilPlanNeverFires(t *testing.T) {
+	defer Set(nil)()
+	if Active() != nil {
+		t.Fatal("Active() is non-nil after Set(nil)")
+	}
+	var p *Plan // the Fire* wrappers must tolerate a nil receiver
+	for name, fire := range map[string]func() bool{
+		"ProveTimeout": p.FireProveTimeout,
+		"ProvePanic":   p.FireProvePanic,
+		"SolveTimeout": p.FireSolveTimeout,
+		"ExecPanic":    p.FireExecPanic,
+		"VMWrongMod":   p.FireVMWrongMod,
+	} {
+		if fire() {
+			t.Errorf("nil plan fired %s", name)
+		}
+	}
+}
+
+// TestDisabledFaultConsumesNoCredits checks that probes for faults the plan
+// does not enable neither fire nor burn Skip credits.
+func TestDisabledFaultConsumesNoCredits(t *testing.T) {
+	p := &Plan{ProveTimeout: true, Skip: 2}
+	for i := 0; i < 10; i++ {
+		if p.FireSolveTimeout() || p.FireExecPanic() || p.FireVMWrongMod() {
+			t.Fatal("disabled fault fired")
+		}
+	}
+	if got := atomic.LoadInt64(&p.Skip); got != 2 {
+		t.Errorf("disabled probes consumed credits: Skip = %d, want 2", got)
+	}
+}
+
+// TestSkipCreditsArmAfterExhaustion checks the arming protocol: the first
+// Skip firings pass through unharmed, then every probe triggers.
+func TestSkipCreditsArmAfterExhaustion(t *testing.T) {
+	p := &Plan{VMWrongMod: true, Skip: 3}
+	for i := 0; i < 3; i++ {
+		if p.FireVMWrongMod() {
+			t.Fatalf("probe %d fired with credits remaining", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !p.FireVMWrongMod() {
+			t.Fatalf("probe %d did not fire after credits ran out", i)
+		}
+	}
+}
+
+// TestSkipCreditsSharedAcrossKinds checks that the credit pool is global to
+// the plan, not per fault kind.
+func TestSkipCreditsSharedAcrossKinds(t *testing.T) {
+	p := &Plan{ProveTimeout: true, SolveTimeout: true, Skip: 2}
+	if p.FireProveTimeout() || p.FireSolveTimeout() {
+		t.Fatal("fired while the shared pool had credits")
+	}
+	if !p.FireProveTimeout() || !p.FireSolveTimeout() {
+		t.Fatal("did not fire after the shared pool drained")
+	}
+}
+
+// TestSetRestoresPrevious checks that restore functions unwind nested
+// installs in LIFO order.
+func TestSetRestoresPrevious(t *testing.T) {
+	outer := &Plan{ProvePanic: true}
+	restoreOuter := Set(outer)
+	inner := &Plan{ExecPanic: true}
+	restoreInner := Set(inner)
+	if Active() != inner {
+		t.Fatal("inner plan not active")
+	}
+	restoreInner()
+	if Active() != outer {
+		t.Fatal("restore did not reinstate the outer plan")
+	}
+	restoreOuter()
+	if Active() != nil {
+		t.Fatal("restore did not reinstate the empty state")
+	}
+}
+
+// TestConcurrentProbesExactCredits runs many goroutines against one armed
+// plan under the race detector and checks the credit accounting is exact:
+// precisely Skip probes pass through.
+func TestConcurrentProbesExactCredits(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 1000
+		skip    = 137
+	)
+	p := &Plan{VMWrongMod: true, Skip: skip}
+	defer Set(p)()
+	var fired int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if Active().FireVMWrongMod() {
+					atomic.AddInt64(&fired, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(workers*perG - skip); fired != want {
+		t.Errorf("fired %d probes, want %d (total %d minus %d credits)",
+			fired, want, workers*perG, skip)
+	}
+}

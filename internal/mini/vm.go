@@ -1,6 +1,10 @@
 package mini
 
-import "fmt"
+import (
+	"fmt"
+
+	"hotg/internal/faults"
+)
 
 // VM executes compiled bytecode. Results are identical to the tree-walking
 // interpreter except for Steps (instructions vs AST visits) and the wording
@@ -12,6 +16,11 @@ type vm struct {
 	res   *Result
 	steps int
 	depth int
+	// wrongMod is the injected silent-miscompilation fault
+	// (faults.Plan.VMWrongMod): OpMod evaluates floored instead of
+	// truncated modulo. Sampled once per RunVM call so the instruction
+	// loop stays probe-free.
+	wrongMod bool
 }
 
 // RunVM executes the compiled program's main function on the flattened input
@@ -24,6 +33,7 @@ func RunVM(c *Compiled, input []int64, opts RunOptions) *Result {
 		opts.MaxDepth = 256
 	}
 	m := &vm{c: c, opts: opts, res: &Result{}}
+	m.wrongMod = faults.Active().FireVMWrongMod()
 
 	main := c.prog.Main()
 	fnIx := c.byName["main"]
@@ -137,7 +147,11 @@ func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64) (int64, error) {
 			if r == 0 {
 				return 0, runtimeFault{"vm: modulo by zero"}
 			}
-			stack[len(stack)-1] %= r
+			v := stack[len(stack)-1] % r
+			if m.wrongMod && v != 0 && (v < 0) != (r < 0) {
+				v += r // floored modulo: sign follows the divisor
+			}
+			stack[len(stack)-1] = v
 		case OpNeg:
 			stack[len(stack)-1] = -stack[len(stack)-1]
 
@@ -275,6 +289,7 @@ func RunFuncVM(c *Compiled, name string, args []int64, opts RunOptions) *Result 
 		opts.MaxDepth = 256
 	}
 	m := &vm{c: c, opts: opts, res: &Result{}}
+	m.wrongMod = faults.Active().FireVMWrongMod()
 	ints := make([]int64, fn.numInts)
 	for i, slot := range fn.intParam {
 		ints[slot] = args[i]
