@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-json tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-smoke bench-json tables verify
 
 all: build lint vet test
 
@@ -50,9 +50,16 @@ fuzz-smoke:
 	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzParser$$' -fuzztime 10s
 	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzLexRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/smt/ -run '^$$' -fuzz 'FuzzSolveConjunction$$' -fuzztime 10s
+	$(GO) test ./internal/smt/ -run '^$$' -fuzz 'FuzzIncrementalSolve$$' -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# bench-smoke compiles and runs the incremental-solver benchmark family once
+# per benchmark, so the session workload shape (shared prefix, sibling
+# targets, warm refutation) cannot bit-rot between full benchmark runs.
+bench-smoke:
+	$(GO) test ./internal/smt/ -run '^$$' -bench SolveIncremental -benchtime 1x
 
 # bench-json captures the quick experiment suite with per-experiment metric
 # snapshots (workers, proof-cache traffic, wall/solve seconds, full registry).

@@ -54,6 +54,17 @@ type Options struct {
 	// deadline is forwarded to the residual SMT solves and the refutation
 	// pass, so one Prove call never outlives it by more than a poll interval.
 	Deadline time.Time
+	// SMT, when non-nil, is an incremental solver session used for the
+	// residual arithmetic solves. When nil (and NoIncrementalSMT is unset)
+	// ProveCore creates a private session for the call, so repeated residual
+	// formulas within one proof search are answered from the session memo.
+	// Callers that share a session across calls must confine it to one
+	// goroutine.
+	SMT *smt.Context
+	// NoIncrementalSMT routes every solver query through one-shot smt.Solve
+	// calls, bypassing sessions entirely. It exists for ablations and for
+	// the equivalence gate: results must be bit-identical with it on or off.
+	NoIncrementalSMT bool
 }
 
 // Prove attempts a constructive validity proof of POST(pc) = ∃X: A ⇒ pc,
@@ -95,6 +106,14 @@ func ProveCore(pc sym.Expr, samples *sym.SampleStore, opts Options) (*Strategy, 
 	}
 	if opts.Pool == nil {
 		opts.Pool = &sym.Pool{}
+	}
+	if opts.SMT == nil && !opts.NoIncrementalSMT {
+		// Private per-call session: sequential use, so the result memo and
+		// Ackermann-expansion reuse cannot introduce scheduling dependence.
+		opts.SMT = smt.NewContext(smt.ContextOptions{
+			Options:  smt.Options{Pool: opts.Pool, VarBounds: opts.VarBounds, Obs: opts.Obs},
+			MemoSize: 512,
+		})
 	}
 	o := opts.Obs
 	var t0 time.Time
@@ -188,12 +207,30 @@ type choice struct {
 	disj    sym.Expr
 }
 
+// tstep is one recorded proof step. Steps are kept symbolic while the search
+// runs and rendered to strings only when a branch actually succeeds, keeping
+// fmt off the backtracking hot path (failed branches — the vast majority —
+// never pay for formatting).
+type tstep struct {
+	unit bool // unit-propagation step (def), else a choice step (ch)
+	def  Def
+	ch   choice
+}
+
+// String renders the step exactly as the eager trace used to.
+func (t tstep) String() string {
+	if t.unit {
+		return fmt.Sprintf("unit: %s", t.def)
+	}
+	return t.ch.describe()
+}
+
 // search explores proof steps depth-first, returning a strategy or nil.
 func (p *prover) search(conjuncts []sym.Expr, defs []Def, depth int) *Strategy {
 	return p.searchT(conjuncts, defs, nil, depth)
 }
 
-func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []string, depth int) *Strategy {
+func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []tstep, depth int) *Strategy {
 	if p.budget <= 0 || depth > p.opts.MaxDepth {
 		return nil
 	}
@@ -218,7 +255,7 @@ func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []string, depth
 		return nil
 	}
 	for _, d := range defs[before:] {
-		trace = append(trace, fmt.Sprintf("unit: %s", d))
+		trace = append(trace, tstep{unit: true, def: d})
 	}
 
 	// Find the first conjunct that still mentions an uninterpreted
@@ -239,7 +276,7 @@ func (p *prover) searchT(conjuncts []sym.Expr, defs []Def, trace []string, depth
 		if !ok {
 			continue
 		}
-		if st := p.searchT(next, ndefs, append(trace[:len(trace):len(trace)], ch.describe()), depth+1); st != nil {
+		if st := p.searchT(next, ndefs, append(trace[:len(trace):len(trace)], tstep{ch: ch}), depth+1); st != nil {
 			return st
 		}
 	}
@@ -284,7 +321,10 @@ func (p *prover) simplify(conjuncts []sym.Expr, defs []Def) ([]sym.Expr, []Def, 
 				}
 				return nil, false
 			})
-			if nc.Key() != c.Key() {
+			// RewriteApplies returns the original pointer when nothing inside
+			// was rewritten, so pointer identity is the change test (no key
+			// materialization on the fixpoint loop).
+			if nc != c {
 				cs[i] = nc
 				changed = true
 			}
@@ -341,14 +381,7 @@ func solveForVar(c *sym.Cmp, op sym.CmpOp) (*Def, bool) {
 			continue
 		}
 		r := sym.SubSum(c.S, &sym.Sum{Terms: []sym.Term{t}}) // R = S − c·x
-		occurs := false
-		for _, rv := range sym.Vars(r) {
-			if rv.ID == v.ID {
-				occurs = true
-				break
-			}
-		}
-		if occurs {
+		if sym.OccursVar(r, v.ID) {
 			continue
 		}
 		var term *sym.Sum
@@ -413,10 +446,8 @@ func (p *prover) apply(conjuncts []sym.Expr, defs []Def, ch choice) ([]sym.Expr,
 		// Occurs-check against applications: x must not appear inside the
 		// defining term at all (solveForVar checked plain variables; applies
 		// in R may still hide x in their arguments).
-		for _, v := range sym.Vars(ch.defTerm) {
-			if v.ID == ch.defVar.ID {
-				return nil, nil, false
-			}
+		if sym.OccursVar(ch.defTerm, ch.defVar.ID) {
+			return nil, nil, false
 		}
 		ndefs := append(append([]Def(nil), defs...), Def{Var: ch.defVar, Term: ch.defTerm})
 		binding := map[int]*sym.Sum{ch.defVar.ID: ch.defTerm}
@@ -473,30 +504,50 @@ func (p *prover) apply(conjuncts []sym.Expr, defs []Def, ch choice) ([]sym.Expr,
 
 // finish solves the residual apply-free conjuncts arithmetically and folds
 // the model into the strategy.
-func (p *prover) finish(conjuncts []sym.Expr, defs []Def, trace []string) *Strategy {
+func (p *prover) finish(conjuncts []sym.Expr, defs []Def, trace []tstep) *Strategy {
 	residual := sym.AndExpr(conjuncts...)
 	if residual == sym.False {
 		return nil
 	}
-	st := &Strategy{Defs: defs, Proof: trace}
+	// The branch succeeded (or is one residual solve away): now it is worth
+	// rendering the symbolic trace into the human-readable proof.
+	var proof []string
+	if len(trace) > 0 {
+		proof = make([]string, 0, len(trace))
+		for _, t := range trace {
+			proof = append(proof, t.String())
+		}
+	}
+	st := &Strategy{Defs: defs, Proof: proof}
 	if residual == sym.True {
 		return st
 	}
-	// Respect bounds only for variables not already defined by the strategy.
-	bounds := make(map[int]smt.Bound)
-	defined := map[int]bool{}
-	for _, d := range defs {
-		defined[d.Var.ID] = true
-	}
-	for id, b := range p.opts.VarBounds {
-		if !defined[id] {
-			bounds[id] = b
+	var status smt.Status
+	var model *smt.Model
+	if p.opts.SMT != nil {
+		// The session carries the call's full VarBounds. Restricting them to
+		// undefined variables (as the one-shot path below does) is equivalent:
+		// defined variables were substituted out of every conjunct, so they
+		// cannot occur in the residual, and the solver only consults bounds of
+		// variables that occur in the formula.
+		status, model = p.opts.SMT.SolveUnder(residual, p.opts.Ctx, p.opts.Deadline)
+	} else {
+		// Respect bounds only for variables not already defined by the strategy.
+		bounds := make(map[int]smt.Bound)
+		defined := map[int]bool{}
+		for _, d := range defs {
+			defined[d.Var.ID] = true
 		}
+		for id, b := range p.opts.VarBounds {
+			if !defined[id] {
+				bounds[id] = b
+			}
+		}
+		status, model = smt.Solve(residual, smt.Options{
+			Pool: p.opts.Pool, VarBounds: bounds, Obs: p.opts.Obs,
+			Ctx: p.opts.Ctx, Deadline: p.opts.Deadline,
+		})
 	}
-	status, model := smt.Solve(residual, smt.Options{
-		Pool: p.opts.Pool, VarBounds: bounds, Obs: p.opts.Obs,
-		Ctx: p.opts.Ctx, Deadline: p.opts.Deadline,
-	})
 	if status != smt.StatusSat {
 		return nil
 	}

@@ -1,0 +1,49 @@
+package search_test
+
+import (
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// TestIncrementalSMTEquivalence is the gate for the incremental-solver
+// rollout: with sessions enabled (the default) the search trajectory must be
+// bit-identical to the one-shot solver path (NoIncrementalSMT) at workers
+// 1, 4, and 8. The lexer cases exercise the prover's private exact sessions
+// and the per-worker satisfiability sessions; the token-parser case adds the
+// refutation pass, whose warm session discharges the candidate completions.
+//
+// The refutation case uses a workload whose refutation queries all complete
+// within the solver budgets. That is deliberate: warm-session refutation is
+// status-sound but can be strictly *more* conclusive than the one-shot path
+// on budget-bound queries (retained theory lemmas let a check finish inside
+// the same conflict/round caps where the one-shot solver runs out), which
+// shows up as OutcomeInvalid where the baseline reports OutcomeUnknown. The
+// distinction is reporting-only — neither outcome generates a test — so the
+// explored trajectory is identical either way; see DESIGN.md §11.
+func TestIncrementalSMTEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		wl   *lexapp.Workload
+		mode concolic.Mode
+		opts search.Options
+	}{
+		{"lexer/static", lexapp.Lexer(), concolic.ModeStatic, search.Options{MaxRuns: 120}},
+		{"lexer/higher-order", lexapp.Lexer(), concolic.ModeHigherOrder, search.Options{MaxRuns: 120}},
+		{"tokenparser/refute", lexapp.TokenParser(), concolic.ModeHigherOrder, search.Options{MaxRuns: 60, Refute: true}},
+	}
+	for _, c := range cases {
+		opts := c.opts
+		opts.NoIncrementalSMT = true
+		base := fingerprint(runWorkers(c.wl, c.mode, opts, 1, false))
+		for _, workers := range []int{1, 4, 8} {
+			got := fingerprint(runWorkers(c.wl, c.mode, c.opts, workers, false))
+			if got != base {
+				t.Errorf("%s workers=%d: incremental trajectory differs from one-shot baseline\n--- one-shot:\n%s--- incremental:\n%s",
+					c.name, workers, base, got)
+			}
+		}
+	}
+}

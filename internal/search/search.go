@@ -85,6 +85,12 @@ type Options struct {
 	// is built from. The callback runs synchronously on the coordinator;
 	// keep it cheap.
 	OnRun func(RunRecord)
+	// NoIncrementalSMT disables solver sessions everywhere in the pipeline:
+	// the prover falls back to one-shot smt.Solve calls and the
+	// satisfiability path drops its per-worker sessions. Results are
+	// bit-identical either way (the equivalence gate in the tests depends on
+	// it); the flag exists for ablations and for isolating solver regressions.
+	NoIncrementalSMT bool
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -172,6 +178,11 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 				s.varBounds[v.ID] = b
 			}
 		}
+	}
+	if !opts.NoIncrementalSMT {
+		// Allocated here, on the coordinator, so workers only ever touch
+		// their own slot (satSession's lazy per-slot creation is race-free).
+		s.satSessions = make([]*smt.Context, opts.Workers)
 	}
 	if opts.Restore != nil {
 		// Resume: the queues, dedup sets, cache, statistics, and sample
@@ -341,6 +352,24 @@ type searcher struct {
 	// so a broken sink is reported once, not once per cadence.
 	lastCkpt   int
 	ckptFailed bool
+	// satSessions holds one exact-mode solver session per worker for the
+	// satisfiability path (indexed by worker, created lazily, confined to
+	// that worker's goroutine). Nil when Options.NoIncrementalSMT is set.
+	satSessions []*smt.Context
+}
+
+// satSession returns (creating on first use) the given worker's solver
+// session, or nil when incremental solving is disabled.
+func (s *searcher) satSession(worker int) *smt.Context {
+	if s.satSessions == nil {
+		return nil
+	}
+	if s.satSessions[worker] == nil {
+		s.satSessions[worker] = smt.NewContext(smt.ContextOptions{
+			Options: smt.Options{Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs},
+		})
+	}
+	return s.satSessions[worker]
 }
 
 // canceled reports whether the search context has fired. Safe from workers.
@@ -708,15 +737,20 @@ type target struct {
 // so they are discharged concurrently and their results applied in constraint
 // order.
 func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
-	prefix := make([]sym.Expr, 0, len(ex.PC))
+	// The prefix grows by one conjunct per constraint; precomputing each
+	// conjunct's variable set here keeps the per-target slicing linear in the
+	// path length instead of re-extracting every prefix entry's variables for
+	// every target (quadratic in path length).
+	prefix := make([]sliceEntry, 0, len(ex.PC))
 	for i := 0; i < bound && i < len(ex.PC); i++ {
-		prefix = append(prefix, ex.PC[i].Expr)
+		e := ex.PC[i].Expr
+		prefix = append(prefix, sliceEntry{expr: e, vars: varIDs(e)})
 	}
 	var targets []*target
 	for k := bound; k < len(ex.PC); k++ {
 		c := ex.PC[k]
 		if c.IsConcretization {
-			prefix = append(prefix, c.Expr)
+			prefix = append(prefix, sliceEntry{expr: c.Expr, vars: varIDs(c.Expr)})
 			continue
 		}
 		negated := sym.NotExpr(c.Expr)
@@ -724,7 +758,7 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 		key := targetKey(expected, negated)
 		if !s.targeted[key] {
 			s.targeted[key] = true
-			t := &target{alt: sliceAlt(prefix, negated), expected: expected, k: k, worker: -1}
+			t := &target{alt: sliceAltPre(prefix, negated), expected: expected, k: k, worker: -1}
 			targets = append(targets, t)
 			if s.tracing() {
 				s.emit(obs.Event{Kind: "target", Worker: -1,
@@ -734,7 +768,7 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 					}})
 			}
 		}
-		prefix = append(prefix, c.Expr)
+		prefix = append(prefix, sliceEntry{expr: c.Expr, vars: varIDs(c.Expr)})
 	}
 	if len(targets) == 0 {
 		return
@@ -789,13 +823,14 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 			}
 		}()
 		t.strategy, t.outcome = fol.ProveCore(t.alt, s.eng.Samples, fol.Options{
-			Pool:      s.eng.Pool,
-			VarBounds: s.varBounds,
-			NoRefute:  !s.opts.Refute,
-			MaxNodes:  s.opts.ProverNodes,
-			Obs:       s.obs,
-			Ctx:       s.ctx,
-			Deadline:  s.proofDeadline(t0),
+			Pool:             s.eng.Pool,
+			VarBounds:        s.varBounds,
+			NoRefute:         !s.opts.Refute,
+			MaxNodes:         s.opts.ProverNodes,
+			Obs:              s.obs,
+			Ctx:              s.ctx,
+			Deadline:         s.proofDeadline(t0),
+			NoIncrementalSMT: s.opts.NoIncrementalSMT,
 		})
 	}
 	s.parallelDo(len(todo), func(i, worker int) {
@@ -913,10 +948,18 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 	s.parallelDo(len(todo), func(i, worker int) {
 		t := todo[i]
 		t0 := time.Now()
-		t.status, t.model = smt.Solve(t.alt, smt.Options{
-			Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs,
-			Ctx: s.ctx, Deadline: s.proofDeadline(t0),
-		})
+		if ses := s.satSession(worker); ses != nil {
+			// Exact-mode sessions answer bit-identically to a fresh Solve, so
+			// which worker (and hence which session) serves a target cannot
+			// influence the result; only the shared Ackermann expansion and
+			// interned structure are reused across a worker's targets.
+			t.status, t.model = ses.SolveUnder(t.alt, s.ctx, s.proofDeadline(t0))
+		} else {
+			t.status, t.model = smt.Solve(t.alt, smt.Options{
+				Pool: s.eng.Pool, VarBounds: s.varBounds, Obs: s.obs,
+				Ctx: s.ctx, Deadline: s.proofDeadline(t0),
+			})
+		}
 		t.worker, t.start, t.dur = worker, t0, time.Since(t0)
 		atomic.AddInt64(&s.solveNanos, int64(t.dur))
 		s.stats.ProofsPerWorker[worker]++

@@ -13,15 +13,25 @@ import (
 // solution of the slice extends to a solution of the full alternate
 // constraint — at a fraction of the solving cost.
 func sliceAlt(prefix []sym.Expr, negated sym.Expr) sym.Expr {
-	type entry struct {
-		expr sym.Expr
-		vars []int
-		used bool
-	}
-	entries := make([]entry, 0, len(prefix))
+	entries := make([]sliceEntry, 0, len(prefix))
 	for _, e := range prefix {
-		entries = append(entries, entry{expr: e, vars: varIDs(e)})
+		entries = append(entries, sliceEntry{expr: e, vars: varIDs(e)})
 	}
+	return sliceAltPre(entries, negated)
+}
+
+// sliceEntry is one prefix conjunct with its variable set precomputed, so a
+// caller slicing the same growing prefix against many negated constraints
+// (expand) extracts each conjunct's variables once instead of once per target.
+type sliceEntry struct {
+	expr sym.Expr
+	vars []int
+}
+
+// sliceAltPre is sliceAlt over a prefix whose variable sets are already
+// known. It never mutates entries, which the caller keeps across calls.
+func sliceAltPre(entries []sliceEntry, negated sym.Expr) sym.Expr {
+	used := make([]bool, len(entries))
 	reach := map[int]bool{}
 	for _, id := range varIDs(negated) {
 		reach[id] = true
@@ -29,7 +39,7 @@ func sliceAlt(prefix []sym.Expr, negated sym.Expr) sym.Expr {
 	for changed := true; changed; {
 		changed = false
 		for i := range entries {
-			if entries[i].used {
+			if used[i] {
 				continue
 			}
 			hit := false
@@ -42,7 +52,7 @@ func sliceAlt(prefix []sym.Expr, negated sym.Expr) sym.Expr {
 			if !hit {
 				continue
 			}
-			entries[i].used = true
+			used[i] = true
 			changed = true
 			for _, id := range entries[i].vars {
 				reach[id] = true
@@ -50,8 +60,8 @@ func sliceAlt(prefix []sym.Expr, negated sym.Expr) sym.Expr {
 		}
 	}
 	parts := make([]sym.Expr, 0, len(entries)+1)
-	for _, e := range entries {
-		if e.used {
+	for i, e := range entries {
+		if used[i] {
 			parts = append(parts, e.expr)
 		}
 	}

@@ -20,6 +20,15 @@ type compiler struct {
 	memo    map[string]Lit // expr key → literal
 	trueLit Lit
 	hasTrue bool
+
+	// Journal of insertions, kept only when journaling is on (incremental
+	// sessions): popTo replays it backwards to drop frame-local state. Map
+	// entries reused by a later frame produce no new journal record, so they
+	// survive pops of that frame — which is right, since the SAT variables
+	// they map to predate the frame's mark.
+	journal bool
+	memoLog []string
+	atomLog []string
 }
 
 func newCompiler(sat *SAT) *compiler {
@@ -30,6 +39,35 @@ func newCompiler(sat *SAT) *compiler {
 		atomIneq: make(map[int]Ineq),
 		memo:     make(map[string]Lit),
 	}
+}
+
+// compMark snapshots compiler extent for popTo, mirroring SATMark.
+type compMark struct {
+	nVars  int
+	nMemo  int
+	nAtoms int
+}
+
+func (c *compiler) mark() compMark {
+	return compMark{nVars: len(c.varList), nMemo: len(c.memoLog), nAtoms: len(c.atomLog)}
+}
+
+// popTo removes every dense variable, Tseitin memo entry and theory atom
+// registered since the mark. Requires journaling.
+func (c *compiler) popTo(m compMark) {
+	for _, v := range c.varList[m.nVars:] {
+		delete(c.varIndex, v.ID)
+	}
+	c.varList = c.varList[:m.nVars]
+	for _, k := range c.memoLog[m.nMemo:] {
+		delete(c.memo, k)
+	}
+	c.memoLog = c.memoLog[:m.nMemo]
+	for _, k := range c.atomLog[m.nAtoms:] {
+		delete(c.atomIneq, c.atomVar[k])
+		delete(c.atomVar, k)
+	}
+	c.atomLog = c.atomLog[:m.nAtoms]
 }
 
 func (c *compiler) constLit(v bool) Lit {
@@ -54,6 +92,9 @@ func (c *compiler) denseVar(v *sym.Var) int {
 	c.varList = append(c.varList, v)
 	return i
 }
+
+// Note: varList doubles as its own journal (popTo truncates it), so denseVar
+// needs no explicit log entry.
 
 // sumToIneq converts the constraint s ≤ 0 into an Ineq over dense variables.
 // s must be apply-free.
@@ -85,6 +126,9 @@ func (c *compiler) atomLit(q Ineq) Lit {
 	v := c.sat.NewVar()
 	c.atomVar[key] = v
 	c.atomIneq[v] = nq
+	if c.journal {
+		c.atomLog = append(c.atomLog, key)
+	}
 	return MkLit(v, false)
 }
 
@@ -157,6 +201,9 @@ func (c *compiler) compile(e sym.Expr) Lit {
 		panic(fmt.Sprintf("smt: compile: unexpected %T", e))
 	}
 	c.memo[key] = l
+	if c.journal {
+		c.memoLog = append(c.memoLog, key)
+	}
 	return l
 }
 

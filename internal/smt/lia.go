@@ -61,10 +61,15 @@ func solveLIA(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int, stop func()
 	for len(extra) < nvars {
 		extra = append(extra, Bound{})
 	}
-	return bnb(nvars, ineqs, extra, &budget, stop)
+	return bnb(nvars, ineqs, extra, &budget, stop, nil)
 }
 
-func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool) ([]int64, Status) {
+// bnb explores the branch-and-bound tree. When cert is non-nil, every unsat
+// leaf records which inequalities (by index into ineqs) participated in its
+// simplex infeasibility explanation; because the branch cuts x ≤ ⌊v⌋ ∨
+// x ≥ ⌊v⌋+1 are tautologies over the integers, the union collected across an
+// all-leaves-unsat tree is itself an unsatisfiable subset of ineqs.
+func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool, cert map[int]bool) ([]int64, Status) {
 	if *budget <= 0 {
 		return nil, StatusUnknown
 	}
@@ -77,18 +82,25 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool)
 	for v := 0; v < nvars; v++ {
 		b := bounds[v]
 		if b.HasLo && !s.assertLower(v, new(big.Rat).SetInt64(b.Lo)) {
-			return nil, StatusUnsat
+			return nil, StatusUnsat // variable-bound clash: no inequality involved
 		}
 		if b.HasHi && !s.assertUpper(v, new(big.Rat).SetInt64(b.Hi)) {
 			return nil, StatusUnsat
 		}
 	}
-	for _, q := range ineqs {
+	var slackIneq map[int]int // slack var → index into ineqs
+	if cert != nil {
+		slackIneq = make(map[int]int, len(ineqs))
+	}
+	for i, q := range ineqs {
 		nq, triv := q.Normalize()
 		switch triv {
 		case 1:
 			continue
 		case -1:
+			if cert != nil {
+				cert[i] = true
+			}
 			return nil, StatusUnsat
 		}
 		combo := make(map[int]*big.Rat, len(nq.Terms))
@@ -96,11 +108,24 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool)
 			combo[t.Var] = new(big.Rat).SetInt64(t.Coef)
 		}
 		y := s.defineSlack(combo)
+		if cert != nil {
+			slackIneq[y] = i
+		}
 		if !s.assertUpper(y, new(big.Rat).SetInt64(nq.B)) {
+			if cert != nil {
+				cert[i] = true
+			}
 			return nil, StatusUnsat
 		}
 	}
 	if !s.check() {
+		if cert != nil {
+			for _, x := range s.conflict {
+				if i, ok := slackIneq[x]; ok {
+					cert[i] = true
+				}
+			}
+		}
 		return nil, StatusUnsat
 	}
 	// Find a fractional problem variable.
@@ -126,7 +151,7 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool)
 	if !left[frac].HasHi || left[frac].Hi > fl {
 		left[frac].Hi, left[frac].HasHi = fl, true
 	}
-	if m, st := bnb(nvars, ineqs, left, budget, stop); st != StatusUnsat {
+	if m, st := bnb(nvars, ineqs, left, budget, stop, cert); st != StatusUnsat {
 		return m, st
 	}
 
@@ -135,7 +160,7 @@ func bnb(nvars int, ineqs []Ineq, bounds []Bound, budget *int, stop func() bool)
 	if !right[frac].HasLo || right[frac].Lo < fl+1 {
 		right[frac].Lo, right[frac].HasLo = fl+1, true
 	}
-	return bnb(nvars, ineqs, right, budget, stop)
+	return bnb(nvars, ineqs, right, budget, stop, cert)
 }
 
 func ratFloor(r *big.Rat) int64 {

@@ -64,6 +64,7 @@ func (b lbool) flip() lbool {
 type clause struct {
 	lits    []Lit
 	learned bool
+	theory  bool // theory lemma (globally valid); survives PopTo when its vars do
 	act     float64
 }
 
@@ -83,6 +84,12 @@ type SAT struct {
 	activity []float64
 	varInc   float64
 	order    []int // lazily re-sorted variable order heap (simple)
+
+	// phase holds the last value each variable was assigned before a
+	// backtrack; consulted by branching only when savePhase is set, so the
+	// one-shot solve path keeps its historical false-first polarity.
+	phase     []lbool
+	savePhase bool
 
 	nConflicts   int
 	maxConflicts int
@@ -112,10 +119,17 @@ func (s *SAT) NewVar() int {
 	s.level = append(s.level, -1)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, lUndef)
 	s.watches = append(s.watches, nil, nil)
 	s.order = append(s.order, v)
 	return v
 }
+
+// SavePhase toggles phase saving: with it on, branching reuses the last value
+// a variable held before a backtrack instead of always trying false first.
+// Incremental sessions enable it so sibling checks start from the previous
+// check's polarity; the one-shot path leaves it off.
+func (s *SAT) SavePhase(on bool) { s.savePhase = on }
 
 // NumVars returns the number of propositional variables.
 func (s *SAT) NumVars() int { return len(s.assign) }
@@ -315,6 +329,9 @@ func (s *SAT) cancelUntil(level int) {
 	bound := s.trailLim[level]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
+		if s.savePhase {
+			s.phase[v] = s.assign[v]
+		}
 		s.assign[v] = lUndef
 		s.reason[v] = nil
 		s.level[v] = -1
@@ -395,16 +412,204 @@ func (s *SAT) Solve() SATResult {
 			return SATSat
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(MkLit(v, true), nil) // branch false first: biases toward sparse models
+		neg := true // branch false first: biases toward sparse models
+		if s.savePhase && s.phase[v] == lTrue {
+			neg = false
+		}
+		s.enqueue(MkLit(v, neg), nil)
 	}
 }
 
 // Value returns the model value of variable v after a SATSat result.
 func (s *SAT) Value(v int) bool { return s.assign[v] == lTrue }
 
-// Reset clears the search state (trail, assignment) but keeps all clauses,
-// including learned ones, so the next Solve resumes with accumulated
-// knowledge. Used by the lazy theory loop after adding blocking clauses.
+// Reset clears the search state but keeps accumulated knowledge. Its exact
+// post-Reset contract, which incremental sessions and the lazy theory loop
+// both depend on (see TestSATResetContract):
+//
+//   - all clauses survive, original and learned alike;
+//   - the trail is unwound to decision level 0: level-0 units (facts) keep
+//     their assignments, every other variable returns to unassigned;
+//   - VSIDS activity scores and the activity increment survive, so branching
+//     order in the next Solve reflects conflicts seen in earlier ones;
+//   - saved phases survive (when SavePhase is on) and are refreshed by the
+//     unwind itself, so the next Solve re-tries the last polarities;
+//   - the conflict counter is NOT reset: the conflict budget spans every
+//     Solve since construction (or since ResetSearch, which does reset it);
+//   - an unsat verdict is permanent: once the solver derived level-0 unsat,
+//     Reset does not clear it (only PopTo can, by removing the clauses that
+//     caused it).
 func (s *SAT) Reset() {
 	s.cancelUntil(0)
+}
+
+// ResetSearch is Reset plus a fresh conflict budget. Incremental sessions use
+// it between Checks so each check gets the full budget, matching what a fresh
+// solver would have been given.
+func (s *SAT) ResetSearch() {
+	s.cancelUntil(0)
+	s.nConflicts = 0
+}
+
+// SATMark is a snapshot of solver extent, taken at decision level 0, that
+// PopTo can later restore. Everything allocated or asserted after the mark is
+// removed on pop, with one exception: theory lemmas (AddTheoryLemma) whose
+// variables all predate the mark are retained, because they are consequences
+// of the theory alone and remain valid in any assertion context.
+type SATMark struct {
+	NumVars    int
+	NumClauses int
+	TrailLen   int
+	Unsat      bool
+}
+
+// Mark snapshots the current solver extent. Must be taken at decision level 0
+// (callers unwind with Reset first).
+func (s *SAT) Mark() SATMark {
+	if s.decisionLevel() != 0 {
+		panic("smt: SAT.Mark at non-zero decision level")
+	}
+	return SATMark{
+		NumVars:    len(s.assign),
+		NumClauses: len(s.clauses),
+		TrailLen:   len(s.trail),
+		Unsat:      s.unsat,
+	}
+}
+
+// PopTo unwinds the solver to a previous Mark: clauses, variables and level-0
+// facts added since the mark are dropped; theory lemmas over still-live
+// variables are kept (their count is returned). CDCL-learned clauses past the
+// mark are dropped too — they may depend on popped clauses or on level-0
+// facts that no longer hold. Watches are rebuilt and the propagation queue is
+// rewound so the next Solve re-propagates the surviving trail.
+func (s *SAT) PopTo(m SATMark) (retained int) {
+	s.cancelUntil(0)
+	// Filter clauses in place: originals up to the mark stay, and theory
+	// lemmas added later stay when every literal predates the mark.
+	kept := s.clauses[:m.NumClauses]
+	for _, c := range s.clauses[m.NumClauses:] {
+		if !c.theory {
+			continue
+		}
+		live := true
+		for _, l := range c.lits {
+			if l.Var() >= m.NumVars {
+				live = false
+				break
+			}
+		}
+		if live {
+			kept = append(kept, c)
+			retained++
+		}
+	}
+	for i := len(kept); i < len(s.clauses); i++ {
+		s.clauses[i] = nil
+	}
+	s.clauses = kept
+	// Unassign level-0 facts recorded after the mark.
+	for i := len(s.trail) - 1; i >= m.TrailLen; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.level[v] = -1
+	}
+	s.trail = s.trail[:m.TrailLen]
+	// Drop variables allocated after the mark.
+	s.assign = s.assign[:m.NumVars]
+	s.level = s.level[:m.NumVars]
+	s.reason = s.reason[:m.NumVars]
+	s.activity = s.activity[:m.NumVars]
+	s.phase = s.phase[:m.NumVars]
+	s.order = s.order[:m.NumVars]
+	s.watches = s.watches[:2*m.NumVars]
+	for i := range s.watches {
+		s.watches[i] = nil
+	}
+	s.unsat = m.Unsat
+	// Rebuild watches from scratch and replay propagation from the start of
+	// the trail so the two-watch invariant is restored for every clause.
+	s.qhead = 0
+	for _, c := range s.clauses {
+		s.rewatch(c)
+	}
+	return retained
+}
+
+// rewatch re-registers a clause after PopTo, selecting non-false watches so
+// the two-watched-literal invariant holds under the surviving level-0 facts.
+func (s *SAT) rewatch(c *clause) {
+	w := 0
+	for i := 0; i < len(c.lits) && w < 2; i++ {
+		if s.value(c.lits[i]) != lFalse {
+			c.lits[w], c.lits[i] = c.lits[i], c.lits[w]
+			w++
+		}
+	}
+	if len(c.lits) == 1 {
+		switch s.value(c.lits[0]) {
+		case lUndef:
+			s.enqueue(c.lits[0], nil)
+		case lFalse:
+			s.unsat = true
+		}
+		return
+	}
+	switch w {
+	case 0:
+		s.unsat = true
+		s.watch(c)
+	case 1:
+		// Exactly one non-false literal (now at position 0): either the
+		// clause is already satisfied by a level-0 fact, or that literal is
+		// forced. A false co-watch is harmless in both cases — level-0 facts
+		// only change via PopTo, which rebuilds watches again.
+		s.watch(c)
+		if s.value(c.lits[0]) == lUndef {
+			s.enqueue(c.lits[0], c)
+		}
+	default:
+		s.watch(c)
+	}
+}
+
+// AddTheoryLemma installs a clause that is valid in the theory itself (e.g. a
+// blocking clause derived from an arithmetic conflict core), tagging it so
+// PopTo may retain it across frames. Unlike AddClause it performs no
+// simplification against the current level-0 facts: a lemma simplified
+// against a fact would become unsound the moment that fact is popped. Must be
+// called at decision level 0. Returns false when the lemma is empty or
+// immediately contradicts the surviving facts.
+func (s *SAT) AddTheoryLemma(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	seen := make(map[Lit]bool, len(lits))
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if seen[l] {
+			continue
+		}
+		if seen[l.Flip()] {
+			return true // tautology: valid, nothing to record
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	if len(out) == 0 {
+		s.unsat = true
+		return false
+	}
+	c := &clause{lits: out, theory: true}
+	s.clauses = append(s.clauses, c)
+	s.rewatch(c)
+	if s.unsat {
+		return false
+	}
+	if s.propagate() != nil {
+		s.unsat = true
+		return false
+	}
+	return true
 }

@@ -19,6 +19,12 @@ type simplex struct {
 	rowOf   []int              // var → row index, or -1 if nonbasic
 	basicOf []int              // row → var
 	rows    []map[int]*big.Rat // row → {nonbasic var → coefficient}
+	// conflict holds the variables of the failing row after check() returns
+	// false: the violated basic variable plus every nonbasic in its row. Each
+	// of those is pinned at the bound that blocked the pivot (otherwise a
+	// pivot would have been possible), so their bounds form an infeasibility
+	// explanation in the sense of Dutertre & de Moura §4.
+	conflict []int
 }
 
 func newSimplex(n int) *simplex {
@@ -233,6 +239,11 @@ func (s *simplex) check() bool {
 			}
 		}
 		if xj == -1 {
+			s.conflict = s.conflict[:0]
+			s.conflict = append(s.conflict, xi)
+			for x := range row {
+				s.conflict = append(s.conflict, x)
+			}
 			return false
 		}
 		if belowLower {

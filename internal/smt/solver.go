@@ -3,6 +3,7 @@ package smt
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"hotg/internal/faults"
@@ -95,6 +96,14 @@ func Solve(f sym.Expr, opts Options) (Status, *Model) {
 }
 
 func solve(f sym.Expr, opts Options) (Status, *Model) {
+	return solveWith(f, opts, nil)
+}
+
+// solveWith is the solve engine shared by the one-shot path (ack == nil) and
+// incremental sessions in exact mode (ack carries the session's Ackermann
+// expansion cache). Apart from where stand-in variables come from, the two
+// paths execute identically.
+func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 	o := opts.Obs
 	// Fast path: purely equational conjunctions are decided by congruence
 	// closure directly (euf.go). Only the unsat verdict short-circuits —
@@ -116,16 +125,25 @@ func solve(f sym.Expr, opts Options) (Status, *Model) {
 	funcs := map[string]int64{}
 	appVars := map[string]*sym.Var{}
 	if sym.HasApply(f) {
-		if opts.Pool == nil {
-			panic("smt: formula contains uninterpreted applications but Options.Pool is nil")
+		if ack != nil {
+			reduced, cur := ack.reduce(f)
+			if o.Enabled() {
+				o.Counter("smt.ackermann.apps").Add(int64(len(cur)))
+			}
+			f = reduced
+			appVars = cur
+		} else {
+			if opts.Pool == nil {
+				panic("smt: formula contains uninterpreted applications but Options.Pool is nil")
+			}
+			ar := Ackermannize(f, opts.Pool)
+			if o.Enabled() {
+				o.Counter("smt.ackermann.apps").Add(int64(len(ar.AppVars)))
+				o.Counter("smt.ackermann.consistency").Add(int64(len(sym.Conjuncts(ar.Consistency))))
+			}
+			f = sym.AndExpr(ar.Formula, ar.Consistency)
+			appVars = ar.AppVars
 		}
-		ack := Ackermannize(f, opts.Pool)
-		if o.Enabled() {
-			o.Counter("smt.ackermann.apps").Add(int64(len(ack.AppVars)))
-			o.Counter("smt.ackermann.consistency").Add(int64(len(sym.Conjuncts(ack.Consistency))))
-		}
-		f = sym.AndExpr(ack.Formula, ack.Consistency)
-		appVars = ack.AppVars
 	}
 
 	maxRounds := opts.MaxTheoryRounds
@@ -233,12 +251,19 @@ func clampBound(b Bound) Bound {
 	return b
 }
 
-// minimizeCore greedily shrinks an infeasible inequality set to an
-// irreducible core, returning indices into ineqs.
+// minimizeCore shrinks an infeasible inequality set to an irreducible core,
+// returning indices into ineqs. It first seeds the core from the simplex's own
+// infeasibility certificate — the bounds pinning the failing row — which
+// typically narrows dozens of asserted inequalities to a handful before the
+// greedy deletion pass runs, so the O(core) verification solves operate on
+// tiny subsets instead of the full assertment.
 func minimizeCore(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) []int {
-	active := make([]int, len(ineqs))
-	for i := range active {
-		active[i] = i
+	active := conflictSeed(nvars, ineqs, bounds, maxNodes)
+	if active == nil {
+		active = make([]int, len(ineqs))
+		for i := range active {
+			active[i] = i
+		}
 	}
 	for i := 0; i < len(active); {
 		trial := make([]Ineq, 0, len(active)-1)
@@ -255,6 +280,41 @@ func minimizeCore(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) []int {
 		}
 	}
 	return active
+}
+
+// conflictSeed re-runs the infeasible solve with certificate collection and
+// returns a sorted, *verified-unsat* subset of ineq indices, or nil when no
+// narrowing was achieved (budget exhaustion, or the certificate spans the
+// whole set). The verification solve is cheap insurance: the greedy pass in
+// minimizeCore assumes its starting set is unsatisfiable, and the blocking
+// clause built from the core would be unsound if it were not.
+func conflictSeed(nvars int, ineqs []Ineq, bounds []Bound, maxNodes int) []int {
+	cert := make(map[int]bool)
+	budget := maxNodes
+	if budget <= 0 {
+		budget = 20000
+	}
+	extra := make([]Bound, nvars)
+	copy(extra, bounds)
+	if _, st := bnb(nvars, ineqs, extra, &budget, nil, cert); st != StatusUnsat {
+		return nil
+	}
+	if len(cert) >= len(ineqs) {
+		return nil
+	}
+	seed := make([]int, 0, len(cert))
+	for i := range cert {
+		seed = append(seed, i)
+	}
+	sort.Ints(seed)
+	trial := make([]Ineq, 0, len(seed))
+	for _, i := range seed {
+		trial = append(trial, ineqs[i])
+	}
+	if _, st := SolveLIA(nvars, trial, bounds, maxNodes); st != StatusUnsat {
+		return nil
+	}
+	return seed
 }
 
 // CheckModel verifies that the model satisfies the original formula; it is

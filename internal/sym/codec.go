@@ -206,7 +206,13 @@ func DecodeSum(rec *SumRec, r *Resolver) (*Sum, error) {
 	if len(terms) == 0 {
 		return &Sum{Const: rec.Const}, nil
 	}
-	return normalize(rec.Const, terms), nil
+	// Serialized terms are not trusted to be sorted or duplicate-free, so
+	// re-canonicalize by folding each term through AddSum.
+	out := &Sum{Const: rec.Const}
+	for _, t := range terms {
+		out = AddSum(out, &Sum{Terms: []Term{t}})
+	}
+	return out, nil
 }
 
 // parseCmpOp inverts CmpOp.String.

@@ -69,7 +69,7 @@ func (c *Cmp) Sort() Sort { return SortBool }
 // Key implements Expr.
 func (c *Cmp) Key() string {
 	if c.key == "" {
-		c.key = fmt.Sprintf("(%s %s 0)", c.S.Key(), c.Op)
+		c.key = "(" + c.S.Key() + " " + c.Op.String() + " 0)"
 	}
 	return c.key
 }

@@ -1,0 +1,131 @@
+package sym
+
+import "sync"
+
+// Interner hash-conses expressions so that structurally equal expressions
+// become pointer-equal: Intern(a) == Intern(b) iff a.Key() == b.Key(). It
+// doubles as an arena — the canonical node for every key seen is retained for
+// the interner's lifetime, so long-lived consumers (an incremental solver
+// session, the proof cache) can key maps by pointer and share subterm memory
+// across formulas instead of re-allocating equal structure per solve.
+//
+// Interning is recursive: the canonical node's children are themselves
+// canonical, so equal subterms of different formulas collapse to one object.
+// An Interner is safe for concurrent use.
+type Interner struct {
+	mu    sync.Mutex
+	exprs map[string]Expr
+	atoms map[string]Atom
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		exprs: make(map[string]Expr),
+		atoms: make(map[string]Atom),
+	}
+}
+
+// Len returns the number of distinct expressions retained (formula and
+// integer-term nodes; atoms are accounted separately).
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.exprs)
+}
+
+// Intern returns the canonical representative of e, inserting e's structure
+// on first sight. The result is structurally equal to e (same Key).
+func (in *Interner) Intern(e Expr) Expr {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.intern(e)
+}
+
+// InternSum is Intern specialized to integer terms.
+func (in *Interner) InternSum(s *Sum) *Sum {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.internSum(s)
+}
+
+func (in *Interner) intern(e Expr) Expr {
+	if got, ok := in.exprs[e.Key()]; ok {
+		return got
+	}
+	var canon Expr
+	switch x := e.(type) {
+	case *Bool:
+		canon = x
+	case *Sum:
+		return in.internSum(x)
+	case *Cmp:
+		canon = &Cmp{Op: x.Op, S: in.internSum(x.S)}
+	case *Not:
+		canon = &Not{X: in.intern(x.X)}
+	case *And:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = in.intern(y)
+		}
+		canon = &And{Xs: ys}
+	case *Or:
+		ys := make([]Expr, len(x.Xs))
+		for i, y := range x.Xs {
+			ys[i] = in.intern(y)
+		}
+		canon = &Or{Xs: ys}
+	default:
+		canon = e
+	}
+	in.exprs[e.Key()] = canon
+	return canon
+}
+
+func (in *Interner) internSum(s *Sum) *Sum {
+	if got, ok := in.exprs[s.Key()]; ok {
+		return got.(*Sum)
+	}
+	canon := s
+	var terms []Term
+	for i, t := range s.Terms {
+		na := in.internAtom(t.Atom)
+		if na != t.Atom && terms == nil {
+			terms = make([]Term, len(s.Terms))
+			copy(terms, s.Terms[:i])
+		}
+		if terms != nil {
+			terms[i] = Term{Coef: t.Coef, Atom: na}
+		}
+	}
+	if terms != nil {
+		canon = &Sum{Const: s.Const, Terms: terms}
+	}
+	in.exprs[s.Key()] = canon
+	return canon
+}
+
+func (in *Interner) internAtom(a Atom) Atom {
+	if got, ok := in.atoms[a.Key()]; ok {
+		return got
+	}
+	canon := a
+	if app, ok := a.(*Apply); ok {
+		var args []*Sum
+		for i, arg := range app.Args {
+			na := in.internSum(arg)
+			if na != arg && args == nil {
+				args = make([]*Sum, len(app.Args))
+				copy(args, app.Args[:i])
+			}
+			if args != nil {
+				args[i] = na
+			}
+		}
+		if args != nil {
+			canon = &Apply{Fn: app.Fn, Args: args}
+		}
+	}
+	in.atoms[a.Key()] = canon
+	return canon
+}

@@ -19,7 +19,7 @@ package sym
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -68,12 +68,19 @@ type Atom interface {
 type Var struct {
 	ID   int
 	Name string
+
+	key string // memoized canonical form
 }
 
 func (v *Var) atom() {}
 
 // Key implements Atom.
-func (v *Var) Key() string { return fmt.Sprintf("%s#%d", v.Name, v.ID) }
+func (v *Var) Key() string {
+	if v.key == "" {
+		v.key = v.Name + "#" + strconv.Itoa(v.ID)
+	}
+	return v.key
+}
 
 func (v *Var) String() string { return v.Name }
 
@@ -103,11 +110,17 @@ func (a *Apply) atom() {}
 // variables, whose names may repeat and which therefore carry their ID.
 func (a *Apply) Key() string {
 	if a.key == "" {
-		parts := make([]string, len(a.Args))
+		var b strings.Builder
+		b.WriteString(a.Fn.Name)
+		b.WriteByte('(')
 		for i, arg := range a.Args {
-			parts[i] = arg.Key()
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(arg.Key())
 		}
-		a.key = fmt.Sprintf("%s(%s)", a.Fn.Name, strings.Join(parts, ","))
+		b.WriteByte(')')
+		a.key = b.String()
 	}
 	return a.key
 }
@@ -142,12 +155,15 @@ func (s *Sum) Sort() Sort { return SortInt }
 // Key implements Expr.
 func (s *Sum) Key() string {
 	if s.key == "" {
-		var b strings.Builder
-		fmt.Fprintf(&b, "%d", s.Const)
+		b := make([]byte, 0, 16+24*len(s.Terms))
+		b = strconv.AppendInt(b, s.Const, 10)
 		for _, t := range s.Terms {
-			fmt.Fprintf(&b, "+%d*%s", t.Coef, t.Atom.Key())
+			b = append(b, '+')
+			b = strconv.AppendInt(b, t.Coef, 10)
+			b = append(b, '*')
+			b = append(b, t.Atom.Key()...)
 		}
-		s.key = b.String()
+		s.key = string(b)
 	}
 	return s.key
 }
@@ -234,12 +250,17 @@ type Pool struct {
 	funcs    map[string]*Func
 }
 
-// NewVar returns a fresh symbolic variable named name.
+// NewVar returns a fresh symbolic variable named name. The canonical key is
+// precomputed here so that concurrent readers of Key() never race on the memo
+// field (workers only read keys; all writes happen at allocation or on the
+// search coordinator before fan-out).
 func (p *Pool) NewVar(name string) *Var {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextVar++
-	return &Var{ID: p.nextVar, Name: name}
+	v := &Var{ID: p.nextVar, Name: name}
+	v.key = name + "#" + strconv.Itoa(v.ID)
+	return v
 }
 
 // FuncSym returns the uninterpreted function symbol with the given name and
@@ -284,31 +305,53 @@ func ApplyTerm(f *Func, args ...*Sum) *Sum {
 // AtomTerm returns the term consisting of the single atom a.
 func AtomTerm(a Atom) *Sum { return &Sum{Terms: []Term{{Coef: 1, Atom: a}}} }
 
-func normalize(cst int64, terms []Term) *Sum {
-	sort.Slice(terms, func(i, j int) bool { return terms[i].Atom.Key() < terms[j].Atom.Key() })
-	out := terms[:0]
-	for _, t := range terms {
-		if n := len(out); n > 0 && out[n-1].Atom.Key() == t.Atom.Key() {
-			out[n-1].Coef += t.Coef
-		} else {
-			out = append(out, t)
-		}
-	}
-	kept := make([]Term, 0, len(out))
-	for _, t := range out {
-		if t.Coef != 0 {
-			kept = append(kept, t)
-		}
-	}
-	return &Sum{Const: cst, Terms: kept}
-}
-
-// AddSum returns a + b in canonical form.
+// AddSum returns a + b in canonical form. Both inputs are canonical (terms
+// strictly ordered by atom key), so the result is a linear-time sorted merge;
+// when one side contributes nothing the other is returned as-is, preserving
+// pointer identity (and the memoized key) of the shared structure.
 func AddSum(a, b *Sum) *Sum {
+	if len(b.Terms) == 0 {
+		if b.Const == 0 {
+			return a
+		}
+		return &Sum{Const: a.Const + b.Const, Terms: a.Terms}
+	}
+	if len(a.Terms) == 0 {
+		if a.Const == 0 {
+			return b
+		}
+		return &Sum{Const: a.Const + b.Const, Terms: b.Terms}
+	}
 	terms := make([]Term, 0, len(a.Terms)+len(b.Terms))
-	terms = append(terms, a.Terms...)
-	terms = append(terms, b.Terms...)
-	return normalize(a.Const+b.Const, terms)
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		ta, tb := a.Terms[i], b.Terms[j]
+		if ta.Atom == tb.Atom {
+			if c := ta.Coef + tb.Coef; c != 0 {
+				terms = append(terms, Term{Coef: c, Atom: ta.Atom})
+			}
+			i++
+			j++
+			continue
+		}
+		switch ka, kb := ta.Atom.Key(), tb.Atom.Key(); {
+		case ka < kb:
+			terms = append(terms, ta)
+			i++
+		case ka > kb:
+			terms = append(terms, tb)
+			j++
+		default:
+			if c := ta.Coef + tb.Coef; c != 0 {
+				terms = append(terms, Term{Coef: c, Atom: ta.Atom})
+			}
+			i++
+			j++
+		}
+	}
+	terms = append(terms, a.Terms[i:]...)
+	terms = append(terms, b.Terms[j:]...)
+	return &Sum{Const: a.Const + b.Const, Terms: terms}
 }
 
 // SubSum returns a - b in canonical form.

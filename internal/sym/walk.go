@@ -95,6 +95,54 @@ func collectApplies(e Expr, seen map[string]*Apply) {
 	}
 }
 
+// OccursVar reports whether the variable with the given ID occurs in e.
+// Unlike collecting Vars and scanning, it allocates nothing and stops at the
+// first occurrence, which matters on the prover's occurs-check hot path.
+func OccursVar(e Expr, id int) bool {
+	switch x := e.(type) {
+	case *Sum:
+		return occursVarSum(x, id)
+	case *Cmp:
+		return occursVarSum(x.S, id)
+	case *Not:
+		return OccursVar(x.X, id)
+	case *And:
+		for _, y := range x.Xs {
+			if OccursVar(y, id) {
+				return true
+			}
+		}
+		return false
+	case *Or:
+		for _, y := range x.Xs {
+			if OccursVar(y, id) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func occursVarSum(s *Sum, id int) bool {
+	for _, t := range s.Terms {
+		switch a := t.Atom.(type) {
+		case *Var:
+			if a.ID == id {
+				return true
+			}
+		case *Apply:
+			for _, arg := range a.Args {
+				if occursVarSum(arg, id) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // HasApply reports whether e contains any uninterpreted function application.
 func HasApply(e Expr) bool {
 	switch x := e.(type) {
@@ -219,7 +267,9 @@ func EvalBool(e Expr, env Env) (bool, error) {
 }
 
 // SubstVars substitutes terms for variables throughout e. Variables without
-// a binding are left untouched.
+// a binding are left untouched. When no binding applies anywhere inside e the
+// original expression is returned unchanged — callers may rely on pointer
+// identity (and the already-memoized keys) of untouched subtrees.
 func SubstVars(e Expr, binding map[int]*Sum) Expr {
 	switch x := e.(type) {
 	case *Sum:
@@ -227,51 +277,114 @@ func SubstVars(e Expr, binding map[int]*Sum) Expr {
 	case *Bool:
 		return x
 	case *Cmp:
-		return cmp(x.Op, SubstVarsSum(x.S, binding))
+		ns := SubstVarsSum(x.S, binding)
+		if ns == x.S {
+			return x
+		}
+		return cmp(x.Op, ns)
 	case *Not:
-		return NotExpr(SubstVars(x.X, binding))
+		ny := SubstVars(x.X, binding)
+		if ny == x.X {
+			return x
+		}
+		return NotExpr(ny)
 	case *And:
-		ys := make([]Expr, len(x.Xs))
-		for i, y := range x.Xs {
-			ys[i] = SubstVars(y, binding)
+		ys := substVarsSlice(x.Xs, binding)
+		if ys == nil {
+			return x
 		}
 		return AndExpr(ys...)
 	case *Or:
-		ys := make([]Expr, len(x.Xs))
-		for i, y := range x.Xs {
-			ys[i] = SubstVars(y, binding)
+		ys := substVarsSlice(x.Xs, binding)
+		if ys == nil {
+			return x
 		}
 		return OrExpr(ys...)
 	}
 	panic(fmt.Sprintf("sym: SubstVars: unexpected %T", e))
 }
 
-// SubstVarsSum substitutes terms for variables throughout the integer term s.
-func SubstVarsSum(s *Sum, binding map[int]*Sum) *Sum {
-	out := Int(s.Const)
-	for _, t := range s.Terms {
-		switch a := t.Atom.(type) {
-		case *Var:
-			if repl, ok := binding[a.ID]; ok {
-				out = AddSum(out, ScaleSum(t.Coef, repl))
-			} else {
-				out = AddSum(out, &Sum{Terms: []Term{t}})
-			}
-		case *Apply:
-			args := make([]*Sum, len(a.Args))
-			for i, arg := range a.Args {
-				args[i] = SubstVarsSum(arg, binding)
-			}
-			out = AddSum(out, ScaleSum(t.Coef, ApplyTerm(a.Fn, args...)))
+// substVarsSlice substitutes through each element, returning nil when every
+// element came back pointer-unchanged (so the caller can keep the original).
+func substVarsSlice(xs []Expr, binding map[int]*Sum) []Expr {
+	var ys []Expr
+	for i, y := range xs {
+		ny := SubstVars(y, binding)
+		if ny != y && ys == nil {
+			ys = make([]Expr, len(xs))
+			copy(ys, xs[:i])
+		}
+		if ys != nil {
+			ys[i] = ny
 		}
 	}
+	return ys
+}
+
+// SubstVarsSum substitutes terms for variables throughout the integer term s.
+// Returns s itself when no binding applies.
+func SubstVarsSum(s *Sum, binding map[int]*Sum) *Sum {
+	var out *Sum
+	for i, t := range s.Terms {
+		switch a := t.Atom.(type) {
+		case *Var:
+			repl, ok := binding[a.ID]
+			if !ok {
+				if out != nil {
+					out = AddSum(out, &Sum{Terms: s.Terms[i : i+1]})
+				}
+				continue
+			}
+			if out == nil {
+				out = &Sum{Const: s.Const, Terms: append([]Term(nil), s.Terms[:i]...)}
+			}
+			out = AddSum(out, ScaleSum(t.Coef, repl))
+		case *Apply:
+			na := substVarsApply(a, binding)
+			if na == a {
+				if out != nil {
+					out = AddSum(out, &Sum{Terms: s.Terms[i : i+1]})
+				}
+				continue
+			}
+			if out == nil {
+				out = &Sum{Const: s.Const, Terms: append([]Term(nil), s.Terms[:i]...)}
+			}
+			out = AddSum(out, ScaleSum(t.Coef, AtomTerm(na)))
+		}
+	}
+	if out == nil {
+		return s
+	}
 	return out
+}
+
+func substVarsApply(a *Apply, binding map[int]*Sum) *Apply {
+	var args []*Sum
+	for i, arg := range a.Args {
+		na := SubstVarsSum(arg, binding)
+		if na != arg && args == nil {
+			args = make([]*Sum, len(a.Args))
+			copy(args, a.Args[:i])
+		}
+		if args != nil {
+			args[i] = na
+		}
+	}
+	if args == nil {
+		return a
+	}
+	return &Apply{Fn: a.Fn, Args: args}
 }
 
 // RewriteApplies rewrites e bottom-up, replacing each uninterpreted function
 // application a for which repl returns (t, true) by the term t. Arguments are
 // rewritten before the application itself, so a sample lookup sees fully
 // simplified arguments.
+// When no application is replaced and no argument changes, the original
+// expression is returned unchanged (pointer-identical). repl is still invoked
+// exactly once per application occurrence either way, so replacement functions
+// with side effects (Ackermannization) observe the same call sequence.
 func RewriteApplies(e Expr, repl func(*Apply) (*Sum, bool)) Expr {
 	switch x := e.(type) {
 	case *Sum:
@@ -279,46 +392,101 @@ func RewriteApplies(e Expr, repl func(*Apply) (*Sum, bool)) Expr {
 	case *Bool:
 		return x
 	case *Cmp:
-		return cmp(x.Op, RewriteAppliesSum(x.S, repl))
+		ns := RewriteAppliesSum(x.S, repl)
+		if ns == x.S {
+			return x
+		}
+		return cmp(x.Op, ns)
 	case *Not:
-		return NotExpr(RewriteApplies(x.X, repl))
+		ny := RewriteApplies(x.X, repl)
+		if ny == x.X {
+			return x
+		}
+		return NotExpr(ny)
 	case *And:
-		ys := make([]Expr, len(x.Xs))
-		for i, y := range x.Xs {
-			ys[i] = RewriteApplies(y, repl)
+		ys := rewriteAppliesSlice(x.Xs, repl)
+		if ys == nil {
+			return x
 		}
 		return AndExpr(ys...)
 	case *Or:
-		ys := make([]Expr, len(x.Xs))
-		for i, y := range x.Xs {
-			ys[i] = RewriteApplies(y, repl)
+		ys := rewriteAppliesSlice(x.Xs, repl)
+		if ys == nil {
+			return x
 		}
 		return OrExpr(ys...)
 	}
 	panic(fmt.Sprintf("sym: RewriteApplies: unexpected %T", e))
 }
 
-// RewriteAppliesSum is RewriteApplies specialized to integer terms.
-func RewriteAppliesSum(s *Sum, repl func(*Apply) (*Sum, bool)) *Sum {
-	out := Int(s.Const)
-	for _, t := range s.Terms {
-		switch a := t.Atom.(type) {
-		case *Var:
-			out = AddSum(out, &Sum{Terms: []Term{t}})
-		case *Apply:
-			args := make([]*Sum, len(a.Args))
-			for i, arg := range a.Args {
-				args[i] = RewriteAppliesSum(arg, repl)
-			}
-			rebuilt := &Apply{Fn: a.Fn, Args: args}
-			if r, ok := repl(rebuilt); ok {
-				out = AddSum(out, ScaleSum(t.Coef, r))
-			} else {
-				out = AddSum(out, ScaleSum(t.Coef, AtomTerm(rebuilt)))
-			}
+func rewriteAppliesSlice(xs []Expr, repl func(*Apply) (*Sum, bool)) []Expr {
+	var ys []Expr
+	for i, y := range xs {
+		ny := RewriteApplies(y, repl)
+		if ny != y && ys == nil {
+			ys = make([]Expr, len(xs))
+			copy(ys, xs[:i])
+		}
+		if ys != nil {
+			ys[i] = ny
 		}
 	}
+	return ys
+}
+
+// RewriteAppliesSum is RewriteApplies specialized to integer terms. Returns
+// s itself when nothing inside changed.
+func RewriteAppliesSum(s *Sum, repl func(*Apply) (*Sum, bool)) *Sum {
+	var out *Sum
+	for i, t := range s.Terms {
+		a, isApp := t.Atom.(*Apply)
+		if !isApp {
+			if out != nil {
+				out = AddSum(out, &Sum{Terms: s.Terms[i : i+1]})
+			}
+			continue
+		}
+		na := rewriteAppliesApply(a, repl)
+		if r, ok := repl(na); ok {
+			if out == nil {
+				out = &Sum{Const: s.Const, Terms: append([]Term(nil), s.Terms[:i]...)}
+			}
+			out = AddSum(out, ScaleSum(t.Coef, r))
+			continue
+		}
+		if na == a {
+			if out != nil {
+				out = AddSum(out, &Sum{Terms: s.Terms[i : i+1]})
+			}
+			continue
+		}
+		if out == nil {
+			out = &Sum{Const: s.Const, Terms: append([]Term(nil), s.Terms[:i]...)}
+		}
+		out = AddSum(out, ScaleSum(t.Coef, AtomTerm(na)))
+	}
+	if out == nil {
+		return s
+	}
 	return out
+}
+
+func rewriteAppliesApply(a *Apply, repl func(*Apply) (*Sum, bool)) *Apply {
+	var args []*Sum
+	for i, arg := range a.Args {
+		na := RewriteAppliesSum(arg, repl)
+		if na != arg && args == nil {
+			args = make([]*Sum, len(a.Args))
+			copy(args, a.Args[:i])
+		}
+		if args != nil {
+			args[i] = na
+		}
+	}
+	if args == nil {
+		return a
+	}
+	return &Apply{Fn: a.Fn, Args: args}
 }
 
 // Conjuncts flattens e into a list of conjuncts (e itself if it is not a
