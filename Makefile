@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-smoke bench-json tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
 
 all: build lint vet test
 
@@ -65,6 +65,15 @@ bench-smoke:
 # snapshots (workers, proof-cache traffic, wall/solve seconds, full registry).
 bench-json:
 	$(GO) run ./cmd/benchtab -quick -json > BENCH_search.json
+
+# bench-diff is the perf-regression gate: a fresh quick run compared against
+# the committed baseline, failing on >25% solver-time regression in any
+# experiment (with an absolute noise floor for sub-measurable deltas; see
+# `benchtab -diff -h`). Regenerate the baseline with `make bench-json` when a
+# slowdown is intentional.
+bench-diff:
+	$(GO) run ./cmd/benchtab -quick -json > BENCH_new.json
+	$(GO) run ./cmd/benchtab -diff -threshold 0.25 -min-seconds 0.25 BENCH_search.json BENCH_new.json
 
 tables:
 	$(GO) run ./cmd/benchtab -quick

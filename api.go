@@ -48,6 +48,7 @@ import (
 	"hotg/internal/lexapp"
 	"hotg/internal/mini"
 	"hotg/internal/obs"
+	"hotg/internal/obshttp"
 	"hotg/internal/search"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
@@ -182,6 +183,19 @@ type TraceEvent = obs.Event
 // MetricValue is one metric in an Observer snapshot.
 type MetricValue = obs.MetricValue
 
+// FlightRecorder is a bounded ring of the most recent trace events, readable
+// without blocking the emitter — attach one with Tracer.WithRecorder and tail
+// it over HTTP via the introspection server's /events endpoint.
+type FlightRecorder = obs.FlightRecorder
+
+// IntrospectionServer serves a live view of a running campaign: /metrics
+// (OpenMetrics), /statusz (JSON or HTML), /events (flight-recorder tail), and
+// /debug/pprof. See DESIGN.md §12.
+type IntrospectionServer = obshttp.Server
+
+// PhaseNode is one row of the phase self-time attribution tree.
+type PhaseNode = obs.PhaseNode
+
 // Workload is a ready-to-search program under test.
 type Workload = lexapp.Workload
 
@@ -260,6 +274,48 @@ func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 // (one track per worker), loadable in Perfetto or chrome://tracing.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return obs.WriteChromeTrace(w, events)
+}
+
+// NewFlightRecorder returns a flight recorder retaining the last capacity
+// trace events (DefaultFlightRecorderSize is a good default).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// DefaultFlightRecorderSize is the ring capacity the CLIs use.
+const DefaultFlightRecorderSize = obs.DefaultFlightRecorderSize
+
+// WriteOpenMetrics renders the observer's registry in the OpenMetrics /
+// Prometheus text exposition format.
+func WriteOpenMetrics(w io.Writer, o *Observer) error {
+	if o == nil {
+		return obs.WriteOpenMetrics(w, nil)
+	}
+	return obs.WriteOpenMetrics(w, o.Metrics)
+}
+
+// PhaseTable renders the observer's phase self-time attribution (search →
+// fol → smt → sat/simplex/euf) as an aligned table, or "" with nothing to
+// attribute.
+func PhaseTable(o *Observer) string {
+	if o == nil {
+		return ""
+	}
+	return obs.PhaseTable(o.Metrics)
+}
+
+// FormatStatusLine renders a headline map as a "k=v k=v" progress line in the
+// given key order (absent keys are skipped).
+func FormatStatusLine(headline map[string]int64, order []string) string {
+	return obshttp.FormatStatusLine(headline, order)
+}
+
+// ServeIntrospection binds addr and serves the live introspection endpoints
+// over the observer in the background, returning the bound address and a
+// shutdown function. info (optional) contributes headline numbers to
+// /statusz.
+func ServeIntrospection(addr string, o *Observer, info func() map[string]int64) (string, func(), error) {
+	srv := obshttp.New(o)
+	srv.Info = info
+	return obshttp.Serve(addr, srv)
 }
 
 // Explore performs the directed search (DART for the concretization modes,

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// diffResult is the slice of jsonResult fields the regression gate reads; the
+// rest of the document is ignored so the baseline format can grow freely.
+type diffResult struct {
+	ID           string   `json:"id"`
+	WallSeconds  float64  `json:"wall_seconds"`
+	SolveSeconds float64  `json:"solve_seconds"`
+	Failed       []string `json:"failed"`
+}
+
+func loadResults(path string) (map[string]diffResult, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []diffResult
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	by := make(map[string]diffResult, len(list))
+	order := make([]string, 0, len(list))
+	for _, r := range list {
+		if _, dup := by[r.ID]; !dup {
+			order = append(order, r.ID)
+		}
+		by[r.ID] = r
+	}
+	return by, order, nil
+}
+
+// runDiff compares two benchtab -json result files per experiment and exits
+// nonzero when the new run regresses. The gated number is solve_seconds —
+// time inside the solver stack, far less noisy across machines than wall
+// clock (which is reported but informational). A regression must clear both
+// the relative threshold and the absolute min-seconds floor: sub-floor
+// experiments finish too fast to measure meaningfully, and CI runners jitter.
+// An experiment present in the baseline but missing from the new run is a
+// failure — a silently dropped benchmark must not pass the gate.
+func runDiff(oldPath, newPath string, threshold, minSeconds float64, stdout, stderr io.Writer) int {
+	oldBy, oldOrder, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtab:", err)
+		return 2
+	}
+	newBy, newOrder, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtab:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "%-6s %12s %12s %9s   %s\n", "id", "old solve", "new solve", "delta", "status")
+	bad := 0
+	for _, id := range oldOrder {
+		o := oldBy[id]
+		n, ok := newBy[id]
+		if !ok {
+			fmt.Fprintf(stdout, "%-6s %12.3fs %12s %9s   MISSING from %s\n", id, o.SolveSeconds, "-", "-", newPath)
+			bad++
+			continue
+		}
+		delta := n.SolveSeconds - o.SolveSeconds
+		pct := 0.0
+		if o.SolveSeconds > 0 {
+			pct = 100 * delta / o.SolveSeconds
+		}
+		status := "ok"
+		switch {
+		case len(n.Failed) > 0:
+			status = fmt.Sprintf("FAILED CLAIMS (%d)", len(n.Failed))
+			bad++
+		case delta > minSeconds && o.SolveSeconds > 0 && delta > threshold*o.SolveSeconds:
+			status = fmt.Sprintf("REGRESSION (>%d%%)", int(100*threshold))
+			bad++
+		case delta > minSeconds && o.SolveSeconds == 0:
+			status = "REGRESSION (new solver time)"
+			bad++
+		}
+		fmt.Fprintf(stdout, "%-6s %12.3fs %12.3fs %+8.1f%%   %s (wall %.2fs → %.2fs)\n",
+			id, o.SolveSeconds, n.SolveSeconds, pct, status, o.WallSeconds, n.WallSeconds)
+	}
+	for _, id := range newOrder {
+		if _, ok := oldBy[id]; !ok {
+			fmt.Fprintf(stdout, "%-6s %12s %12.3fs %9s   new experiment (no baseline)\n", id, "-", newBy[id].SolveSeconds, "-")
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "benchtab: %d experiment(s) regressed or missing (threshold %d%%, floor %.2fs)\n",
+			bad, int(100*threshold), minSeconds)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no solver-time regressions (threshold %d%%, floor %.2fs)\n", int(100*threshold), minSeconds)
+	return 0
+}

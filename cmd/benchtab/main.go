@@ -10,6 +10,8 @@
 //	benchtab E12 E13         # selected experiments only
 //	benchtab -json E12       # machine-readable results on stdout
 //	benchtab -proof-timeout 5ms -degrade A4   # budgeted runs (see DESIGN.md §8)
+//	benchtab -diff old.json new.json          # perf-regression gate over two -json files
+//	benchtab -diff -threshold 0.10 old.json new.json
 //
 // The budget flags apply to every search an experiment runs. Degraded rungs
 // are allowed to diverge (DESIGN.md §8), so under tight budgets some claims
@@ -74,9 +76,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit one JSON array of results instead of rendered tables")
 		proofTmo = fs.Duration("proof-timeout", 0, "per-proof wall-clock deadline applied to every search (0 = unlimited)")
 		degrade  = fs.Bool("degrade", false, "degrade cut-short proofs down the precision ladder (DESIGN.md §8)")
+		diffMode = fs.Bool("diff", false, "compare two -json result files (old new) and exit 1 on solver-time regression")
+		thresh   = fs.Float64("threshold", 0.25, "relative solve-time regression threshold for -diff (0.25 = 25%)")
+		minSecs  = fs.Float64("min-seconds", 0.05, "absolute noise floor for -diff: deltas below this many seconds never regress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *diffMode {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchtab: -diff needs exactly two arguments: old.json new.json")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *thresh, *minSecs, stdout, stderr)
 	}
 
 	baseCfg := hotg.ExperimentConfig{

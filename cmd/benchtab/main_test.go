@@ -103,3 +103,84 @@ func TestBadFlagExitsUsage(t *testing.T) {
 		t.Error("bad flag should exit 2")
 	}
 }
+
+// TestDiffGate exercises the perf-regression gate on synthetic fixtures:
+// self-comparison passes, a regressed run fails (naming the regression and
+// the baseline experiment the new run dropped), the noise floor forgives
+// deltas too small to measure.
+func TestDiffGate(t *testing.T) {
+	old := filepath.Join("testdata", "diff_old.json")
+	regressed := filepath.Join("testdata", "diff_new_regressed.json")
+
+	// Self-comparison: identical numbers never regress.
+	code, out, stderr := runCLI(t, "-diff", old, old)
+	if code != 0 {
+		t.Fatalf("self-diff exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "no solver-time regressions") {
+		t.Errorf("self-diff verdict missing: %q", out)
+	}
+
+	// Synthetic regression: E2 more than doubles (fails the 25% gate), E1's
+	// +10% and E3's 4x-but-tiny stay under the relative/absolute bars, A1
+	// vanishes (fails), A7 is new (informational).
+	code, out, stderr = runCLI(t, "-diff", old, regressed)
+	if code != 1 {
+		t.Fatalf("regressed diff exited %d, want 1\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	for _, want := range []string{"REGRESSION", "MISSING", "new experiment"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(ln, "E1"), strings.HasPrefix(ln, "E3"):
+			if !strings.Contains(ln, "ok") {
+				t.Errorf("%s should pass under floor/threshold: %q", ln[:2], ln)
+			}
+		case strings.HasPrefix(ln, "E2"):
+			if !strings.Contains(ln, "REGRESSION") {
+				t.Errorf("E2 should regress: %q", ln)
+			}
+		case strings.HasPrefix(ln, "A1"):
+			if !strings.Contains(ln, "MISSING") {
+				t.Errorf("A1 should be missing: %q", ln)
+			}
+		}
+	}
+	if !strings.Contains(stderr, "2 experiment(s) regressed or missing") {
+		t.Errorf("stderr verdict wrong: %q", stderr)
+	}
+
+	// A tighter threshold flips E1's +10% into a regression.
+	if code, out, _ = runCLI(t, "-diff", "-threshold", "0.05", "-min-seconds", "0.01", old, regressed); code != 1 {
+		t.Fatalf("tight-threshold diff exited %d", code)
+	} else if !strings.Contains(out, "REGRESSION (>5%)") {
+		t.Errorf("threshold not honored:\n%s", out)
+	}
+
+	// Usage errors.
+	if code, _, _ := runCLI(t, "-diff", old); code != 2 {
+		t.Error("-diff with one file should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-diff", old, filepath.Join("testdata", "nonexistent.json")); code != 2 {
+		t.Error("-diff with unreadable file should exit 2")
+	}
+}
+
+// TestDiffSelfOnRealRun feeds the gate its own fresh -json output — the exact
+// self-comparison CI performs against the committed baseline's format.
+func TestDiffSelfOnRealRun(t *testing.T) {
+	code, out, stderr := runCLI(t, "-quick", "-json", "E7")
+	if code != 0 {
+		t.Fatalf("benchtab exited %d\nstderr: %s", code, stderr)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, stderr := runCLI(t, "-diff", path, path); code != 0 {
+		t.Fatalf("self-diff of a real run exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}

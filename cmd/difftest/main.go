@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"hotg/internal/difftest"
 	"hotg/internal/faults"
 	"hotg/internal/obs"
+	"hotg/internal/obshttp"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		findings = fs.String("findings", "", "write a JSONL findings log to this file")
 		fault    = fs.String("fault", "", "install a named fault plan for the whole campaign (drill mode)")
 		verbose  = fs.Bool("v", false, "log every checked case, not just findings")
+		httpAddr = fs.String("http", "", "serve live introspection (/statusz, /metrics, /events) on this address")
+		flight   = fs.String("flight", "", "dump the flight recorder (recent case/finding events, JSONL) to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +86,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		logw = f
 	}
 	tracer := obs.NewTracer(logw) // nil logw: events are dropped, code path identical
+	rec := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
+	tracer.WithRecorder(rec)
+	metrics := obs.NewRegistry()
+	liveCases := metrics.Gauge("difftest.cases")
+	liveFound := metrics.Gauge("difftest.findings")
+	if *httpAddr != "" {
+		srv := &obshttp.Server{
+			Obs:      &obs.Obs{Metrics: metrics, Trace: tracer},
+			Recorder: rec,
+			Info: func() map[string]int64 {
+				return map[string]int64{
+					"cases":    liveCases.Value(),
+					"findings": liveFound.Value(),
+				}
+			},
+		}
+		addr, shutdown, err := obshttp.Serve(*httpAddr, srv)
+		if err != nil {
+			fmt.Fprintln(stderr, "difftest:", err)
+			return 2
+		}
+		defer shutdown()
+		fmt.Fprintf(stdout, "introspection: http://%s/statusz\n", addr)
+	}
 
 	cfg := difftest.Config{}
 	if *runs > 0 {
@@ -157,8 +185,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 				fs := difftest.CheckO2(difftest.NewFolCase(s))
 				fs = append(fs, difftest.CheckCase(difftest.NewCase(s), cfg)...)
-				atomic.AddInt64(&cases, 1)
-				atomic.AddInt64(&found, int64(len(fs)))
+				liveCases.Set(atomic.AddInt64(&cases, 1))
+				liveFound.Set(atomic.AddInt64(&found, int64(len(fs))))
 				report(s, fs)
 			}
 		}()
@@ -173,10 +201,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "difftest: findings log:", err)
 		return 2
 	}
+	if *flight != "" {
+		if err := dumpFlight(rec, *flight); err != nil {
+			fmt.Fprintln(stderr, "difftest: flight dump:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "flight recorder dumped to %s (%d events retained)\n", *flight, len(rec.Snapshot()))
+	}
 	fmt.Fprintf(stdout, "difftest: %d cases, %d findings in %s (first seed %d, jobs %d)\n",
 		cases, found, elapsed, *seed, *jobs)
 	if found > 0 {
 		return 1
 	}
 	return 0
+}
+
+// dumpFlight writes the recorder's retained window as JSONL — the artifact CI
+// uploads when a smoke campaign fails, so the tail of the run is inspectable
+// without rerunning it.
+func dumpFlight(rec *obs.FlightRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range rec.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }

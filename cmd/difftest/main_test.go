@@ -4,10 +4,16 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"hotg/internal/obs"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -107,4 +113,114 @@ func TestDurationBudgetStops(t *testing.T) {
 	if !strings.Contains(out, "findings in") {
 		t.Errorf("summary line missing: %q", out)
 	}
+}
+
+// TestFlightDump checks -flight: the recorder's retained window lands on disk
+// as JSONL (one obs.Event per line, ascending seq) including the campaign's
+// finding events — the artifact CI uploads on smoke failure.
+func TestFlightDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a fault-drill campaign")
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	code, out, stderr := runCLI(t, "-seed", "40", "-count", "3", "-fault", "vm-wrong-mod", "-flight", path, "-v")
+	if code != 1 {
+		t.Fatalf("fault drill exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "flight recorder dumped to") {
+		t.Errorf("no dump confirmation: %q", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lastSeq int64
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("flight dump line is not an Event: %v\n%s", err, sc.Text())
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("flight dump not ascending: seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	if kinds["finding"] == 0 || kinds["case"] == 0 || kinds["summary"] != 1 {
+		t.Errorf("flight dump kinds = %v, want case+finding events and one summary", kinds)
+	}
+}
+
+// TestHTTPLiveFindings checks -http: /statusz reports the campaign's live
+// case/finding counters (matching the final summary once the run ends).
+func TestHTTPLiveFindings(t *testing.T) {
+	var out, errb syncBuffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{"-seed", "1", "-count", "60", "-jobs", "2", "-http", "127.0.0.1:0"}, &out, &errb)
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no introspection address announced:\n%s", out.String())
+		}
+		for _, ln := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(ln, "introspection: http://"); ok {
+				addr = strings.TrimSuffix(rest, "/statusz")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Hit /statusz while the campaign is running — it must answer. Retry
+	// briefly: the GET races server startup on loaded machines.
+	var body []byte
+	for {
+		resp, err := http.Get("http://" + addr + "/statusz")
+		if err == nil {
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/statusz never answered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var status struct {
+		Headline map[string]int64 `json:"headline"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if _, ok := status.Headline["cases"]; !ok {
+		t.Errorf("/statusz headline missing cases: %s", body)
+	}
+	if code := <-codeCh; code != 0 {
+		t.Fatalf("campaign exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "60 cases, 0 findings") {
+		t.Errorf("summary line missing: %q", out.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe buffer for watching CLI output mid-run.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -25,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"hotg"
 )
@@ -84,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		corpusDir  = fs.String("corpus", "", "campaign directory: persist corpus, crash buckets, and checkpoints here across sessions")
 		resume     = fs.Bool("resume", false, "resume the search from the campaign's latest checkpoint (requires -corpus)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "checkpoint the search every N runs into the campaign directory (requires -corpus)")
+		httpAddr   = fs.String("http", "", "serve live introspection (/statusz, /metrics, /events, /debug/pprof) on this address, e.g. :8080")
+		statusTick = fs.Duration("status-every", 0, "print a one-line progress report every interval while the search runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,17 +126,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	o, traceFile, err := buildObs(*tracePath, *chromePath, *profile)
+	o, traceFile, err := buildObs(*tracePath, *chromePath, *profile, *httpAddr != "" || *statusTick > 0)
 	if err != nil {
 		fmt.Fprintln(stderr, "hotg:", err)
 		return 2
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := hotg.ServeIntrospection(*httpAddr, o, headlineFrom(o))
+		if err != nil {
+			fmt.Fprintln(stderr, "hotg:", err)
+			return 2
+		}
+		defer shutdown()
+		fmt.Fprintf(stdout, "introspection: http://%s/statusz\n", addr)
+	}
+	if *statusTick > 0 {
+		stop := startStatusTicker(stderr, o, *statusTick)
+		defer stop()
 	}
 
 	var stats *hotg.Stats
 	var cache *hotg.SummaryCache
 	var camp *hotg.Campaign
 	if *mode == "random" {
-		if o != nil {
+		if *tracePath != "" || *chromePath != "" || *profile {
 			fmt.Fprintln(stderr, "hotg: -trace/-profile/-trace-chrome instrument the concolic pipeline and are ignored in random mode")
 		}
 		stats = hotg.Fuzz(prog, hotg.FuzzOptions{
@@ -222,6 +238,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if o != nil {
+		// Surface emission errors as soon as the run ends, not only at Close:
+		// a truncated trace should be flagged next to the results it taints.
+		if err := o.Trace.Err(); err != nil {
+			fmt.Fprintln(stderr, "hotg: trace: emission error during run:", err)
+		}
+	}
 	fmt.Fprintln(stdout, stats.Summary())
 	if ps := stats.ParallelSummary(); ps != "" {
 		fmt.Fprintln(stdout, ps)
@@ -258,10 +281,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // buildObs assembles the observer requested by -trace/-profile/-trace-chrome,
 // or returns nil when none is set so the search runs on the zero-overhead
-// path. The returned file (if any) is the open -trace output, closed by
-// finishObs.
-func buildObs(tracePath, chromePath string, profile bool) (*hotg.Observer, *os.File, error) {
-	if tracePath == "" && chromePath == "" && !profile {
+// path. live (set by -http / -status-every) forces an observer — metrics feed
+// /statusz — and attaches a flight recorder so /events has a tail to serve.
+// The returned file (if any) is the open -trace output, closed by finishObs.
+func buildObs(tracePath, chromePath string, profile, live bool) (*hotg.Observer, *os.File, error) {
+	if tracePath == "" && chromePath == "" && !profile && !live {
 		return nil, nil, nil
 	}
 	o := hotg.NewObserver()
@@ -273,13 +297,63 @@ func buildObs(tracePath, chromePath string, profile bool) (*hotg.Observer, *os.F
 			return nil, nil, err
 		}
 		o.Trace = hotg.NewTracer(f)
-	} else if chromePath != "" {
+	} else if chromePath != "" || live {
 		o.Trace = hotg.NewTracer(nil)
 	}
 	if chromePath != "" {
 		o.Trace.Keep()
 	}
+	if live {
+		o.Trace.WithRecorder(hotg.NewFlightRecorder(hotg.DefaultFlightRecorderSize))
+	}
 	return o, f, nil
+}
+
+// statusKeys orders the live gauges in the -status-every report.
+var statusKeys = []string{"runs", "runs_remaining", "tests", "bugs", "frontier_hot", "frontier_cold"}
+
+// headlineFrom builds the /statusz headline callback: the search's live
+// progress gauges, read straight from the registry.
+func headlineFrom(o *hotg.Observer) func() map[string]int64 {
+	return func() map[string]int64 {
+		return map[string]int64{
+			"runs":           o.Metrics.Get("search.live.runs"),
+			"runs_remaining": o.Metrics.Get("search.live.runs_remaining"),
+			"tests":          o.Metrics.Get("search.live.tests"),
+			"bugs":           o.Metrics.Get("search.live.bugs"),
+			"frontier_hot":   o.Metrics.Get("search.frontier.hot"),
+			"frontier_cold":  o.Metrics.Get("search.frontier.cold"),
+		}
+	}
+}
+
+// startStatusTicker prints a one-line progress report every interval until
+// the returned stop function is called.
+func startStatusTicker(w io.Writer, o *hotg.Observer, every time.Duration) (stop func()) {
+	headline := headlineFrom(o)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "status: %s\n", hotg.FormatStatusLine(headline(), statusKeys))
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+			<-exited
+		}
+	}
 }
 
 // finishObs flushes and closes the trace outputs and prints the profile,
@@ -312,6 +386,11 @@ func finishObs(stdout, stderr io.Writer, o *hotg.Observer, traceFile *os.File, t
 	if profile {
 		fmt.Fprintln(stdout, "\nprofile:")
 		fmt.Fprint(stdout, o.Metrics.ProfileTable())
+		if pt := hotg.PhaseTable(o); pt != "" {
+			fmt.Fprintln(stdout, "\n\nphase self-time:")
+			fmt.Fprint(stdout, pt)
+		}
+		fmt.Fprintln(stdout)
 	}
 	if failed {
 		return 1

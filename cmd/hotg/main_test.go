@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -154,5 +158,99 @@ func TestListGolden(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("-list workloads are not sorted: %v", names)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for watching CLI output while
+// run() is still executing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHTTPIntrospectionLive boots the CLI with -http on an ephemeral port and
+// hits all four endpoint families while the search is (or has just been)
+// running, then checks the run completed cleanly with status lines printed.
+func TestHTTPIntrospectionLive(t *testing.T) {
+	var out, errb syncBuffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{
+			"-workload", "lexer", "-mode", "higher-order", "-runs", "250",
+			"-http", "127.0.0.1:0", "-status-every", "1ms",
+		}, &out, &errb)
+	}()
+
+	// Wait for the bound address to be announced.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no introspection address announced; stdout so far:\n%s", out.String())
+		}
+		for _, ln := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(ln, "introspection: http://"); ok {
+				addr = strings.TrimSuffix(rest, "/statusz")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// All four endpoint families answer while the process is live.
+	for _, path := range []string{"/statusz", "/metrics", "/events", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", path)
+		}
+	}
+
+	if code := <-codeCh; code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "status: ") {
+		t.Errorf("-status-every printed no status lines:\n%s", errb.String())
+	}
+
+	// The flag still validates: a malformed address is a usage error.
+	if code, _, stderr := runCLI(t, "-workload", "lexer", "-runs", "10", "-http", "256.0.0.1:x"); code != 2 ||
+		!strings.Contains(stderr, "introspection listen") {
+		t.Errorf("bad -http address: code %d, stderr %q", code, stderr)
+	}
+}
+
+// TestProfilePhaseTable checks -profile now ends with the phase self-time
+// attribution.
+func TestProfilePhaseTable(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-workload", "lexer", "-mode", "higher-order", "-runs", "60", "-profile")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "phase self-time:") || !strings.Contains(stdout, "% of search") {
+		t.Errorf("missing phase table:\n%s", stdout)
+	}
+	for _, phase := range []string{"search", "fol", "smt"} {
+		if !strings.Contains(stdout, phase) {
+			t.Errorf("phase table missing %q", phase)
+		}
 	}
 }

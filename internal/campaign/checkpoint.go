@@ -69,6 +69,7 @@ func (c *Campaign) SaveCheckpoint(s *search.Snapshot) error {
 		return err
 	}
 	c.obs.Counter("campaign.checkpoints.saved").Add(1)
+	c.obs.Gauge("campaign.checkpoints.latest_runs").Set(int64(s.Runs))
 	return nil
 }
 

@@ -81,6 +81,7 @@ func (c *Campaign) addEntry(e *Entry) bool {
 	c.entries[e.Hash] = e
 	c.fresh[e.Hash] = true
 	c.obs.Counter("campaign.corpus.entries").Add(1)
+	c.obs.Gauge("campaign.corpus.size").Set(int64(len(c.entries)))
 	return true
 }
 

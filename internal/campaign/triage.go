@@ -71,6 +71,7 @@ func (c *Campaign) triageBug(b search.Bug) bool {
 		Example:   append([]int64(nil), b.Input...),
 	}
 	c.obs.Counter("campaign.triage.buckets").Add(1)
+	c.obs.Gauge("campaign.triage.bucket_count").Set(int64(len(c.buckets)))
 	return true
 }
 

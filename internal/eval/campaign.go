@@ -1,15 +1,58 @@
 package eval
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 
 	"hotg/internal/campaign"
 	"hotg/internal/concolic"
 	"hotg/internal/lexapp"
+	"hotg/internal/obs"
 	"hotg/internal/search"
 )
+
+// scanFlushedTrace validates a kill -9 survivor's trace file: every line must
+// parse as an obs.Event with ascending sequence numbers — except the final
+// line, which may be a truncated tail if the kill landed between buffered
+// writes. It returns the number of checkpoint events on disk and whether the
+// tail was truncated.
+func scanFlushedTrace(path string) (checkpoints int, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 1<<20)
+	var lastSeq int64
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// A malformed line followed by more lines is corruption, not a
+			// truncated tail.
+			return checkpoints, false, pendingErr
+		}
+		var ev obs.Event
+		if e := json.Unmarshal(sc.Bytes(), &ev); e != nil {
+			pendingErr = fmt.Errorf("line after seq %d: %w", lastSeq, e)
+			continue
+		}
+		if ev.Seq <= lastSeq {
+			return checkpoints, false, fmt.Errorf("sequence not ascending: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Kind == "checkpoint" {
+			checkpoints++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return checkpoints, false, err
+	}
+	return checkpoints, pendingErr != nil, nil
+}
 
 // A5CampaignResume measures the persistent-campaign guarantee on the
 // Section 7 lexer: a campaign killed at an arbitrary checkpoint and resumed
@@ -76,16 +119,29 @@ func A5CampaignResume(cfg Config) *Table {
 	}
 
 	// Session 1: killed (context cancellation) after its second checkpoint.
+	// It streams a JSONL trace to disk and is never Closed — simulating a
+	// kill -9 — to check the checkpoint-boundary Flush guarantee: the on-disk
+	// prefix stays valid JSONL through the last checkpoint.
 	dir := tmp + "/camp"
 	c1, err := campaign.Open(dir, w.Name, mode.String(), cfg.Obs)
 	if err != nil {
 		return fail("open campaign: %v", err)
 	}
+	tracePath := tmp + "/session1-trace.jsonl"
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		return fail("create session 1 trace: %v", err)
+	}
+	var reg *obs.Registry
+	if cfg.Obs != nil {
+		reg = cfg.Obs.Metrics
+	}
+	o1 := &obs.Obs{Metrics: reg, Trace: obs.NewTracer(traceFile)}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	saved := 0
 	st1 := runSearch(cfg, w, mode, search.Options{
-		MaxRuns: budget, OnRun: c1.RecordRun, Ctx: ctx,
+		MaxRuns: budget, OnRun: c1.RecordRun, Ctx: ctx, Obs: o1,
 		Checkpoint: search.CheckpointOptions{Every: every, Sink: func(s *search.Snapshot) error {
 			if err := c1.SaveCheckpoint(s); err != nil {
 				return err
@@ -99,9 +155,22 @@ func A5CampaignResume(cfg Config) *Table {
 	if err := c1.Commit(); err != nil {
 		return fail("commit interrupted session: %v", err)
 	}
+	// No tracer Close, no final flush: only what checkpoint-boundary flushes
+	// (and bufio overflow) pushed out is on disk, as after a real kill -9.
+	if err := traceFile.Close(); err != nil {
+		return fail("close session 1 trace file: %v", err)
+	}
 	row("1: killed mid-search", st1, c1)
 	t.claim(st1.Budget.Cancelled && st1.Runs < ref.Runs,
 		"session 1 was killed mid-search (%d of %d runs)", st1.Runs, ref.Runs)
+
+	ckpts, truncated, parseErr := scanFlushedTrace(tracePath)
+	t.claim(parseErr == nil,
+		"the killed session's on-disk trace is valid JSONL through the last flushed event "+
+			"(only the final unflushed line may be cut short; truncated tail: %v)", truncated)
+	t.claim(ckpts >= 2,
+		"the flushed prefix includes every checkpoint boundary event (%d checkpoints on disk, %d taken)",
+		ckpts, st1.Checkpoints)
 
 	// Session 2: resume from the campaign's latest checkpoint.
 	c2, err := campaign.Open(dir, w.Name, mode.String(), cfg.Obs)

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTraceEmpty checks the exporter on an empty event list: the
+// output must still be a complete, parseable trace envelope (Perfetto rejects
+// truncated JSON), with no tracks.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("empty event list produced %d trace events", len(out.TraceEvents))
+	}
+}
+
+// TestWriteChromeTraceCoordinatorOnly checks the worker -1 mapping: all events
+// land on tid 0 and the single thread-name metadata row says "coordinator".
+func TestWriteChromeTraceCoordinatorOnly(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: "run_start", TS: 0, Worker: -1},
+		{Seq: 2, Kind: "checkpoint", TS: 5000, Dur: 2000, Worker: -1, Num: map[string]int64{"runs": 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var threadNames []string
+	for _, ce := range out.TraceEvents {
+		if ce.TID != 0 {
+			t.Errorf("coordinator event %q on tid %d, want 0", ce.Name, ce.TID)
+		}
+		if ce.Phase == "M" {
+			if name, _ := ce.Args["name"].(string); name != "" {
+				threadNames = append(threadNames, name)
+			}
+		}
+	}
+	if len(threadNames) != 1 || threadNames[0] != "coordinator" {
+		t.Fatalf("thread names = %v, want exactly [coordinator]", threadNames)
+	}
+}
+
+// TestProfileTableZeroCountHistogram checks that a registered-but-never-
+// observed histogram renders without dividing by zero and reports count 0.
+func TestProfileTableZeroCountHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("cold.path.ns") // registered, zero observations
+	r.Counter("runs").Add(2)
+	table := r.ProfileTable()
+	var row string
+	for _, ln := range strings.Split(table, "\n") {
+		if strings.HasPrefix(ln, "cold.path.ns") {
+			row = ln
+		}
+	}
+	if row == "" {
+		t.Fatalf("zero-count histogram missing from table:\n%s", table)
+	}
+	fields := strings.Fields(row)
+	// name kind count mean p50 p90 p99
+	if len(fields) != 7 || fields[2] != "0" {
+		t.Fatalf("unexpected zero-count row %q", row)
+	}
+	for _, f := range fields[3:] {
+		if f != "0ns" {
+			t.Errorf("zero-count histogram column = %q, want 0ns", f)
+		}
+	}
+}
+
+// TestQuantileSingleBucket checks quantile reconstruction when every
+// observation lands in one bucket: all quantiles must clamp to the exact
+// observed value, not a bucket midpoint.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 1500 {
+			t.Errorf("Quantile(%v) = %d, want 1500", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 10 || s.Min != 1500 || s.Max != 1500 || s.P50 != 1500 || s.P99 != 1500 {
+		t.Fatalf("single-bucket snapshot: %+v", s)
+	}
+
+	// Single observation is the degenerate single-bucket case.
+	var one Histogram
+	one.Observe(7)
+	if got := one.Quantile(0.5); got != 7 {
+		t.Errorf("single-observation Quantile(0.5) = %d, want 7", got)
+	}
+	// And zero observations must not panic or invent values.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOpenMetrics renders the registry in the OpenMetrics / Prometheus text
+// exposition format, one family per metric, in deterministic (name-sorted)
+// order:
+//
+//   - counters become "<name>_total" with "# TYPE <name> counter";
+//   - gauges are exported verbatim with "# TYPE <name> gauge";
+//   - histograms become summaries: quantile series at 0.5/0.9/0.99 (the
+//     registry's log-scale buckets reconstruct them with ≤12.5% relative
+//     error), plus "_sum" and "_count".
+//
+// Metric names are sanitized to the Prometheus charset: every character
+// outside [a-zA-Z0-9_:] (the registry uses dots) maps to '_'. The stream ends
+// with "# EOF" as OpenMetrics requires, so standard parsers (promtool,
+// Prometheus itself) accept a scrape verbatim.
+func WriteOpenMetrics(w io.Writer, r *Registry) error {
+	for _, m := range r.Snapshot() {
+		name := SanitizeMetricName(m.Name)
+		var err error
+		switch m.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", name, name, m.Value)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value)
+		case "histogram":
+			_, err = fmt.Fprintf(w,
+				"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.9\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+				name, name, m.P50, name, m.P90, name, m.P99, name, m.Sum, name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// SanitizeMetricName maps a registry metric name onto the Prometheus name
+// charset [a-zA-Z0-9_:], replacing every other character (the registry's '.'
+// separators, most commonly) with '_'. A leading digit is prefixed with '_'.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is a bounded ring buffer of the most recent trace events —
+// the "black box" of a running campaign. It exists for live introspection:
+// the HTTP /events endpoint tails it, and a dump of the ring is what an
+// operator (or CI) grabs when a long campaign misbehaves.
+//
+// Writes happen on the emitting goroutine (in the search, the coordinator);
+// reads are lock-free: each slot is an atomic pointer and the write cursor is
+// an atomic counter, so Snapshot never blocks the writer and a concurrent
+// overwrite yields a different complete event, never a torn one. Snapshot
+// therefore returns a best-effort window — every returned event is valid and
+// the result is sorted by sequence number, but events overwritten mid-scan
+// are simply absent.
+type FlightRecorder struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Int64 // total events appended (cursor)
+
+	// Subscriptions for live tailing. hasSubs lets Record skip the lock on
+	// the (overwhelmingly common) no-subscriber path.
+	hasSubs atomic.Bool
+	mu      sync.Mutex
+	subs    map[int]*subscriber
+	nextSub int
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// DefaultFlightRecorderSize is the ring capacity used by the CLI wiring:
+// large enough to hold the interesting tail of a campaign, small enough that
+// the recorder is always-on without a memory budget conversation.
+const DefaultFlightRecorderSize = 4096
+
+// NewFlightRecorder returns a recorder retaining the last capacity events
+// (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many events have ever been recorded (not just retained).
+func (r *FlightRecorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Record appends one event to the ring, overwriting the oldest, and forwards
+// it to every live subscriber (non-blocking: a subscriber that cannot keep up
+// loses events and has them counted, it never stalls the recorder).
+func (r *FlightRecorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	n := r.next.Load()
+	r.slots[n%int64(len(r.slots))].Store(&ev)
+	r.next.Store(n + 1)
+	if !r.hasSubs.Load() {
+		return
+	}
+	r.mu.Lock()
+	for _, s := range r.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first. The read takes no locks
+// (see the type comment for the consistency model).
+func (r *FlightRecorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	capN := int64(len(r.slots))
+	start := n - capN
+	if start < 0 {
+		start = 0
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		if p := r.slots[i%capN].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	// A writer racing the scan can leave a newer event in an "older" slot;
+	// restore sequence order and drop duplicates so the dump is always a
+	// clean ascending stream.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	dedup := out[:0]
+	for _, ev := range out {
+		if len(dedup) == 0 || dedup[len(dedup)-1].Seq != ev.Seq {
+			dedup = append(dedup, ev)
+		}
+	}
+	return dedup
+}
+
+// Subscribe registers a live tail: every event recorded after the call is
+// delivered on the returned channel (buffered to buf, minimum 1). The cancel
+// function unregisters and closes the channel; it is safe to call twice. The
+// second return is a drop counter — events the subscriber was too slow to
+// receive.
+func (r *FlightRecorder) Subscribe(buf int) (<-chan Event, func() int64) {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{ch: make(chan Event, buf)}
+	r.mu.Lock()
+	if r.subs == nil {
+		r.subs = make(map[int]*subscriber)
+	}
+	id := r.nextSub
+	r.nextSub++
+	r.subs[id] = s
+	r.hasSubs.Store(true)
+	r.mu.Unlock()
+	var once sync.Once
+	cancel := func() int64 {
+		once.Do(func() {
+			r.mu.Lock()
+			delete(r.subs, id)
+			r.hasSubs.Store(len(r.subs) > 0)
+			r.mu.Unlock()
+			close(s.ch)
+		})
+		return s.dropped.Load()
+	}
+	return s.ch, cancel
+}

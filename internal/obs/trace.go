@@ -61,6 +61,7 @@ type Tracer struct {
 	keep   bool
 	events []Event
 	err    error
+	rec    *FlightRecorder
 }
 
 // NewTracer returns a tracer writing one JSON object per line to w. A nil w
@@ -82,6 +83,28 @@ func (t *Tracer) Keep() *Tracer {
 		t.keep = true
 	}
 	return t
+}
+
+// WithRecorder attaches a flight recorder: every event emitted from now on is
+// also appended to the ring (after its sequence number and timestamp are
+// assigned). Returns the tracer for chaining.
+func (t *Tracer) WithRecorder(r *FlightRecorder) *Tracer {
+	if t != nil {
+		t.mu.Lock()
+		t.rec = r
+		t.mu.Unlock()
+	}
+	return t
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (t *Tracer) Recorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec
 }
 
 // Start returns the tracer's epoch; event timestamps are relative to it.
@@ -107,6 +130,9 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	if t.keep {
 		t.events = append(t.events, ev)
+	}
+	if t.rec != nil {
+		t.rec.Record(ev)
 	}
 	if t.enc != nil {
 		if err := t.enc.Encode(ev); err != nil && t.err == nil {
@@ -137,6 +163,37 @@ func (t *Tracer) CanonicalStream() string {
 		b = append(b, '\n')
 	}
 	return string(b)
+}
+
+// Flush pushes every buffered event line to the underlying writer and returns
+// the first emission error so far. Long-running campaigns call it at durable
+// boundaries (the search calls it after every checkpoint), so a process killed
+// without Close — the kill -9 scenario — keeps a valid JSONL prefix on disk:
+// the last flushed line is always complete.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw != nil {
+		if err := t.bw.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// Err returns the first emission or encode error, without waiting for Close.
+// A non-nil Err means at least one event line was dropped or truncated;
+// callers that stream traces (cmd/hotg) surface it as soon as the run ends.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
 }
 
 // Close flushes the JSONL writer and returns the first emission error.

@@ -548,5 +548,9 @@ func (s *searcher) maybeCheckpoint() {
 				"cache":    int64(len(s.cache.prove) + len(s.cache.solve)),
 				"seq":      int64(s.stats.Checkpoints),
 			}})
+		// Flush the trace at every durable boundary, after the checkpoint
+		// event itself: if the process dies without Close (kill -9), the
+		// on-disk JSONL keeps a valid prefix through the last checkpoint.
+		_ = s.obs.Trace.Flush()
 	}
 }

@@ -141,6 +141,7 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
 	s.cache = newProofCache()
 	s.obs = opts.Obs
+	s.live.init(s.obs)
 	if s.obs.Enabled() && eng.Obs == nil {
 		eng.Obs = s.obs
 	}
@@ -256,6 +257,7 @@ func (s *searcher) flushObs() {
 		return
 	}
 	st := s.stats
+	s.publishLive() // final values: post-run /statusz equals the final Stats
 	o.Gauge("search.workers").Set(int64(st.Workers))
 	o.Gauge("search.samples").Set(int64(st.SamplesLearned))
 	o.Counter("search.runs").Add(int64(st.Runs))
@@ -356,6 +358,8 @@ type searcher struct {
 	// satisfiability path (indexed by worker, created lazily, confined to
 	// that worker's goroutine). Nil when Options.NoIncrementalSMT is set.
 	satSessions []*smt.Context
+	// live publishes in-flight progress gauges for /statusz; see live.go.
+	live liveGauges
 }
 
 // satSession returns (creating on first use) the given worker's solver
@@ -457,6 +461,7 @@ func (s *searcher) run() {
 		s.targeted = map[string]bool{}
 	}
 	for s.stats.Runs < s.opts.MaxRuns {
+		s.publishLive()
 		if s.stopEarly() {
 			return
 		}

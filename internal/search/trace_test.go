@@ -3,12 +3,15 @@ package search_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"hotg/internal/concolic"
 	"hotg/internal/lexapp"
 	"hotg/internal/obs"
+	"hotg/internal/obshttp"
 	"hotg/internal/search"
 )
 
@@ -184,5 +187,79 @@ func TestChromeTraceValid(t *testing.T) {
 	}
 	if threadNames[0] != "coordinator" {
 		t.Errorf("tid 0 should be the coordinator, got %v", threadNames)
+	}
+}
+
+// introspectedRun is tracedRun with the full live-introspection apparatus
+// attached: a flight recorder on the tracer, the runtime sampler publishing
+// gauges, and a goroutine hammering the introspection read paths (recorder
+// snapshots and registry scrapes) for the whole search.
+func introspectedRun(w *lexapp.Workload, mode concolic.Mode, opts search.Options, workers int) (*obs.Obs, *search.Stats) {
+	eng := concolic.New(w.Build(), mode)
+	o := obs.New()
+	o.Trace = obs.NewTracer(nil).Keep().WithRecorder(obs.NewFlightRecorder(256))
+	srv := obshttp.New(o)
+	stopSampler := srv.StartSampler(time.Millisecond)
+	defer stopSampler()
+	done := make(chan struct{})
+	reads := make(chan int, 1)
+	go func() {
+		defer close(done)
+		n := 0
+		for {
+			select {
+			case reads <- n:
+				return
+			default:
+			}
+			o.Trace.Recorder().Snapshot()
+			obs.WriteOpenMetrics(io.Discard, o.Metrics)
+			n++
+		}
+	}()
+	if opts.Seeds == nil {
+		opts.Seeds = w.Seeds
+	}
+	if opts.Bounds == nil {
+		opts.Bounds = w.Bounds
+	}
+	opts.Workers = workers
+	opts.Obs = o
+	st := search.Run(eng, opts)
+	<-reads
+	<-done
+	return o, st
+}
+
+// TestTraceDeterministicWithIntrospection is the acceptance check that live
+// introspection is invisible to the determinism contract: with a flight
+// recorder, the runtime sampler, and concurrent readers all active, the
+// canonical stream at workers 1, 4, and 8 is bit-identical — and identical to
+// the stream of a plain un-introspected run.
+func TestTraceDeterministicWithIntrospection(t *testing.T) {
+	opts := search.Options{MaxRuns: 120}
+	plain, _ := tracedRun(lexapp.Lexer(), concolic.ModeHigherOrder, opts, 1)
+	base := plain.Trace.CanonicalStream()
+	if base == "" {
+		t.Fatal("no events emitted")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		o, _ := introspectedRun(lexapp.Lexer(), concolic.ModeHigherOrder, search.Options{MaxRuns: 120}, workers)
+		if got := o.Trace.CanonicalStream(); got != base {
+			t.Errorf("introspected run at workers=%d diverges from plain run", workers)
+			reportStreamDiff(t, base, got, workers)
+		}
+		if o.Trace.Recorder().Total() == 0 {
+			t.Fatal("flight recorder saw no events")
+		}
+		// The sampler's gauges landed in the registry, not the trace.
+		if o.Metrics.Get("runtime.goroutines") == 0 {
+			t.Error("runtime sampler published no gauges")
+		}
+		for _, ev := range o.Trace.Events() {
+			if strings.HasPrefix(ev.Kind, "runtime.") {
+				t.Fatalf("sampler leaked event %q into the trace", ev.Kind)
+			}
+		}
 	}
 }
