@@ -1,17 +1,20 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign test-difftest fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest test-fleet fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
 
 all: build lint vet test
 
 build:
 	$(GO) build ./...
 
-# lint fails if any file is not gofmt-clean, printing the offenders.
+# lint fails if any file is not gofmt-clean (printing the offenders), or if
+# any package lacks a package comment, or if any exported symbol in the public
+# facade (the root package, api.go) lacks godoc. See cmd/doclint.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+	$(GO) run ./cmd/doclint .
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +46,13 @@ test-campaign:
 # See DESIGN.md §10.
 test-difftest:
 	$(GO) test -race -timeout 15m ./internal/difftest/ ./cmd/difftest/
+
+# Fleet drills: the coordinator/worker protocol under the race detector —
+# canonical-stats determinism across fleet sizes {1,2,4}, a kill -9'd worker
+# recovered by lease expiry, and the zero-worker local-fallback degradation.
+# See DESIGN.md §13.
+test-fleet:
+	$(GO) test -race -timeout 15m ./internal/fleet/ ./cmd/hotg-fleet/
 
 # Short native-fuzz smoke: each entry point gets a few seconds from its seed
 # corpus. `go test -fuzz` accepts one target per invocation, hence the list.
@@ -78,4 +88,4 @@ bench-diff:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race test-faults test-campaign test-difftest
+verify: lint vet test race test-faults test-campaign test-difftest test-fleet

@@ -1,0 +1,203 @@
+// Command doclint enforces the repository's godoc conventions:
+//
+//   - every package (including commands) carries a package comment, and
+//   - every exported top-level symbol in the public facade (the root hotg
+//     package) carries a doc comment.
+//
+// It is wired into `make lint`, so drift between the code and its godoc is a
+// build failure, not a review nit. Usage:
+//
+//	doclint [-exported dir]... [dir]
+//
+// The positional dir (default ".") is walked recursively for the package-
+// comment check; each -exported dir (default the walk root, non-recursive)
+// additionally requires docs on all exported declarations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs2 := flag.NewFlagSet("doclint", flag.ContinueOnError)
+	fs2.SetOutput(stderr)
+	var exported stringList
+	fs2.Var(&exported, "exported", "directory whose exported symbols must all have godoc (repeatable; default: the walk root)")
+	if err := fs2.Parse(args); err != nil {
+		return 2
+	}
+	root := "."
+	if fs2.NArg() > 0 {
+		root = fs2.Arg(0)
+	}
+	if len(exported) == 0 {
+		exported = stringList{root}
+	}
+
+	var problems []string
+	dirs, err := goDirs(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "doclint: %v\n", err)
+		return 2
+	}
+	for _, dir := range dirs {
+		probs, err := lintDir(dir, contains(exported, dir))
+		if err != nil {
+			fmt.Fprintf(stderr, "doclint: %s: %v\n", dir, err)
+			return 2
+		}
+		problems = append(problems, probs...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(stdout, p)
+		}
+		fmt.Fprintf(stderr, "doclint: %d problem(s)\n", len(problems))
+		return 1
+	}
+	return 0
+}
+
+func contains(dirs []string, dir string) bool {
+	for _, d := range dirs {
+		if filepath.Clean(d) == filepath.Clean(dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// goDirs returns every directory under root that holds non-test Go files,
+// skipping hidden directories and testdata.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// lintDir parses one directory and reports missing package comments, plus —
+// when wantExported — missing doc comments on exported declarations.
+func lintDir(dir string, wantExported bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		if !wantExported {
+			continue
+		}
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			problems = append(problems, lintExported(fset, pkg.Files[fname])...)
+		}
+	}
+	return problems, nil
+}
+
+// lintExported reports exported top-level declarations without doc comments.
+func lintExported(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	missing := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				missing(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						missing(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							missing(n.Pos(), declKind(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingPackageComment: a package without a package comment is a lint
+// failure anywhere in the tree.
+func TestMissingPackageComment(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "sub", "a.go"), "package sub\n\nfunc f() {}\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no package comment") {
+		t.Fatalf("missing diagnostic:\n%s", out.String())
+	}
+}
+
+// TestExportedDocEnforcedOnlyWhereAsked: undocumented exported symbols fail in
+// -exported directories and pass elsewhere.
+func TestExportedDocEnforcedOnlyWhereAsked(t *testing.T) {
+	dir := t.TempDir()
+	src := "// Package p is documented.\npackage p\n\nfunc Exported() {}\n\ntype T struct{}\n\nconst C = 1\n"
+	write(t, filepath.Join(dir, "p.go"), src)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exported", dir, dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	for _, want := range []string{"exported function Exported", "exported type T", "exported const C"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+
+	// Same tree, but exported-doc enforcement pointed elsewhere: only the
+	// package-comment rule applies, and it is satisfied.
+	other := t.TempDir()
+	write(t, filepath.Join(other, "q.go"), "// Package q is documented.\npackage q\n")
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-exported", other, dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestDocumentedTreePasses: a fully documented package is clean, including
+// grouped decls where the group comment covers the specs.
+func TestDocumentedTreePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "p.go"), `// Package p is documented.
+package p
+
+// Exported does nothing.
+func Exported() {}
+
+// Limits for the demo.
+const (
+	Lo = 1
+	Hi = 2
+)
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exported", dir, dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,377 @@
+// Command hotg-fleet runs one higher-order test-generation campaign across a
+// fleet of local worker processes: a coordinator owns the canonical search
+// and the campaign directory, workers serve execution/proof/solver tasks over
+// the fleet protocol, and one HTTP port carries both the protocol and the
+// live introspection surface (/statusz shows per-worker gauges).
+//
+// Canonical stats are bit-identical at any fleet size — `-verify-single`
+// checks that claim on every run by replaying the search in-process.
+//
+// Usage:
+//
+//	hotg-fleet -workload lexer -runs 300 -fleet 4
+//	hotg-fleet -workload lexer -runs 300 -fleet 4 -verify-single
+//	hotg-fleet -workload lexer -runs 300 -fleet 4 -corpus ./camp -checkpoint-every 50
+//	hotg-fleet -workload lexer -runs 300 -fleet 4 -kill-worker-after 2s
+//	hotg-fleet -worker -coordinator http://127.0.0.1:8700   (spawned internally)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"flag"
+
+	"hotg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command; it returns the process exit code so tests can
+// drive the CLI without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hotg-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		// Worker mode (spawned by the coordinator; not for humans).
+		workerMode  = fs.Bool("worker", false, "run as a fleet worker (internal; spawned by the coordinator)")
+		coordinator = fs.String("coordinator", "", "coordinator base URL (worker mode)")
+
+		workload  = fs.String("workload", "lexer", "workload name (see hotg -list)")
+		mode      = fs.String("mode", "higher-order", "concolic technique (any hotg -mode except random/all)")
+		runs      = fs.Int("runs", 100, "execution budget")
+		fleetN    = fs.Int("fleet", 4, "worker processes to spawn (0 = coordinator computes everything locally)")
+		shards    = fs.Int("shards", 0, "shard modulus for task affinity (0 = fleet size)")
+		refute    = fs.Bool("refute", false, "enable the invalidity prover")
+		workers   = fs.Int("workers", 0, "searcher batch width (0 = GOMAXPROCS); results identical at any width")
+		httpAddr  = fs.String("http", "127.0.0.1:0", "address for the fleet protocol + introspection port")
+		leaseTmo  = fs.Duration("lease-timeout", 2*time.Second, "task lease before a silent worker's work is reassigned")
+		proofTmo  = fs.Duration("proof-timeout", 0, "wall-clock deadline per proof / solver query (0 = unlimited)")
+		corpusDir = fs.String("corpus", "", "campaign directory: persist corpus, crash buckets, checkpoints (exclusive-locked)")
+		resume    = fs.Bool("resume", false, "resume from the campaign's latest checkpoint (requires -corpus)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint every N runs into the campaign directory (requires -corpus)")
+		verify    = fs.Bool("verify-single", false, "re-run the search single-process and require bit-identical canonical stats")
+		killAfter = fs.Duration("kill-worker-after", 0, "chaos drill: SIGKILL one worker this long into the run")
+		flightOut = fs.String("flight-dump", "", "on failure, dump the flight-recorder tail (JSONL) to this file")
+		verbose   = fs.Bool("v", false, "print every bug input")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *workerMode {
+		return runWorker(*coordinator, *workload, *mode, stderr)
+	}
+
+	w, ok := hotg.GetWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(stderr, "hotg-fleet: unknown workload %q (see hotg -list)\n", *workload)
+		return 2
+	}
+	m, ok := parseMode(*mode)
+	if !ok {
+		fmt.Fprintf(stderr, "hotg-fleet: unknown mode %q\n", *mode)
+		return 2
+	}
+	if *corpusDir == "" && (*resume || *ckptEvery > 0) {
+		fmt.Fprintln(stderr, "hotg-fleet: -resume and -checkpoint-every require -corpus")
+		return 2
+	}
+	if *shards <= 0 {
+		*shards = *fleetN
+	}
+
+	// The observer is always on: fleet gauges and per-worker figures feed
+	// /statusz, and the flight recorder gives -flight-dump a tail to save.
+	o := hotg.NewObserver()
+	o.Trace = hotg.NewTracer(nil)
+	o.Trace.WithRecorder(hotg.NewFlightRecorder(hotg.DefaultFlightRecorderSize))
+
+	eng := hotg.NewEngine(w.Build(), m)
+	coord := hotg.NewFleetCoordinator(eng, hotg.FleetCoordinatorOptions{
+		Workload:     w.Name,
+		Shards:       *shards,
+		Bounds:       w.Bounds,
+		Refute:       *refute,
+		ProofTimeout: *proofTmo,
+		LeaseTimeout: *leaseTmo,
+		Obs:          o,
+	})
+	addr, shutdown, err := hotg.ServeFleet(*httpAddr, coord, o, hotg.MergeInfo(headlineFrom(o), coord.Info))
+	if err != nil {
+		fmt.Fprintln(stderr, "hotg-fleet:", err)
+		return 2
+	}
+	defer shutdown()
+	fmt.Fprintf(stdout, "coordinator: http://%s/statusz (fleet protocol on /fleet/)\n", addr)
+
+	// Spawn the fleet: this binary re-executed in worker mode. Workers hold
+	// no campaign state, so their stdout is noise we keep on stderr.
+	procs, err := spawnWorkers(*fleetN, addr, w.Name, m.String(), stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hotg-fleet:", err)
+		return 2
+	}
+	if *killAfter > 0 && len(procs) > 0 {
+		victim := procs[0]
+		time.AfterFunc(*killAfter, func() {
+			fmt.Fprintf(stderr, "hotg-fleet: chaos: SIGKILL worker pid %d\n", victim.Process.Pid)
+			_ = victim.Process.Kill()
+		})
+	}
+
+	opts := hotg.SearchOptions{
+		MaxRuns: *runs, Seeds: w.Seeds, Bounds: w.Bounds, Refute: *refute,
+		Workers: *workers, Obs: o,
+		Budget: hotg.SearchBudget{ProofTimeout: *proofTmo},
+	}
+
+	// The campaign directory is single-writer: take the session lock before
+	// touching it, so a second coordinator (or a plain hotg session) over the
+	// same corpus fails loudly instead of interleaving writes.
+	var camp *hotg.Campaign
+	if *corpusDir != "" {
+		lock, err := hotg.AcquireCampaignLock(*corpusDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "hotg-fleet:", err)
+			return 2
+		}
+		defer lock.Release()
+		camp, err = hotg.OpenCampaign(*corpusDir, w.Name, m.String(), o)
+		if err != nil {
+			fmt.Fprintln(stderr, "hotg-fleet:", err)
+			return 2
+		}
+		opts.OnRun = camp.RecordRun
+		if *ckptEvery > 0 {
+			opts.Checkpoint = hotg.CheckpointOptions{Every: *ckptEvery, Sink: camp.SaveCheckpoint}
+		}
+		if *resume {
+			snap, err := camp.LatestCheckpoint()
+			if err != nil {
+				fmt.Fprintln(stderr, "hotg-fleet:", err)
+				return 2
+			}
+			if snap == nil {
+				fmt.Fprintf(stderr, "hotg-fleet: campaign %s has no checkpoint to resume from\n", *corpusDir)
+				return 2
+			}
+			if err := snap.Validate(eng); err != nil {
+				fmt.Fprintln(stderr, "hotg-fleet:", err)
+				return 2
+			}
+			opts.Restore = snap
+			fmt.Fprintf(stdout, "resuming campaign %s at run %d (session %d)\n", *corpusDir, snap.Runs, camp.Session)
+		} else if seeds := camp.SeedInputs(0); len(seeds) > 0 {
+			opts.Seeds = seeds
+			fmt.Fprintf(stdout, "seeding from corpus: %d ranked inputs (session %d)\n", len(seeds), camp.Session)
+		}
+	}
+
+	stats := coord.Run(opts)
+
+	// Run retired the fleet; give workers a moment to see the retire op and
+	// exit, then reap whatever is left.
+	reapWorkers(procs, 10*time.Second, stderr)
+
+	failed := false
+	if stats.DispatchError != "" {
+		fmt.Fprintf(stderr, "hotg-fleet: dispatch error: %s\n", stats.DispatchError)
+		failed = true
+	}
+	if camp != nil {
+		if err := camp.Commit(); err != nil {
+			fmt.Fprintln(stderr, "hotg-fleet:", err)
+			failed = true
+		}
+		fmt.Fprintf(stdout, "campaign: %d corpus entries, %d crash buckets (%d new), %d checkpoints\n",
+			len(camp.Entries()), len(camp.Buckets()), camp.NewBuckets(), stats.Checkpoints)
+	}
+
+	fmt.Fprintln(stdout, stats.Summary())
+	if len(stats.Bugs) == 0 {
+		fmt.Fprintln(stdout, "no bugs found")
+	} else {
+		fmt.Fprintf(stdout, "%d bug(s):\n", len(stats.Bugs))
+		for _, b := range stats.Bugs {
+			if *verbose {
+				fmt.Fprintf(stdout, "  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+			} else {
+				fmt.Fprintf(stdout, "  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+			}
+		}
+	}
+
+	if *verify && !failed {
+		if err := verifySingle(w, m, opts, stats); err != nil {
+			fmt.Fprintln(stderr, "hotg-fleet: verify-single FAILED:", err)
+			failed = true
+		} else {
+			fmt.Fprintln(stdout, "verify-single: canonical stats identical to single-process run")
+		}
+	}
+
+	if failed {
+		if *flightOut != "" {
+			if err := dumpFlight(o, *flightOut); err != nil {
+				fmt.Fprintln(stderr, "hotg-fleet: flight dump:", err)
+			} else {
+				fmt.Fprintf(stderr, "hotg-fleet: flight recorder dumped to %s\n", *flightOut)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+// runWorker is the whole worker mode: join, serve, exit.
+func runWorker(coordinator, workload, mode string, stderr io.Writer) int {
+	if coordinator == "" {
+		fmt.Fprintln(stderr, "hotg-fleet: -worker requires -coordinator")
+		return 2
+	}
+	if err := hotg.RunFleetWorker(hotg.FleetWorkerOptions{
+		Coordinator: coordinator,
+		Workload:    workload,
+		Mode:        mode,
+	}); err != nil {
+		fmt.Fprintln(stderr, "hotg-fleet: worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// spawnWorkers re-executes this binary n times in worker mode against the
+// bound coordinator address.
+func spawnWorkers(n int, addr, workload, mode string, stderr io.Writer) ([]*exec.Cmd, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary: %w", err)
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self,
+			"-worker", "-coordinator", "http://"+addr,
+			"-workload", workload, "-mode", mode)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				_ = p.Process.Kill()
+			}
+			return nil, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	return procs, nil
+}
+
+// reapWorkers waits for retired workers to exit, SIGKILLing stragglers after
+// the grace period. Exit codes are informational only — a killed worker is a
+// scenario the coordinator already absorbed.
+func reapWorkers(procs []*exec.Cmd, grace time.Duration, stderr io.Writer) {
+	deadline := time.After(grace)
+	done := make(chan int, len(procs))
+	for i, p := range procs {
+		go func(slot int, cmd *exec.Cmd) {
+			_ = cmd.Wait()
+			done <- slot
+		}(i, p)
+	}
+	remaining := len(procs)
+	for remaining > 0 {
+		select {
+		case <-done:
+			remaining--
+		case <-deadline:
+			for _, p := range procs {
+				if p.ProcessState == nil {
+					fmt.Fprintf(stderr, "hotg-fleet: worker pid %d did not retire in time; killing\n", p.Process.Pid)
+					_ = p.Process.Kill()
+				}
+			}
+			for remaining > 0 {
+				<-done
+				remaining--
+			}
+		}
+	}
+}
+
+// verifySingle replays the search in a fresh engine with no dispatcher and
+// compares canonical stats byte-for-byte — the fleet's load-bearing
+// invariant, checked on demand against the real run.
+func verifySingle(w *hotg.Workload, m hotg.Mode, opts hotg.SearchOptions, fleetStats *hotg.Stats) error {
+	opts.Obs = nil
+	opts.OnRun = nil
+	opts.Checkpoint = hotg.CheckpointOptions{}
+	single := hotg.Explore(hotg.NewEngine(w.Build(), m), opts)
+	want, err := single.Canonical()
+	if err != nil {
+		return err
+	}
+	got, err := fleetStats.Canonical()
+	if err != nil {
+		return err
+	}
+	if string(want) != string(got) {
+		return fmt.Errorf("canonical stats diverged:\nsingle-process: %s\nfleet:          %s", want, got)
+	}
+	return nil
+}
+
+// dumpFlight writes the flight recorder's tail as JSONL.
+func dumpFlight(o *hotg.Observer, path string) error {
+	rec := o.Trace.Recorder()
+	if rec == nil {
+		return fmt.Errorf("no flight recorder attached")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range rec.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// headlineFrom mirrors cmd/hotg's /statusz headline: the search's live
+// progress gauges.
+func headlineFrom(o *hotg.Observer) func() map[string]int64 {
+	return func() map[string]int64 {
+		return map[string]int64{
+			"runs":           o.Metrics.Get("search.live.runs"),
+			"runs_remaining": o.Metrics.Get("search.live.runs_remaining"),
+			"tests":          o.Metrics.Get("search.live.tests"),
+			"bugs":           o.Metrics.Get("search.live.bugs"),
+			"frontier_hot":   o.Metrics.Get("search.frontier.hot"),
+			"frontier_cold":  o.Metrics.Get("search.frontier.cold"),
+		}
+	}
+}
+
+func parseMode(s string) (hotg.Mode, bool) {
+	for _, m := range []hotg.Mode{
+		hotg.ModeStatic, hotg.ModeUnsound, hotg.ModeSound,
+		hotg.ModeSoundDelayed, hotg.ModeHigherOrder,
+	} {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWorkerlessVerify drives the whole CLI with -fleet 0 (every task
+// absorbed by local fallback) and -verify-single: the canonical stats must
+// match a plain in-process search byte-for-byte.
+func TestRunWorkerlessVerify(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-workload", "foo", "-runs", "40", "-fleet", "0", "-shards", "2",
+		"-lease-timeout", "100ms", "-verify-single",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "verify-single: canonical stats identical") {
+		t.Fatalf("verification line missing:\n%s", out.String())
+	}
+}
+
+// TestRunCampaignLocking: the coordinator locks the campaign directory for
+// the session and releases it at exit, so back-to-back sessions work and the
+// lock file does not linger.
+func TestRunCampaignLocking(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "camp")
+	for session := 1; session <= 2; session++ {
+		var out, errb bytes.Buffer
+		code := run([]string{
+			"-workload", "foo", "-runs", "30", "-fleet", "0",
+			"-lease-timeout", "100ms", "-corpus", dir, "-checkpoint-every", "10",
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("session %d: exit %d\nstderr: %s", session, code, errb.String())
+		}
+		if _, err := os.Stat(filepath.Join(dir, "LOCK")); !os.IsNotExist(err) {
+			t.Fatalf("session %d: lock file still present after exit (stat err %v)", session, err)
+		}
+	}
+}
+
+// TestRunFlagErrors: the usual refusals exit 2 before any work happens.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "no-such-workload"},
+		{"-mode", "random"},
+		{"-resume"},
+		{"-worker"}, // no -coordinator
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}

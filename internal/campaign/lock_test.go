@@ -1,0 +1,51 @@
+package campaign_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hotg/internal/campaign"
+)
+
+// TestLockExcludesSecondSession: a held lock refuses a second acquirer and
+// admits it after release.
+func TestLockExcludesSecondSession(t *testing.T) {
+	dir := t.TempDir()
+	l, err := campaign.AcquireLock(dir)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := campaign.AcquireLock(dir); err == nil {
+		t.Fatal("second acquire succeeded while the lock was held")
+	}
+	if err := l.Release(); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	l2, err := campaign.AcquireLock(dir)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatalf("second release: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatalf("double release should be harmless: %v", err)
+	}
+}
+
+// TestLockBreaksStaleOwner: a lock whose pid no longer exists (the SIGKILLed
+// session) is broken and re-acquired; garbage content counts as stale too.
+func TestLockBreaksStaleOwner(t *testing.T) {
+	for _, content := range []string{"999999999\n", "not-a-pid\n", ""} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := campaign.AcquireLock(dir)
+		if err != nil {
+			t.Fatalf("stale lock %q not broken: %v", content, err)
+		}
+		l.Release()
+	}
+}

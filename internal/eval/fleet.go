@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fleet"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// serveCoordinator binds a loopback port for a coordinator's fleet endpoints
+// and returns the base URL plus a shutdown function.
+func serveCoordinator(c *fleet.Coordinator) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// fleetRun executes one search with n in-process workers attached and
+// reports the stats plus every worker's exit error.
+func fleetRun(w *lexapp.Workload, opts search.Options, n int) (*search.Stats, []error, error) {
+	eng := concolic.New(w.Build(), concolic.ModeHigherOrder)
+	coord := fleet.NewCoordinator(eng, fleet.CoordinatorOptions{
+		Workload: w.Name, Shards: n, Bounds: w.Bounds,
+		LeaseTimeout: 250 * time.Millisecond,
+	})
+	base, stop, err := serveCoordinator(coord)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stop()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = fleet.RunWorker(fleet.WorkerOptions{
+				Coordinator: base, JoinTimeout: 5 * time.Second,
+			})
+		}(i)
+	}
+	st := coord.Run(opts)
+	wg.Wait()
+	return st, errs, nil
+}
+
+// A7FleetDeterminism measures the distributed-campaign guarantee on the
+// Section 7 lexer: a coordinator-driven fleet produces canonical statistics
+// bit-identical to the single-process search at every fleet size, and a
+// worker lost to kill -9 mid-run changes nothing — its leased tasks are
+// reassigned or absorbed, with no bug lost and none double-counted.
+func A7FleetDeterminism(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:    "A7",
+		Title: "fleet determinism: canonical stats across fleet sizes, kill -9 drill (§7 lexer)",
+		PaperClaim: "\"the search is parallelizable\" generalized across processes: the coordinator " +
+			"keeps the canonical trajectory and ships only pure compute, so sharded workers, work " +
+			"stealing, and worker crashes are invisible in the merged result (DESIGN.md §13)",
+		Columns: []string{"configuration", "runs", "tests", "bugs", "proofs", "canonical"},
+	}
+	budget := cfg.Budget
+	if budget > 120 {
+		budget = 120 // the guarantee is budget-independent; keep A7 cheap
+	}
+	w := lexapp.Lexer()
+	opts := search.Options{MaxRuns: budget, Seeds: w.Seeds, Bounds: w.Bounds, Workers: 1, Obs: cfg.Obs}
+	fail := func(format string, args ...interface{}) *Table {
+		t.claim(false, format, args...)
+		return t
+	}
+
+	ref := search.Run(concolic.New(w.Build(), concolic.ModeHigherOrder), opts)
+	refCanon, err := ref.Canonical()
+	if err != nil {
+		return fail("canonicalize reference stats: %v", err)
+	}
+	row := func(name string, st *search.Stats, same bool) {
+		mark := "=="
+		if !same {
+			mark = "DIVERGED"
+		}
+		t.addRow(name, fmt.Sprintf("%d", st.Runs), fmt.Sprintf("%d", st.TestsGenerated),
+			fmt.Sprintf("%d", len(st.Bugs)), fmt.Sprintf("%d", st.ProverCalls), mark)
+	}
+	row("single process", ref, true)
+
+	for _, n := range []int{1, 2, 4} {
+		st, workerErrs, err := fleetRun(w, opts, n)
+		if err != nil {
+			return fail("fleet of %d: %v", n, err)
+		}
+		canon, err := st.Canonical()
+		if err != nil {
+			return fail("canonicalize fleet-of-%d stats: %v", n, err)
+		}
+		same := string(canon) == string(refCanon)
+		row(fmt.Sprintf("fleet of %d", n), st, same)
+		t.claim(same && st.DispatchError == "",
+			"a fleet of %d workers reproduces the single-process canonical stats byte for byte", n)
+		retired := 0
+		for _, e := range workerErrs {
+			if e == nil {
+				retired++
+			}
+		}
+		t.claim(retired == n, "all %d workers retired cleanly on budget exhaustion (%d did)", n, retired)
+	}
+
+	// Kill drill: two workers, one reaching the coordinator only through a
+	// proxy that is torn down mid-run — connections die with no goodbye,
+	// exactly like SIGKILL. Lease expiry must hand its tasks to the survivor
+	// (or local fallback) without changing the trajectory.
+	st, err := killDrill(w, opts)
+	if err != nil {
+		return fail("kill drill: %v", err)
+	}
+	canon, err := st.Canonical()
+	if err != nil {
+		return fail("canonicalize kill-drill stats: %v", err)
+	}
+	same := string(canon) == string(refCanon)
+	row("fleet of 2, one killed", st, same)
+	t.claim(same && st.DispatchError == "",
+		"killing one of two workers mid-run loses no result and double-counts none: "+
+			"canonical stats (bugs included: %d) stay bit-identical", len(st.Bugs))
+	t.note("worker loss is recovered by lease expiry + reassignment; a fleet with zero live workers degrades to local compute on the coordinator")
+	return t
+}
+
+// killDrill runs a two-worker fleet and severs one worker's link once it has
+// handled traffic, returning the coordinator's final stats.
+func killDrill(w *lexapp.Workload, opts search.Options) (*search.Stats, error) {
+	eng := concolic.New(w.Build(), concolic.ModeHigherOrder)
+	coord := fleet.NewCoordinator(eng, fleet.CoordinatorOptions{
+		Workload: w.Name, Shards: 2, Bounds: w.Bounds,
+		LeaseTimeout: 150 * time.Millisecond,
+	})
+	base, stop, err := serveCoordinator(coord)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	target, err := url.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	var forwarded atomic.Int64
+	rp := httputil.NewSingleHostReverseProxy(target)
+	// The teardown mid-request is the point of the drill; don't log it.
+	rp.ErrorLog = log.New(io.Discard, "", 0)
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	proxySrv := &http.Server{Handler: http.HandlerFunc(func(wr http.ResponseWriter, r *http.Request) {
+		forwarded.Add(1)
+		rp.ServeHTTP(wr, r)
+	})}
+	go func() { _ = proxySrv.Serve(proxyLn) }()
+	defer proxySrv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = fleet.RunWorker(fleet.WorkerOptions{Coordinator: base, JoinTimeout: 5 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		// The victim: its only route is the proxy; the error return is the
+		// point (it must NOT retire cleanly).
+		_ = fleet.RunWorker(fleet.WorkerOptions{Coordinator: "http://" + proxyLn.Addr().String(), JoinTimeout: time.Second})
+	}()
+	go func() {
+		for forwarded.Load() < 5 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		_ = proxySrv.Close()
+	}()
+
+	st := coord.Run(opts)
+	wg.Wait()
+	return st, nil
+}

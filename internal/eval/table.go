@@ -173,6 +173,7 @@ func Experiments() []Experiment {
 		{"A4", "budgeted search: degradation down the precision ladder", A4BudgetedSearch},
 		{"A5", "persistent campaigns: kill, resume, and triage across sessions", A5CampaignResume},
 		{"A6", "differential oracle campaign: clean sweep and fault drill", A6OracleCampaign},
+		{"A7", "fleet determinism: canonical stats across fleet sizes, kill -9 drill", A7FleetDeterminism},
 	}
 }
 

@@ -1,0 +1,159 @@
+package fleet
+
+// Conversions between live pipeline values and their wire records. Decoding
+// always resolves against the receiving process's own pool and input
+// variables (sym.NewResolver), so decoded formulas share atom identity with
+// that engine — the same round-trip the campaign checkpoints rely on, and the
+// reason a decoded proof obligation proves bit-identically on any worker.
+
+import (
+	"fmt"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fol"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// encodeSamples converts live samples to wire records, preserving order.
+func encodeSamples(smps []sym.Sample) []SampleRec {
+	out := make([]SampleRec, len(smps))
+	for i, s := range smps {
+		out[i] = SampleRec{Fn: s.Fn.Name, Arity: s.Fn.Arity, Args: s.Args, Out: s.Out}
+	}
+	return out
+}
+
+// decodeSamples resolves wire records to live samples through the pool,
+// preserving order. Malformed records and arity clashes are errors.
+func decodeSamples(recs []SampleRec, pool *sym.Pool) (out []sym.Sample, err error) {
+	defer func() {
+		// The pool panics on an arity clash with an already-interned symbol;
+		// in a fleet that means the worker and coordinator disagree on the
+		// program, which is a protocol error, not a crash.
+		if rec := recover(); rec != nil {
+			out, err = nil, fmt.Errorf("fleet: resolving samples: %v", rec)
+		}
+	}()
+	out = make([]sym.Sample, 0, len(recs))
+	for i, r := range recs {
+		if r.Fn == "" || r.Arity <= 0 || len(r.Args) != r.Arity {
+			return nil, fmt.Errorf("fleet: sample %d malformed (fn=%q arity=%d args=%d)",
+				i, r.Fn, r.Arity, len(r.Args))
+		}
+		out = append(out, sym.Sample{Fn: pool.FuncSym(r.Fn, r.Arity), Args: r.Args, Out: r.Out})
+	}
+	return out, nil
+}
+
+// applySamples merges decoded samples into a store in order. Conflicting
+// outputs (a nondeterministic "unknown function") surface as an error.
+func applySamples(store *sym.SampleStore, smps []sym.Sample) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("fleet: applying samples: %v", rec)
+		}
+	}()
+	for _, s := range smps {
+		store.Add(s.Fn, s.Args, s.Out)
+	}
+	return nil
+}
+
+// encodeExec serializes an execution plus the samples it newly observed.
+// A nil ex encodes a dropped (panicked) run.
+func encodeExec(ex *concolic.Execution, smps []sym.Sample, panicked bool) (*ExecResultRec, error) {
+	if ex == nil {
+		return &ExecResultRec{Panicked: panicked}, nil
+	}
+	rec := &ExecResultRec{
+		Result:          ex.Result,
+		Incomplete:      ex.Incomplete,
+		Concretizations: ex.Concretizations,
+		UFApps:          ex.UFApps,
+		NewSamples:      ex.NewSamples,
+		Samples:         encodeSamples(smps),
+	}
+	rec.PC = make([]ConstraintRec, len(ex.PC))
+	for i, c := range ex.PC {
+		e, err := sym.EncodeExpr(c.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding pc[%d]: %w", i, err)
+		}
+		rec.PC[i] = ConstraintRec{
+			Expr: e, IsConcretization: c.IsConcretization,
+			EventIndex: c.EventIndex, Pos: c.Pos,
+		}
+	}
+	return rec, nil
+}
+
+// decodeExec reconstructs an execution against the receiving engine. The
+// input is taken from the task (not the wire) so a worker cannot reassign a
+// result to a different input.
+func decodeExec(rec *ExecResultRec, eng *concolic.Engine, input []int64) (*concolic.Execution, []sym.Sample, error) {
+	if rec.Panicked || rec.Result == nil {
+		return nil, nil, nil
+	}
+	res := sym.NewResolver(eng.Pool, eng.InputVars)
+	ex := &concolic.Execution{
+		Input:           input,
+		Result:          rec.Result,
+		Incomplete:      rec.Incomplete,
+		Concretizations: rec.Concretizations,
+		UFApps:          rec.UFApps,
+		NewSamples:      rec.NewSamples,
+	}
+	ex.PC = make([]concolic.Constraint, len(rec.PC))
+	for i, c := range rec.PC {
+		e, err := sym.DecodeExpr(c.Expr, res)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: decoding pc[%d]: %w", i, err)
+		}
+		ex.PC[i] = concolic.Constraint{
+			Expr: e, IsConcretization: c.IsConcretization,
+			EventIndex: c.EventIndex, Pos: c.Pos,
+		}
+	}
+	smps, err := decodeSamples(rec.Samples, eng.Pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, smps, nil
+}
+
+// encodeProve serializes a proof verdict.
+func encodeProve(st *fol.Strategy, outcome fol.Outcome, panicked bool) (*ProveResultRec, error) {
+	strat, err := fol.EncodeStrategy(st)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding strategy: %w", err)
+	}
+	return &ProveResultRec{Outcome: outcome.String(), Strategy: strat, Panicked: panicked}, nil
+}
+
+// decodeProve reconstructs a proof verdict against the receiving engine.
+func decodeProve(rec *ProveResultRec, eng *concolic.Engine) (*fol.Strategy, fol.Outcome, error) {
+	outcome, ok := fol.ParseOutcome(rec.Outcome)
+	if !ok {
+		return nil, 0, fmt.Errorf("fleet: unknown proof outcome %q", rec.Outcome)
+	}
+	st, err := fol.DecodeStrategy(rec.Strategy, sym.NewResolver(eng.Pool, eng.InputVars))
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: decoding strategy: %w", err)
+	}
+	return st, outcome, nil
+}
+
+// encodeSolve serializes a solver verdict.
+func encodeSolve(status smt.Status, model *smt.Model) *SolveResultRec {
+	return &SolveResultRec{Status: status.String(), Model: model}
+}
+
+// decodeSolve reconstructs a solver verdict.
+func decodeSolve(rec *SolveResultRec) (smt.Status, *smt.Model, error) {
+	status, ok := smt.ParseStatus(rec.Status)
+	if !ok {
+		return 0, nil, fmt.Errorf("fleet: unknown solver status %q", rec.Status)
+	}
+	return status, rec.Model, nil
+}

@@ -1,0 +1,775 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fol"
+	"hotg/internal/obs"
+	"hotg/internal/search"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// CoordinatorOptions configures a fleet coordinator.
+type CoordinatorOptions struct {
+	// Workload is the lexapp registry name workers rebuild the program from.
+	Workload string
+	// Shards is the shard modulus for task affinity — normally the planned
+	// fleet size. Minimum 1. Canonical results do not depend on it.
+	Shards int
+	// Bounds, Refute, ProverNodes, NoIncrementalSMT, and ProofTimeout are
+	// the compute options, forwarded verbatim to workers in WorkerConfig and
+	// honored identically by local fallback.
+	Bounds           []smt.Bound
+	Refute           bool
+	ProverNodes      int
+	NoIncrementalSMT bool
+	ProofTimeout     time.Duration
+	// LeaseTimeout is how long a worker may sit on an assigned task before
+	// the coordinator reclaims and re-enqueues it (default 2s). This is the
+	// kill -9 recovery knob: a SIGKILLed worker's tasks reappear on the
+	// board one lease timeout later.
+	LeaseTimeout time.Duration
+	// MaxAttempts is how many leases a task may burn through before the
+	// coordinator stops offering it and computes it locally (default 3).
+	// Local fallback also fires immediately when no live worker remains, so
+	// a fleet that lost every worker degrades to a single-process search
+	// instead of hanging.
+	MaxAttempts int
+	// Obs receives the fleet counters and gauges (nil disables).
+	Obs *obs.Obs
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.ProverNodes <= 0 {
+		// Mirror search.Run's normalization so a fleet with the knob unset
+		// proves exactly like a single-process search with it unset.
+		o.ProverNodes = 4000
+	}
+	return o
+}
+
+// task is one unit on the board, from enqueue to completed result.
+type task struct {
+	id      uint64
+	kind    string
+	shard   int
+	version int
+
+	// Request payload (exactly one family is set, by kind).
+	input  []int64
+	altRec *sym.ExprRec
+
+	// Lease state: leasedTo is -1 while queued, a worker id while leased,
+	// and localWorker when the coordinator claimed it for local fallback.
+	leasedTo int
+	leaseExp time.Time
+	attempts int
+	done     bool
+
+	// Decoded result (by kind).
+	ex       *concolic.Execution
+	samples  []sym.Sample
+	panicked bool
+	strategy *fol.Strategy
+	outcome  fol.Outcome
+	status   smt.Status
+	model    *smt.Model
+	worker   int
+	durNanos int64
+}
+
+// localWorker is the pseudo-worker id of coordinator-side fallback compute.
+const localWorker = -2
+
+type workerState struct {
+	id       int
+	pid      int
+	lastSeen time.Time
+	gauges   map[string]int64
+	retired  bool
+}
+
+// batchState tracks one synchronous dispatch window.
+type batchState struct {
+	remaining int
+	done      chan struct{}
+}
+
+// Coordinator owns the canonical search and the fleet task board. It
+// implements search.Dispatcher: plug it into search.Options.Dispatch (or call
+// Run, which does) and serve Handler() somewhere workers can reach.
+//
+// The coordinator is safe for concurrent use by the searcher goroutine (the
+// Dispatcher calls) and the HTTP handlers (worker traffic).
+type Coordinator struct {
+	eng  *concolic.Engine
+	opts CoordinatorOptions
+	obs  *obs.Obs
+
+	varBounds map[int]smt.Bound
+
+	mu         sync.Mutex
+	nextWorker int
+	workers    map[int]*workerState
+	nextTask   uint64
+	tasks      map[uint64]*task
+	queue      []uint64 // unleased task ids, in canonical batch order
+	batch      *batchState
+	retired    bool
+}
+
+// NewCoordinator builds a coordinator over the canonical engine. The engine
+// must be the one the search runs on: the coordinator reads its sample store
+// for replica deltas and computes local fallbacks against it.
+func NewCoordinator(eng *concolic.Engine, opts CoordinatorOptions) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		eng:     eng,
+		opts:    opts,
+		obs:     opts.Obs,
+		workers: make(map[int]*workerState),
+		tasks:   make(map[uint64]*task),
+	}
+	c.varBounds = make(map[int]smt.Bound)
+	for i, v := range eng.InputVars {
+		if i < len(opts.Bounds) {
+			b := opts.Bounds[i]
+			if b.HasLo || b.HasHi {
+				c.varBounds[v.ID] = b
+			}
+		}
+	}
+	return c
+}
+
+// config is the worker-facing compute configuration.
+func (c *Coordinator) config() WorkerConfig {
+	return WorkerConfig{
+		Workload:          c.opts.Workload,
+		Mode:              c.eng.Mode.String(),
+		Bounds:            c.opts.Bounds,
+		Refute:            c.opts.Refute,
+		ProverNodes:       c.opts.ProverNodes,
+		NoIncrementalSMT:  c.opts.NoIncrementalSMT,
+		ProofTimeoutNanos: int64(c.opts.ProofTimeout),
+	}
+}
+
+// Retire tells every worker (current and future polls) to exit cleanly. The
+// search calls it once the budget is exhausted.
+func (c *Coordinator) Retire() {
+	c.mu.Lock()
+	c.retired = true
+	c.mu.Unlock()
+}
+
+// Run executes the directed search with this coordinator dispatching its
+// batches, then retires the fleet. It is a drop-in replacement for
+// search.Run; opts.Dispatch is overwritten, and the compute knobs the
+// coordinator already shipped to workers (Bounds, Refute, ProverNodes,
+// NoIncrementalSMT) override their Options counterparts so the canonical
+// trajectory and the fleet config cannot disagree.
+func (c *Coordinator) Run(opts search.Options) *search.Stats {
+	opts.Dispatch = c
+	opts.Bounds = c.opts.Bounds
+	opts.Refute = c.opts.Refute
+	opts.ProverNodes = c.opts.ProverNodes
+	opts.NoIncrementalSMT = c.opts.NoIncrementalSMT
+	defer c.Retire()
+	return search.Run(c.eng, opts)
+}
+
+// --- search.Dispatcher ---
+
+// ExecBatch dispatches one execution batch and blocks until every reply is
+// in (remote or local-fallback).
+func (c *Coordinator) ExecBatch(reqs []search.ExecRequest) ([]search.ExecReply, error) {
+	tasks := make([]*task, len(reqs))
+	for i, r := range reqs {
+		tasks[i] = &task{
+			kind: TaskExec, version: r.Version, input: r.Input,
+			shard: search.ShardOf(r.Input, c.opts.Shards), leasedTo: -1,
+		}
+	}
+	if err := c.runBatch(tasks); err != nil {
+		return nil, err
+	}
+	out := make([]search.ExecReply, len(tasks))
+	for i, t := range tasks {
+		out[i] = search.ExecReply{
+			Ex: t.ex, Samples: t.samples, Panicked: t.panicked,
+			Worker: t.worker, DurNanos: t.durNanos,
+		}
+	}
+	return out, nil
+}
+
+// ProveBatch dispatches one validity-proof fan-out.
+func (c *Coordinator) ProveBatch(reqs []search.ProveRequest) ([]search.ProveReply, error) {
+	tasks := make([]*task, len(reqs))
+	for i, r := range reqs {
+		rec, err := sym.EncodeExpr(r.Alt)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding proof target: %w", err)
+		}
+		tasks[i] = &task{
+			kind: TaskProve, version: r.Version, altRec: rec,
+			// Proof targets have no input vector; their affinity comes from
+			// the formula's canonical key so repeated occurrences of a
+			// formula land on the same worker (warm prover structure).
+			shard: shardOfKey(r.Alt.Key(), c.opts.Shards), leasedTo: -1,
+		}
+	}
+	if err := c.runBatch(tasks); err != nil {
+		return nil, err
+	}
+	out := make([]search.ProveReply, len(tasks))
+	for i, t := range tasks {
+		out[i] = search.ProveReply{
+			Strategy: t.strategy, Outcome: t.outcome, Panicked: t.panicked,
+			Worker: t.worker, DurNanos: t.durNanos,
+		}
+	}
+	return out, nil
+}
+
+// SolveBatch dispatches one satisfiability fan-out.
+func (c *Coordinator) SolveBatch(reqs []search.SolveRequest) ([]search.SolveReply, error) {
+	version := c.eng.Samples.Len()
+	tasks := make([]*task, len(reqs))
+	for i, r := range reqs {
+		rec, err := sym.EncodeExpr(r.Alt)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding solver target: %w", err)
+		}
+		tasks[i] = &task{
+			kind: TaskSolve, version: version, altRec: rec,
+			shard: shardOfKey(r.Alt.Key(), c.opts.Shards), leasedTo: -1,
+		}
+	}
+	if err := c.runBatch(tasks); err != nil {
+		return nil, err
+	}
+	out := make([]search.SolveReply, len(tasks))
+	for i, t := range tasks {
+		out[i] = search.SolveReply{
+			Status: t.status, Model: t.model,
+			Worker: t.worker, DurNanos: t.durNanos,
+		}
+	}
+	return out, nil
+}
+
+// shardOfKey hashes an arbitrary string key into a shard, for tasks with no
+// input vector.
+func shardOfKey(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// runBatch posts the tasks to the board and blocks until all are done. The
+// sample store is frozen for the duration (the searcher is blocked in this
+// call and nothing else writes it), which is what lets poll handlers read
+// consistent store deltas. While waiting, the coordinator sweeps expired
+// leases and absorbs unservable tasks as local compute.
+func (c *Coordinator) runBatch(tasks []*task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	b := &batchState{remaining: len(tasks), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.batch != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: overlapping dispatch batches")
+	}
+	c.batch = b
+	for _, t := range tasks {
+		c.nextTask++
+		t.id = c.nextTask
+		c.tasks[t.id] = t
+		c.queue = append(c.queue, t.id)
+	}
+	c.publishBoard()
+	c.mu.Unlock()
+
+	sweep := c.opts.LeaseTimeout / 4
+	if sweep > 100*time.Millisecond {
+		sweep = 100 * time.Millisecond
+	}
+	if sweep <= 0 {
+		sweep = time.Millisecond
+	}
+	tick := time.NewTicker(sweep)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.done:
+			c.mu.Lock()
+			c.batch = nil
+			for _, t := range tasks {
+				delete(c.tasks, t.id)
+			}
+			c.publishBoard()
+			c.mu.Unlock()
+			return nil
+		case <-tick.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep reclaims expired leases and runs local fallback for tasks no worker
+// is going to serve. Called periodically while a batch is in flight.
+func (c *Coordinator) sweep() {
+	now := time.Now()
+	c.mu.Lock()
+	for _, t := range c.tasks {
+		if t.done || t.leasedTo < 0 {
+			continue
+		}
+		if now.After(t.leaseExp) {
+			t.leasedTo = -1
+			t.attempts++
+			c.queue = append(c.queue, t.id)
+			c.obs.Counter("fleet.lease_expiries").Add(1)
+		}
+	}
+	live := c.liveWorkersLocked(now)
+	var local []*task
+	var rest []uint64
+	for _, id := range c.queue {
+		t := c.tasks[id]
+		if t == nil || t.done {
+			continue
+		}
+		if t.attempts >= c.opts.MaxAttempts || live == 0 {
+			t.leasedTo = localWorker
+			local = append(local, t)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	c.queue = rest
+	c.publishBoard()
+	c.mu.Unlock()
+
+	for _, t := range local {
+		c.obs.Counter("fleet.local_fallbacks").Add(1)
+		c.computeLocal(t)
+	}
+}
+
+// computeLocal runs one task on the coordinator itself — the liveness
+// backstop that makes the fleet degrade to a single-process search when
+// workers disappear. Results are identical to remote compute by
+// construction: same engine configuration, same frozen store.
+func (c *Coordinator) computeLocal(t *task) {
+	t0 := time.Now()
+	switch t.kind {
+	case TaskExec:
+		overlay := sym.NewOverlay(c.eng.Samples)
+		ex, panicked := runShielded(c.eng.Clone(overlay), t.input)
+		c.completeExec(t, ex, overlay.Local(), panicked, localWorker, time.Since(t0))
+	case TaskProve:
+		alt, err := sym.DecodeExpr(t.altRec, sym.NewResolver(c.eng.Pool, c.eng.InputVars))
+		if err != nil {
+			c.completeProve(t, nil, fol.OutcomeUnknown, true, localWorker, time.Since(t0))
+			return
+		}
+		st, outcome, panicked := proveShielded(alt, c.eng.Samples, c.proveOptions())
+		c.completeProve(t, st, outcome, panicked, localWorker, time.Since(t0))
+	case TaskSolve:
+		alt, err := sym.DecodeExpr(t.altRec, sym.NewResolver(c.eng.Pool, c.eng.InputVars))
+		if err != nil {
+			c.completeSolve(t, smt.StatusUnknown, nil, localWorker, time.Since(t0))
+			return
+		}
+		status, model := smt.Solve(alt, smt.Options{
+			Pool: c.eng.Pool, VarBounds: c.varBounds,
+			Deadline: deadlineAfter(c.opts.ProofTimeout),
+		})
+		c.completeSolve(t, status, model, localWorker, time.Since(t0))
+	}
+}
+
+// proveOptions are the prover options shared by local fallback (worker-side
+// equivalents are rebuilt from WorkerConfig).
+func (c *Coordinator) proveOptions() fol.Options {
+	return fol.Options{
+		Pool:             c.eng.Pool,
+		VarBounds:        c.varBounds,
+		NoRefute:         !c.opts.Refute,
+		MaxNodes:         c.opts.ProverNodes,
+		NoIncrementalSMT: c.opts.NoIncrementalSMT,
+		Deadline:         deadlineAfter(c.opts.ProofTimeout),
+	}
+}
+
+// deadlineAfter converts a relative timeout to an absolute deadline (zero
+// timeout = no deadline).
+func deadlineAfter(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// runShielded executes one input, converting executor panics into a dropped
+// run — the same shield the in-process searcher uses.
+func runShielded(eng *concolic.Engine, input []int64) (ex *concolic.Execution, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ex, panicked = nil, true
+		}
+	}()
+	return eng.Run(input), false
+}
+
+// proveShielded discharges one proof, converting prover panics into an
+// unknown outcome — the same shield the in-process searcher uses.
+func proveShielded(alt sym.Expr, samples *sym.SampleStore, opts fol.Options) (st *fol.Strategy, outcome fol.Outcome, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			st, outcome, panicked = nil, fol.OutcomeUnknown, true
+		}
+	}()
+	st, outcome = fol.ProveCore(alt, samples, opts)
+	return st, outcome, false
+}
+
+// complete* record a finished task and signal the waiting batch. First
+// result wins: completions of already-done tasks are dropped and counted.
+
+func (c *Coordinator) completeExec(t *task, ex *concolic.Execution, smps []sym.Sample, panicked bool, worker int, dur time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		c.obs.Counter("fleet.dup_results").Add(1)
+		return false
+	}
+	t.done = true
+	t.ex, t.samples, t.panicked = ex, smps, panicked
+	t.worker, t.durNanos = worker, int64(dur)
+	c.obs.Counter("fleet.tasks.exec").Add(1)
+	c.signalLocked()
+	return true
+}
+
+func (c *Coordinator) completeProve(t *task, st *fol.Strategy, outcome fol.Outcome, panicked bool, worker int, dur time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		c.obs.Counter("fleet.dup_results").Add(1)
+		return false
+	}
+	t.done = true
+	t.strategy, t.outcome, t.panicked = st, outcome, panicked
+	t.worker, t.durNanos = worker, int64(dur)
+	c.obs.Counter("fleet.tasks.prove").Add(1)
+	c.signalLocked()
+	return true
+}
+
+func (c *Coordinator) completeSolve(t *task, status smt.Status, model *smt.Model, worker int, dur time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		c.obs.Counter("fleet.dup_results").Add(1)
+		return false
+	}
+	t.done = true
+	t.status, t.model = status, model
+	t.worker, t.durNanos = worker, int64(dur)
+	c.obs.Counter("fleet.tasks.solve").Add(1)
+	c.signalLocked()
+	return true
+}
+
+func (c *Coordinator) signalLocked() {
+	if b := c.batch; b != nil {
+		b.remaining--
+		if b.remaining == 0 {
+			close(b.done)
+		}
+	}
+}
+
+// liveWorkersLocked counts workers seen recently enough to still be trusted
+// with leases.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	horizon := 2 * c.opts.LeaseTimeout
+	n := 0
+	for _, w := range c.workers {
+		if !w.retired && now.Sub(w.lastSeen) < horizon {
+			n++
+		}
+	}
+	return n
+}
+
+// publishBoard refreshes the task-board gauges. Callers hold mu.
+func (c *Coordinator) publishBoard() {
+	if !c.obs.Enabled() {
+		return
+	}
+	pending, inflight := 0, 0
+	for _, t := range c.tasks {
+		switch {
+		case t.done:
+		case t.leasedTo == -1:
+			pending++
+		default:
+			inflight++
+		}
+	}
+	c.obs.Gauge("fleet.tasks.pending").Set(int64(pending))
+	c.obs.Gauge("fleet.tasks.inflight").Set(int64(inflight))
+	c.obs.Gauge("fleet.workers").Set(int64(c.liveWorkersLocked(time.Now())))
+}
+
+// Info is the /statusz headline contribution: live fleet shape plus every
+// worker's piggybacked gauges, flattened as worker<id>_<key>.
+func (c *Coordinator) Info() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int64{
+		"fleet_workers":  int64(c.liveWorkersLocked(time.Now())),
+		"fleet_joined":   int64(c.nextWorker),
+		"fleet_shards":   int64(c.opts.Shards),
+		"fleet_inflight": 0,
+	}
+	for _, t := range c.tasks {
+		if !t.done && t.leasedTo != -1 {
+			out["fleet_inflight"]++
+		}
+	}
+	ids := make([]int, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		for k, v := range w.gauges {
+			out[fmt.Sprintf("worker%d_%s", id, k)] = v
+		}
+	}
+	return out
+}
+
+// --- HTTP surface ---
+
+// Handler serves the three fleet endpoints. Mount it under /fleet/ next to
+// the obshttp introspection handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/join", c.handleJoin)
+	mux.HandleFunc("/fleet/poll", c.handlePoll)
+	mux.HandleFunc("/fleet/result", c.handleResult)
+	return mux
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readEnvelope(w, r, MsgJoinRequest, &req) {
+		return
+	}
+	if req.Workload != "" && req.Workload != c.opts.Workload {
+		httpError(w, http.StatusConflict, fmt.Sprintf("workload %q, coordinator runs %q", req.Workload, c.opts.Workload))
+		return
+	}
+	if req.Mode != "" && req.Mode != c.eng.Mode.String() {
+		httpError(w, http.StatusConflict, fmt.Sprintf("mode %q, coordinator runs %q", req.Mode, c.eng.Mode.String()))
+		return
+	}
+	samples := encodeSamples(c.eng.Samples.All())
+	c.mu.Lock()
+	id := c.nextWorker
+	c.nextWorker++
+	c.workers[id] = &workerState{id: id, pid: req.Pid, lastSeen: time.Now()}
+	c.mu.Unlock()
+	c.obs.Counter("fleet.joins").Add(1)
+	writeEnvelope(w, MsgJoinReply, &JoinReply{
+		Worker: id, Shards: c.opts.Shards, Config: c.config(),
+		Samples: samples, Version: len(samples),
+	})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !readEnvelope(w, r, MsgPollRequest, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	ws := c.workers[req.Worker]
+	if ws == nil {
+		c.mu.Unlock()
+		httpError(w, http.StatusGone, fmt.Sprintf("unknown worker %d (rejoin)", req.Worker))
+		return
+	}
+	ws.lastSeen = now
+	if req.Gauges != nil {
+		ws.gauges = req.Gauges
+	}
+	if c.retired {
+		ws.retired = true
+		c.mu.Unlock()
+		writeEnvelope(w, MsgPollReply, &PollReply{Op: OpRetire})
+		return
+	}
+	t := c.assignLocked(req.Worker, now)
+	c.publishBoard()
+	c.mu.Unlock()
+	if t == nil {
+		writeEnvelope(w, MsgPollReply, &PollReply{Op: OpWait, WaitNanos: int64(c.opts.LeaseTimeout / 8)})
+		return
+	}
+	reply := &PollReply{Op: OpTask, Task: &TaskRec{
+		ID: t.id, Kind: t.kind, Version: t.version, Shard: t.shard,
+		Input: t.input, Alt: t.altRec,
+	}}
+	if req.Version < t.version {
+		// The store is frozen while the batch is in flight, so this slice is
+		// the exact insertion-order delta the replica is missing.
+		reply.Samples = encodeSamples(c.eng.Samples.All()[req.Version:t.version])
+	} else if req.Version > t.version {
+		// A replica ahead of the coordinator can only mean a protocol bug;
+		// refuse rather than hand out a task it would prove against the
+		// wrong store.
+		c.requeue(t)
+		httpError(w, http.StatusConflict, fmt.Sprintf("replica at version %d, coordinator at %d", req.Version, t.version))
+		return
+	}
+	writeEnvelope(w, MsgPollReply, reply)
+}
+
+// assignLocked picks the next task for a worker: expired leases are reclaimed
+// first, then the oldest queued task of the worker's home shard, then — work
+// stealing — the oldest queued task of any shard.
+func (c *Coordinator) assignLocked(worker int, now time.Time) *task {
+	for _, t := range c.tasks {
+		if !t.done && t.leasedTo >= 0 && now.After(t.leaseExp) {
+			t.leasedTo = -1
+			t.attempts++
+			c.queue = append(c.queue, t.id)
+			c.obs.Counter("fleet.lease_expiries").Add(1)
+		}
+	}
+	home := worker % c.opts.Shards
+	pick := -1
+	for i, id := range c.queue {
+		t := c.tasks[id]
+		if t == nil || t.done || t.leasedTo != -1 {
+			continue
+		}
+		if t.shard == home {
+			pick = i
+			break
+		}
+		if pick == -1 {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		return nil
+	}
+	id := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	t := c.tasks[id]
+	t.leasedTo = worker
+	t.leaseExp = now.Add(c.opts.LeaseTimeout)
+	if t.shard != home {
+		c.obs.Counter("fleet.steals").Add(1)
+	}
+	return t
+}
+
+// requeue puts a leased task back on the board (decode failure, version
+// refusal).
+func (c *Coordinator) requeue(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !t.done {
+		t.leasedTo = -1
+		t.attempts++
+		c.queue = append(c.queue, t.id)
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readEnvelope(w, r, MsgResultRequest, &req) {
+		return
+	}
+	c.mu.Lock()
+	if ws := c.workers[req.Worker]; ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	t := c.tasks[req.Task]
+	c.mu.Unlock()
+	if t == nil || t.done {
+		// The batch already closed (a re-leased twin finished first) or the
+		// task was re-resolved; either way this result is a duplicate.
+		c.obs.Counter("fleet.dup_results").Add(1)
+		writeEnvelope(w, MsgResultReply, &ResultReply{OK: true, Duplicate: true})
+		return
+	}
+	dur := time.Duration(req.DurNanos)
+	var applied bool
+	var err error
+	switch {
+	case t.kind == TaskExec && req.Exec != nil:
+		var ex *concolic.Execution
+		var smps []sym.Sample
+		ex, smps, err = decodeExec(req.Exec, c.eng, t.input)
+		if err == nil {
+			applied = c.completeExec(t, ex, smps, req.Exec.Panicked, req.Worker, dur)
+		}
+	case t.kind == TaskProve && req.Prove != nil:
+		var st *fol.Strategy
+		var outcome fol.Outcome
+		st, outcome, err = decodeProve(req.Prove, c.eng)
+		if err == nil {
+			applied = c.completeProve(t, st, outcome, req.Prove.Panicked, req.Worker, dur)
+		}
+	case t.kind == TaskSolve && req.Solve != nil:
+		var status smt.Status
+		var model *smt.Model
+		status, model, err = decodeSolve(req.Solve)
+		if err == nil {
+			applied = c.completeSolve(t, status, model, req.Worker, dur)
+		}
+	default:
+		err = fmt.Errorf("result payload does not match task kind %s", t.kind)
+	}
+	if err != nil {
+		c.obs.Counter("fleet.bad_results").Add(1)
+		c.requeue(t)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeEnvelope(w, MsgResultReply, &ResultReply{OK: true, Duplicate: !applied})
+}

@@ -1,0 +1,77 @@
+// Package fleet shards a directed search across processes: one coordinator
+// owns the canonical search (queues, dedup sets, proof cache, sample store,
+// statistics — exactly the single-process searcher) and a fleet of workers
+// computes its batches — test executions, validity proofs, satisfiability
+// checks — over a stdlib net/http + JSON protocol.
+//
+// The design inverts the usual "partition the state" instinct: sharding the
+// *frontier* across processes would make the trajectory depend on the
+// partition, and the load-bearing invariant of the whole system is that
+// canonical stats are bit-identical at any scale. Instead the coordinator
+// keeps the canonical trajectory and ships only pure compute: every task is a
+// function of its request plus a pinned sample-store version, so where it
+// runs cannot matter. Shard ownership (by input-key hash, search.ShardOf)
+// decides which worker is *offered* a task first; an idle worker steals work
+// from other shards, a crashed worker's leases expire and re-enqueue, and a
+// task nobody serves falls back to local computation on the coordinator — all
+// of it invisible to the merged result. DESIGN.md §13 gives the wire-level
+// spec and the determinism and failure arguments; docs/OPERATIONS.md is the
+// operator's view.
+//
+// Message envelopes are versioned and integrity-summed like campaign
+// checkpoints: every HTTP body is an Envelope{protocol, type, sha256(body),
+// body}, and both sides reject sum or version mismatches before decoding.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/smt"
+)
+
+// ProtocolVersion is the wire-protocol generation. A coordinator rejects
+// envelopes from any other generation, so a mixed-version fleet fails at
+// join time instead of corrupting a campaign.
+const ProtocolVersion = 1
+
+// WorkerConfig is everything a worker needs to rebuild the coordinator's
+// compute environment bit-identically: the workload (rebuilt from the
+// registry by name), the mode, and every option the executors and provers
+// read. It travels in the join reply.
+type WorkerConfig struct {
+	// Workload is the lexapp registry name of the program under test.
+	Workload string `json:"workload"`
+	// Mode is the concolic mode, in Mode.String() form.
+	Mode string `json:"mode"`
+	// Bounds are the per-input domains, aligned with the program shape.
+	Bounds []smt.Bound `json:"bounds,omitempty"`
+	// Refute enables the invalidity prover (higher-order mode).
+	Refute bool `json:"refute,omitempty"`
+	// ProverNodes caps the validity-proof search per target.
+	ProverNodes int `json:"prover_nodes,omitempty"`
+	// NoIncrementalSMT disables solver sessions in the prover, as in
+	// search.Options (results are bit-identical either way).
+	NoIncrementalSMT bool `json:"no_incremental_smt,omitempty"`
+	// ProofTimeoutNanos is the per-proof wall-clock deadline (0 = none).
+	ProofTimeoutNanos int64 `json:"proof_timeout_nanos,omitempty"`
+}
+
+// ProofTimeout returns the per-proof deadline as a duration.
+func (c WorkerConfig) ProofTimeout() time.Duration {
+	return time.Duration(c.ProofTimeoutNanos)
+}
+
+// ParseMode inverts concolic.Mode.String for the wire config.
+func ParseMode(s string) (concolic.Mode, error) {
+	for _, m := range []concolic.Mode{
+		concolic.ModeStatic, concolic.ModeUnsound, concolic.ModeSound,
+		concolic.ModeSoundDelayed, concolic.ModeHigherOrder,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown mode %q", s)
+}

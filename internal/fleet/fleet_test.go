@@ -1,0 +1,213 @@
+package fleet_test
+
+import (
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fleet"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// mustCanonical renders the deterministic projection of a search's stats.
+func mustCanonical(t *testing.T, st *search.Stats) string {
+	t.Helper()
+	b, err := st.Canonical()
+	if err != nil {
+		t.Fatalf("Stats.Canonical: %v", err)
+	}
+	return string(b)
+}
+
+// plainRun is the single-process baseline every fleet run must reproduce.
+func plainRun(t *testing.T, w *lexapp.Workload, opts search.Options) *search.Stats {
+	t.Helper()
+	if opts.Seeds == nil {
+		opts.Seeds = w.Seeds
+	}
+	if opts.Bounds == nil {
+		opts.Bounds = w.Bounds
+	}
+	opts.Workers = 1
+	return search.Run(concolic.New(w.Build(), concolic.ModeHigherOrder), opts)
+}
+
+// startFleet builds a coordinator over a fresh engine, serves it on a test
+// HTTP server, and starts n in-process workers. The returned wait function
+// blocks until every worker has exited and returns their errors.
+func startFleet(t *testing.T, w *lexapp.Workload, n int) (*fleet.Coordinator, *httptest.Server, func() []error) {
+	t.Helper()
+	eng := concolic.New(w.Build(), concolic.ModeHigherOrder)
+	coord := fleet.NewCoordinator(eng, fleet.CoordinatorOptions{
+		Workload:     w.Name,
+		Shards:       n,
+		Bounds:       w.Bounds,
+		LeaseTimeout: 250 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = fleet.RunWorker(fleet.WorkerOptions{
+				Coordinator: srv.URL,
+				JoinTimeout: 5 * time.Second,
+			})
+		}(i)
+	}
+	return coord, srv, func() []error { wg.Wait(); return errs }
+}
+
+// TestFleetDeterminism is the tentpole acceptance test: for the paper
+// workloads, a fleet of any size produces canonical stats bit-identical to
+// the single-process search, and every worker retires cleanly when the
+// budget is exhausted.
+func TestFleetDeterminism(t *testing.T) {
+	cases := []struct {
+		workload string
+		opts     search.Options
+	}{
+		{"foo", search.Options{MaxRuns: 60}},
+		{"bar", search.Options{MaxRuns: 60}},
+		{"kstep-2", search.Options{MaxRuns: 60, MaxMultiStep: 4}},
+		{"lexer", search.Options{MaxRuns: 60}},
+	}
+	for _, tc := range cases {
+		w, ok := lexapp.Get(tc.workload)
+		if !ok {
+			t.Fatalf("workload %q not registered", tc.workload)
+		}
+		want := mustCanonical(t, plainRun(t, w, tc.opts))
+		for _, n := range []int{1, 2, 4} {
+			coord, _, wait := startFleet(t, w, n)
+			opts := tc.opts
+			opts.Seeds, opts.Bounds, opts.Workers = w.Seeds, w.Bounds, 1
+			st := coord.Run(opts)
+			if st.DispatchError != "" {
+				t.Fatalf("%s fleet=%d: dispatch error: %s", tc.workload, n, st.DispatchError)
+			}
+			if got := mustCanonical(t, st); got != want {
+				t.Errorf("%s fleet=%d: canonical stats diverged:\nsingle-process: %s\nfleet:          %s",
+					tc.workload, n, want, got)
+			}
+			for i, err := range wait() {
+				if err != nil {
+					t.Errorf("%s fleet=%d: worker %d did not retire cleanly: %v", tc.workload, n, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetSurvivesKilledWorker is the kill -9 drill at the protocol level:
+// one of two workers reaches the coordinator through a proxy that is torn
+// down mid-run (connections die without any goodbye, exactly like SIGKILL).
+// The coordinator must finish via lease expiry — reassigning the dead
+// worker's tasks to the survivor or absorbing them locally — with canonical
+// stats identical to the single-process run: nothing lost, nothing doubled.
+func TestFleetSurvivesKilledWorker(t *testing.T) {
+	w, ok := lexapp.Get("lexer")
+	if !ok {
+		t.Fatal("workload lexer not registered")
+	}
+	opts := search.Options{MaxRuns: 60}
+	want := mustCanonical(t, plainRun(t, w, opts))
+
+	eng := concolic.New(w.Build(), concolic.ModeHigherOrder)
+	coord := fleet.NewCoordinator(eng, fleet.CoordinatorOptions{
+		Workload:     w.Name,
+		Shards:       2,
+		Bounds:       w.Bounds,
+		LeaseTimeout: 150 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// The victim's only route to the coordinator: a reverse proxy we can
+	// yank. Counting forwarded requests lets the test kill it only after the
+	// victim has joined and actually holds work.
+	target, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forwarded atomic.Int64
+	rp := httputil.NewSingleHostReverseProxy(target)
+	proxy := httptest.NewServer(httpCountWrap(&forwarded, rp))
+	defer proxy.Close()
+
+	var wg sync.WaitGroup
+	var survivorErr, victimErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		survivorErr = fleet.RunWorker(fleet.WorkerOptions{
+			Coordinator: srv.URL, JoinTimeout: 5 * time.Second,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		victimErr = fleet.RunWorker(fleet.WorkerOptions{
+			Coordinator: proxy.URL, JoinTimeout: time.Second,
+		})
+	}()
+	go func() {
+		// Kill the victim's link once it has joined and polled a few times.
+		for forwarded.Load() < 5 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		proxy.CloseClientConnections()
+		proxy.Close()
+	}()
+
+	runOpts := opts
+	runOpts.Seeds, runOpts.Bounds, runOpts.Workers = w.Seeds, w.Bounds, 1
+	st := coord.Run(runOpts)
+	if st.DispatchError != "" {
+		t.Fatalf("dispatch error with a killed worker: %s", st.DispatchError)
+	}
+	if got := mustCanonical(t, st); got != want {
+		t.Errorf("killed worker changed the trajectory:\nsingle-process: %s\nfleet:          %s", want, got)
+	}
+	wg.Wait()
+	if survivorErr != nil {
+		t.Errorf("surviving worker did not retire cleanly: %v", survivorErr)
+	}
+	if victimErr == nil {
+		t.Error("victim worker exited nil despite its link being severed")
+	}
+}
+
+// TestFleetLocalFallbackOnly: a coordinator with zero workers must still
+// complete the search (every task absorbed locally) with identical canonical
+// stats — the degenerate fleet is just a slower single process.
+func TestFleetLocalFallbackOnly(t *testing.T) {
+	w, ok := lexapp.Get("foo")
+	if !ok {
+		t.Fatal("workload foo not registered")
+	}
+	opts := search.Options{MaxRuns: 40}
+	want := mustCanonical(t, plainRun(t, w, opts))
+	eng := concolic.New(w.Build(), concolic.ModeHigherOrder)
+	coord := fleet.NewCoordinator(eng, fleet.CoordinatorOptions{
+		Workload: w.Name, Shards: 2, Bounds: w.Bounds,
+		LeaseTimeout: 50 * time.Millisecond,
+	})
+	runOpts := opts
+	runOpts.Seeds, runOpts.Bounds, runOpts.Workers = w.Seeds, w.Bounds, 1
+	st := coord.Run(runOpts)
+	if st.DispatchError != "" {
+		t.Fatalf("dispatch error with no workers: %s", st.DispatchError)
+	}
+	if got := mustCanonical(t, st); got != want {
+		t.Errorf("workerless fleet diverged:\nsingle-process: %s\nfleet: %s", want, got)
+	}
+}

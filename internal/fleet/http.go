@@ -1,0 +1,107 @@
+package fleet
+
+// HTTP plumbing shared by the coordinator handlers and the worker client:
+// every exchange is a POST whose request and response bodies are sealed
+// Envelopes. Transport errors and envelope violations are kept distinct from
+// application-level refusals (non-200 statuses with a plain-text reason).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxBodyBytes bounds any single message body (requests and replies). The
+// largest legitimate payloads — a join reply carrying a full sample store, an
+// exec result carrying a long path constraint — are well under this.
+const maxBodyBytes = 64 << 20
+
+// readEnvelope decodes and verifies a sealed request body, writing the HTTP
+// error itself (and returning false) on any violation.
+func readEnvelope(w http.ResponseWriter, r *http.Request, typ string, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	var env Envelope
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&env); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed envelope: %v", err))
+		return false
+	}
+	if err := env.Open(typ, dst); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	return true
+}
+
+// writeEnvelope seals and writes a reply body.
+func writeEnvelope(w http.ResponseWriter, typ string, body any) {
+	env, err := Seal(typ, body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(env)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}
+
+// client is the worker side of the exchange: seal, POST, verify, open.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(coordinator string, timeout time.Duration) *client {
+	return &client{
+		base: strings.TrimRight(coordinator, "/"),
+		http: &http.Client{Timeout: timeout},
+	}
+}
+
+// statusError is an application-level refusal from the coordinator (non-200
+// with a reason), as opposed to a transport failure.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("fleet: coordinator refused (%d): %s", e.code, e.msg)
+}
+
+// roundTrip POSTs a sealed request to path and opens the sealed reply.
+func (c *client) roundTrip(path, reqType string, req any, replyType string, reply any) error {
+	env, err := Seal(reqType, req)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding %s envelope: %w", reqType, err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("fleet: reading %s reply: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{code: resp.StatusCode, msg: strings.TrimSpace(string(body))}
+	}
+	var renv Envelope
+	if err := json.Unmarshal(body, &renv); err != nil {
+		return fmt.Errorf("fleet: malformed %s reply envelope: %w", path, err)
+	}
+	return renv.Open(replyType, reply)
+}

@@ -1,0 +1,221 @@
+package fleet
+
+// The wire protocol: versioned, integrity-summed envelopes around typed JSON
+// messages, POSTed to three coordinator endpoints. DESIGN.md §13 specifies
+// every schema field-by-field; this file is that spec in code.
+//
+//	POST /fleet/join    JoinRequest   → JoinReply
+//	POST /fleet/poll    PollRequest   → PollReply
+//	POST /fleet/result  ResultRequest → ResultReply
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"hotg/internal/fol"
+	"hotg/internal/mini"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// Message type tags, one per schema.
+const (
+	MsgJoinRequest   = "join_request"
+	MsgJoinReply     = "join_reply"
+	MsgPollRequest   = "poll_request"
+	MsgPollReply     = "poll_reply"
+	MsgResultRequest = "result_request"
+	MsgResultReply   = "result_reply"
+)
+
+// Envelope frames every message on the wire: the protocol generation, the
+// message type, and the SHA-256 of the body — the same integrity discipline
+// as campaign checkpoint frames. Open rejects a mismatch on any of the three
+// before the body is decoded.
+type Envelope struct {
+	Protocol int             `json:"protocol"`
+	Type     string          `json:"type"`
+	Sum      string          `json:"sum"`
+	Body     json.RawMessage `json:"body"`
+}
+
+// Seal wraps a message body in a checked envelope.
+func Seal(typ string, body any) (*Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding %s: %w", typ, err)
+	}
+	sum := sha256.Sum256(raw)
+	return &Envelope{
+		Protocol: ProtocolVersion,
+		Type:     typ,
+		Sum:      hex.EncodeToString(sum[:]),
+		Body:     raw,
+	}, nil
+}
+
+// Open verifies the envelope's protocol version, type tag, and integrity sum,
+// then decodes the body into dst.
+func (e *Envelope) Open(typ string, dst any) error {
+	if e.Protocol != ProtocolVersion {
+		return fmt.Errorf("fleet: protocol %d, want %d", e.Protocol, ProtocolVersion)
+	}
+	if e.Type != typ {
+		return fmt.Errorf("fleet: message type %q, want %q", e.Type, typ)
+	}
+	sum := sha256.Sum256(e.Body)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return fmt.Errorf("fleet: %s envelope integrity sum mismatch", e.Type)
+	}
+	if err := json.Unmarshal(e.Body, dst); err != nil {
+		return fmt.Errorf("fleet: decoding %s: %w", e.Type, err)
+	}
+	return nil
+}
+
+// JoinRequest introduces a worker. The workload/mode echo lets the
+// coordinator reject a worker started against the wrong campaign outright
+// (empty strings skip the check — the worker then trusts the join reply).
+type JoinRequest struct {
+	Pid      int    `json:"pid,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+}
+
+// JoinReply assigns the worker its identity and ships the full compute
+// configuration plus the current sample store (the replica's starting state).
+type JoinReply struct {
+	// Worker is the coordinator-assigned id; Shards the shard modulus (the
+	// worker's home shard is Worker mod Shards).
+	Worker int `json:"worker"`
+	Shards int `json:"shards"`
+	// Config rebuilds the engine and prover options worker-side.
+	Config WorkerConfig `json:"config"`
+	// Samples is the coordinator's sample store at join, in insertion order;
+	// Version is its length. The replica must preserve the order exactly —
+	// prover choice ordering depends on it.
+	Samples []SampleRec `json:"samples,omitempty"`
+	Version int         `json:"version"`
+}
+
+// PollRequest asks for work. Version is the worker's replica store length, so
+// the coordinator can ship exactly the missing delta with the next task.
+// Gauges piggybacks the worker's self-reported metrics; the coordinator
+// republishes them as fleet.worker.<id>.<key> gauges on /statusz.
+type PollRequest struct {
+	Worker  int              `json:"worker"`
+	Version int              `json:"version"`
+	Gauges  map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Poll operations.
+const (
+	OpTask   = "task"   // a task is attached
+	OpWait   = "wait"   // no work right now; poll again after WaitNanos
+	OpRetire = "retire" // the campaign is over; exit cleanly
+)
+
+// PollReply carries one of three operations. With OpTask, Samples holds the
+// store delta from the worker's reported version up to the task's pinned
+// version, in insertion order.
+type PollReply struct {
+	Op        string      `json:"op"`
+	Task      *TaskRec    `json:"task,omitempty"`
+	Samples   []SampleRec `json:"samples,omitempty"`
+	WaitNanos int64       `json:"wait_nanos,omitempty"`
+}
+
+// Task kinds.
+const (
+	TaskExec  = "exec"
+	TaskProve = "prove"
+	TaskSolve = "solve"
+)
+
+// TaskRec is one unit of dispatched compute.
+type TaskRec struct {
+	ID   uint64 `json:"id"`
+	Kind string `json:"kind"`
+	// Version pins the sample-store length the task must be computed
+	// against. Binding for prove tasks (the worker refuses a version it
+	// cannot reach); advisory for exec and solve, whose semantics never read
+	// the store.
+	Version int `json:"version"`
+	// Shard is the owning shard (search.ShardOf of the driving input); a
+	// worker serving a task outside its home shard is a steal.
+	Shard int `json:"shard"`
+	// Input is the vector to execute (TaskExec).
+	Input []int64 `json:"input,omitempty"`
+	// Alt is the target formula (TaskProve, TaskSolve).
+	Alt *sym.ExprRec `json:"alt,omitempty"`
+}
+
+// ResultRequest posts one finished task. Exactly one of Exec/Prove/Solve is
+// set, matching the task kind.
+type ResultRequest struct {
+	Worker   int             `json:"worker"`
+	Task     uint64          `json:"task"`
+	DurNanos int64           `json:"dur_nanos,omitempty"`
+	Exec     *ExecResultRec  `json:"exec,omitempty"`
+	Prove    *ProveResultRec `json:"prove,omitempty"`
+	Solve    *SolveResultRec `json:"solve,omitempty"`
+}
+
+// ResultReply acknowledges a posted result. Duplicate marks a result for a
+// task that was already completed (first result wins; the coordinator drops
+// and counts the rest — re-leased tasks make duplicates normal, not errors).
+type ResultReply struct {
+	OK        bool `json:"ok"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// SampleRec is one IOF store entry on the wire (same shape as the sym
+// package's persistent sample format).
+type SampleRec struct {
+	Fn    string  `json:"fn"`
+	Arity int     `json:"arity"`
+	Args  []int64 `json:"args"`
+	Out   int64   `json:"out"`
+}
+
+// ConstraintRec is one path-constraint conjunct of a shipped execution.
+type ConstraintRec struct {
+	Expr             *sym.ExprRec `json:"expr"`
+	IsConcretization bool         `json:"conc,omitempty"`
+	EventIndex       int          `json:"ev"`
+	Pos              mini.Pos     `json:"pos"`
+}
+
+// ExecResultRec is a completed execution: the concrete result, the path
+// constraint, the imprecision accounting, and the samples the run newly
+// observed (the worker overlay's local entries, in observation order). A
+// Panicked record carries nothing else — the run is dropped and accounted
+// exactly like a local executor panic.
+type ExecResultRec struct {
+	Panicked        bool            `json:"panicked,omitempty"`
+	Result          *mini.Result    `json:"result,omitempty"`
+	PC              []ConstraintRec `json:"pc,omitempty"`
+	Incomplete      bool            `json:"incomplete,omitempty"`
+	Concretizations int             `json:"concretizations,omitempty"`
+	UFApps          int             `json:"uf_apps,omitempty"`
+	NewSamples      int             `json:"new_samples,omitempty"`
+	Samples         []SampleRec     `json:"samples,omitempty"`
+}
+
+// ProveResultRec is a validity-proof verdict: the outcome in
+// fol.Outcome.String() form, the proved core strategy when the outcome is
+// proved, and whether the proof panicked and was recovered.
+type ProveResultRec struct {
+	Outcome  string           `json:"outcome"`
+	Strategy *fol.StrategyRec `json:"strategy,omitempty"`
+	Panicked bool             `json:"panicked,omitempty"`
+}
+
+// SolveResultRec is a satisfiability verdict: the status in
+// smt.Status.String() form and the model when satisfiable.
+type SolveResultRec struct {
+	Status string     `json:"status"`
+	Model  *smt.Model `json:"model,omitempty"`
+}

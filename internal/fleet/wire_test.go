@@ -1,0 +1,84 @@
+package fleet_test
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"hotg/internal/fleet"
+	"hotg/internal/search"
+)
+
+// httpCountWrap counts requests through a handler (the kill-drill trigger).
+func httpCountWrap(n *atomic.Int64, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TestEnvelopeIntegrity: the envelope rejects protocol, type, and sum
+// mismatches before any body decoding.
+func TestEnvelopeIntegrity(t *testing.T) {
+	env, err := fleet.Seal(fleet.MsgPollRequest, &fleet.PollRequest{Worker: 3, Version: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var req fleet.PollRequest
+	if err := env.Open(fleet.MsgPollRequest, &req); err != nil {
+		t.Fatalf("clean open failed: %v", err)
+	}
+	if req.Worker != 3 || req.Version != 7 {
+		t.Fatalf("round trip mangled the body: %+v", req)
+	}
+
+	if err := env.Open(fleet.MsgPollReply, &req); err == nil {
+		t.Error("wrong message type was accepted")
+	}
+
+	tampered := *env
+	tampered.Body = append([]byte(nil), env.Body...)
+	tampered.Body[len(tampered.Body)-2]++ // flip a byte inside the JSON
+	if err := tampered.Open(fleet.MsgPollRequest, &req); err == nil {
+		t.Error("tampered body passed the integrity sum")
+	}
+
+	wrongGen := *env
+	wrongGen.Protocol = fleet.ProtocolVersion + 1
+	if err := wrongGen.Open(fleet.MsgPollRequest, &req); err == nil {
+		t.Error("future protocol generation was accepted")
+	}
+}
+
+// TestShardOfStability: shard assignment is a pure function of the input,
+// lands in range, and actually spreads distinct inputs around.
+func TestShardOfStability(t *testing.T) {
+	inputs := [][]int64{
+		{0}, {1}, {2, 3}, {4, 5, 6}, {7, 8, 9, 10}, {-1, -2}, {1 << 40},
+	}
+	seen := make(map[int]bool)
+	for _, in := range inputs {
+		s := search.ShardOf(in, 4)
+		if s != search.ShardOf(in, 4) {
+			t.Fatalf("ShardOf(%v) is not stable", in)
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%v, 4) = %d out of range", in, s)
+		}
+		seen[s] = true
+		if got := search.ShardOf(in, 1); got != 0 {
+			t.Fatalf("ShardOf(%v, 1) = %d, want 0", in, got)
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("ShardOf sent every probe input to the same shard: %v", seen)
+	}
+}
+
+// TestParseMode round-trips every mode through its wire form.
+func TestParseMode(t *testing.T) {
+	if _, err := fleet.ParseMode("definitely-not-a-mode"); err == nil {
+		t.Error("unknown mode parsed")
+	}
+}

@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fol"
+	"hotg/internal/lexapp"
+	"hotg/internal/obs"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// WorkerOptions configures one fleet worker process.
+type WorkerOptions struct {
+	// Coordinator is the base URL of the coordinator's HTTP surface,
+	// e.g. "http://127.0.0.1:8700".
+	Coordinator string
+	// Workload and Mode, when non-empty, are echoed in the join request so a
+	// coordinator running a different campaign refuses the worker at join
+	// time instead of feeding it alien tasks.
+	Workload string
+	Mode     string
+	// JoinTimeout bounds the initial join retry loop (default 15s) — the
+	// window in which a worker started before its coordinator keeps trying.
+	JoinTimeout time.Duration
+	// RequestTimeout bounds each HTTP exchange (default 60s; result posts
+	// carry whole executions, so keep it generous).
+	RequestTimeout time.Duration
+	// Obs receives the worker-local counters (nil disables). The same
+	// numbers are piggybacked on every poll for the coordinator's /statusz.
+	Obs *obs.Obs
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.JoinTimeout <= 0 {
+		o.JoinTimeout = 15 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// worker is the run state of one fleet worker: its identity, its rebuilt
+// engine, and its sample-store replica (the engine's own store).
+type worker struct {
+	opts   WorkerOptions
+	client *client
+	obs    *obs.Obs
+
+	id        int
+	shards    int
+	cfg       WorkerConfig
+	eng       *concolic.Engine
+	varBounds map[int]smt.Bound
+
+	// Self-reported load figures, piggybacked on polls.
+	served map[string]int64
+}
+
+// RunWorker joins the fleet at the coordinator URL and serves tasks until the
+// coordinator retires it (returns nil) or becomes unreachable past the retry
+// horizon (returns the last error). It is the entire lifecycle of one worker
+// process; cmd/hotg-fleet calls nothing else in worker mode.
+//
+// The replica discipline is the load-bearing part: the worker's sample store
+// starts as the coordinator's store at join and advances ONLY by the deltas
+// the coordinator attaches to tasks — never by the worker's own observations.
+// Executions run on a throwaway overlay whose local samples are shipped back
+// raw; the coordinator merges them in canonical batch order and the replica
+// sees them again, in final order, in a later delta. This keeps every
+// replica's insertion order a prefix of the coordinator's, which is exactly
+// the property the prover's determinism needs.
+func RunWorker(opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	w := &worker{
+		opts:   opts,
+		client: newClient(opts.Coordinator, opts.RequestTimeout),
+		obs:    opts.Obs,
+		served: make(map[string]int64),
+	}
+	if err := w.join(); err != nil {
+		return err
+	}
+	return w.serve()
+}
+
+// join introduces the worker, retrying until JoinTimeout (the coordinator may
+// not be listening yet), then rebuilds the engine from the returned config.
+func (w *worker) join() error {
+	req := &JoinRequest{Pid: os.Getpid(), Workload: w.opts.Workload, Mode: w.opts.Mode}
+	var reply JoinReply
+	deadline := time.Now().Add(w.opts.JoinTimeout)
+	for {
+		err := w.client.roundTrip("/fleet/join", MsgJoinRequest, req, MsgJoinReply, &reply)
+		if err == nil {
+			break
+		}
+		if _, refused := err.(*statusError); refused || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return w.install(reply)
+}
+
+// install adopts a join reply: identity, config, engine, replica.
+func (w *worker) install(reply JoinReply) error {
+	w.id, w.shards, w.cfg = reply.Worker, reply.Shards, reply.Config
+	if w.shards < 1 {
+		w.shards = 1
+	}
+	if w.eng == nil {
+		wl, ok := lexapp.Get(w.cfg.Workload)
+		if !ok {
+			return fmt.Errorf("fleet: coordinator runs unknown workload %q", w.cfg.Workload)
+		}
+		mode, err := ParseMode(w.cfg.Mode)
+		if err != nil {
+			return err
+		}
+		w.eng = concolic.New(wl.Build(), mode)
+		w.varBounds = make(map[int]smt.Bound)
+		for i, v := range w.eng.InputVars {
+			if i < len(w.cfg.Bounds) {
+				b := w.cfg.Bounds[i]
+				if b.HasLo || b.HasHi {
+					w.varBounds[v.ID] = b
+				}
+			}
+		}
+	}
+	// On a rejoin the replica is a strict prefix of the join snapshot, so
+	// applying the full snapshot dedups the prefix and appends the rest in
+	// order — the replica invariant survives losing our identity.
+	smps, err := decodeSamples(reply.Samples, w.eng.Pool)
+	if err != nil {
+		return err
+	}
+	if err := applySamples(w.eng.Samples, smps); err != nil {
+		return err
+	}
+	w.count("joins")
+	return nil
+}
+
+// serve is the poll loop: ask for work, do it, post it, repeat.
+func (w *worker) serve() error {
+	failures := 0
+	maxFailures := int(w.opts.JoinTimeout/time.Second) + 5
+	for {
+		req := &PollRequest{Worker: w.id, Version: w.eng.Samples.Len(), Gauges: w.gauges()}
+		var reply PollReply
+		err := w.client.roundTrip("/fleet/poll", MsgPollRequest, req, MsgPollReply, &reply)
+		if err != nil {
+			if se, ok := err.(*statusError); ok && se.code == http.StatusGone {
+				// The coordinator forgot us (it restarted, or we were
+				// partitioned past the lease horizon): rejoin under a fresh
+				// identity, keeping the replica.
+				if jerr := w.join(); jerr != nil {
+					return jerr
+				}
+				continue
+			}
+			failures++
+			if failures > maxFailures {
+				return fmt.Errorf("fleet: coordinator unreachable: %w", err)
+			}
+			time.Sleep(time.Second)
+			continue
+		}
+		failures = 0
+		switch reply.Op {
+		case OpRetire:
+			w.count("retired")
+			return nil
+		case OpWait:
+			wait := time.Duration(reply.WaitNanos)
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			time.Sleep(wait)
+		case OpTask:
+			if reply.Task == nil {
+				return fmt.Errorf("fleet: task op with no task")
+			}
+			w.handle(reply.Task, reply.Samples)
+		default:
+			return fmt.Errorf("fleet: unknown poll op %q", reply.Op)
+		}
+	}
+}
+
+// handle computes one task and posts the result. Failures that only this
+// task cares about (version refusal, decode error) drop the task — its lease
+// expires and the coordinator reassigns or absorbs it.
+func (w *worker) handle(t *TaskRec, delta []SampleRec) {
+	smps, err := decodeSamples(delta, w.eng.Pool)
+	if err == nil {
+		err = applySamples(w.eng.Samples, smps)
+	}
+	if err != nil {
+		w.count("bad_deltas")
+		return
+	}
+	if t.Kind == TaskProve && w.eng.Samples.Len() != t.Version {
+		// A proof against the wrong store version would be answered
+		// deterministically — and wrongly. Refuse; the lease will expire.
+		w.count("version_refusals")
+		return
+	}
+	if t.Shard != w.id%w.shards {
+		w.count("steals_served")
+	}
+	t0 := time.Now()
+	req := &ResultRequest{Worker: w.id, Task: t.ID}
+	switch t.Kind {
+	case TaskExec:
+		overlay := sym.NewOverlay(w.eng.Samples)
+		ex, panicked := runShielded(w.eng.Clone(overlay), t.Input)
+		rec, err := encodeExec(ex, overlay.Local(), panicked)
+		if err != nil {
+			w.count("encode_errors")
+			return
+		}
+		req.Exec = rec
+		w.count("tasks_exec")
+	case TaskProve:
+		alt, err := sym.DecodeExpr(t.Alt, sym.NewResolver(w.eng.Pool, w.eng.InputVars))
+		if err != nil {
+			w.count("bad_tasks")
+			return
+		}
+		st, outcome, panicked := proveShielded(alt, w.eng.Samples, w.proveOptions())
+		rec, err := encodeProve(st, outcome, panicked)
+		if err != nil {
+			w.count("encode_errors")
+			return
+		}
+		req.Prove = rec
+		w.count("tasks_prove")
+	case TaskSolve:
+		alt, err := sym.DecodeExpr(t.Alt, sym.NewResolver(w.eng.Pool, w.eng.InputVars))
+		if err != nil {
+			w.count("bad_tasks")
+			return
+		}
+		status, model := smt.Solve(alt, smt.Options{
+			Pool: w.eng.Pool, VarBounds: w.varBounds,
+			Deadline: deadlineAfter(w.cfg.ProofTimeout()),
+		})
+		req.Solve = encodeSolve(status, model)
+		w.count("tasks_solve")
+	default:
+		w.count("bad_tasks")
+		return
+	}
+	req.DurNanos = int64(time.Since(t0))
+	w.post(req)
+}
+
+// proveOptions mirrors the coordinator's local-fallback prover options — same
+// knobs, rebuilt from the wire config.
+func (w *worker) proveOptions() fol.Options {
+	return fol.Options{
+		Pool:             w.eng.Pool,
+		VarBounds:        w.varBounds,
+		NoRefute:         !w.cfg.Refute,
+		MaxNodes:         w.cfg.ProverNodes,
+		NoIncrementalSMT: w.cfg.NoIncrementalSMT,
+		Deadline:         deadlineAfter(w.cfg.ProofTimeout()),
+	}
+}
+
+// post ships a result with a short retry loop; a refused result (the
+// coordinator rejected the payload) is dropped, the lease recovers it.
+func (w *worker) post(req *ResultRequest) {
+	var reply ResultReply
+	for attempt := 0; attempt < 5; attempt++ {
+		err := w.client.roundTrip("/fleet/result", MsgResultRequest, req, MsgResultReply, &reply)
+		if err == nil {
+			if reply.Duplicate {
+				w.count("dup_results")
+			}
+			return
+		}
+		if _, refused := err.(*statusError); refused {
+			w.count("refused_results")
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	w.count("lost_results")
+}
+
+// count bumps a worker-local figure and its obs counter.
+func (w *worker) count(key string) {
+	w.served[key]++
+	w.obs.Counter("fleet.worker." + key).Add(1)
+}
+
+// gauges snapshots the worker's self-reported figures for the poll piggyback.
+func (w *worker) gauges() map[string]int64 {
+	out := make(map[string]int64, len(w.served)+1)
+	for k, v := range w.served {
+		out[k] = v
+	}
+	if w.eng != nil {
+		out["replica_version"] = int64(w.eng.Samples.Len())
+	}
+	return out
+}

@@ -34,10 +34,34 @@ type Server struct {
 
 	// Info, when set, contributes tool-specific headline fields to /statusz
 	// (live run counts, findings, budget remaining, …). It is called on every
-	// request and must be safe for concurrent use.
+	// request and must be safe for concurrent use. Compose several sources
+	// with MergeInfo.
 	Info func() map[string]int64
 
+	// Mounts adds handlers to the introspection mux by pattern — the fleet
+	// coordinator mounts its /fleet/ protocol endpoints here so one port
+	// serves workers and humans alike. Patterns must not collide with the
+	// built-in endpoints.
+	Mounts map[string]http.Handler
+
 	start time.Time
+}
+
+// MergeInfo composes several /statusz headline sources into one: later
+// sources win on key collisions, nil sources are skipped.
+func MergeInfo(sources ...func() map[string]int64) func() map[string]int64 {
+	return func() map[string]int64 {
+		out := make(map[string]int64)
+		for _, src := range sources {
+			if src == nil {
+				continue
+			}
+			for k, v := range src() {
+				out[k] = v
+			}
+		}
+		return out
+	}
 }
 
 // New returns a server over the given observability handle, tailing the
@@ -78,6 +102,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range s.Mounts {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

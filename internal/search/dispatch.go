@@ -1,0 +1,300 @@
+package search
+
+// This file is the fleet integration seam: a Dispatcher lets a distributed
+// coordinator (internal/fleet) take over the three compute fan-outs of the
+// search — test execution, validity proofs, satisfiability checks — without
+// touching the canonical trajectory. The searcher keeps doing exactly what it
+// does in-process: it batches only mutually independent work and applies the
+// results in canonical (enqueue/constraint) order. A Dispatcher merely
+// changes *where* each unit of a batch is computed; since every unit is a
+// pure function of its request plus the frozen sample store, the merged
+// outcome — and therefore Stats.Canonical — is bit-identical whether the
+// batch ran on local goroutines, on one remote worker, or scattered across a
+// fleet of any size. DESIGN.md §13 spells out the full argument.
+//
+// The sample-store version rides on every request because the prover's
+// verdicts (and choice order) depend on the store's exact contents and
+// insertion order: a remote worker must replay the coordinator's store up to
+// precisely that version before proving. Execution requests carry it only as
+// a sync hint — concrete behavior never reads the store — and return the
+// samples the run observed so the coordinator can merge them in batch order,
+// exactly like the in-process overlay merge.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/fol"
+	"hotg/internal/obs"
+	"hotg/internal/smt"
+	"hotg/internal/sym"
+)
+
+// ExecRequest asks for one concolic execution.
+type ExecRequest struct {
+	// Input is the input vector to execute.
+	Input []int64
+	// Version is the coordinator's sample-store length at dispatch time. It
+	// is a replica-sync hint only: execution semantics never read the store,
+	// and a stale replica at most re-observes samples the coordinator already
+	// merged (deduplicated on apply).
+	Version int
+}
+
+// ExecReply carries one execution result back to the coordinator.
+type ExecReply struct {
+	// Ex is the reconstructed execution, or nil when the run was dropped
+	// (executor panic or worker-side failure); a nil Ex with Panicked set is
+	// accounted exactly like a local executor panic.
+	Ex *concolic.Execution
+	// Samples are the input–output pairs this run newly observed, in
+	// observation order — the remote analogue of the in-process overlay. The
+	// coordinator merges them with SampleStore.Add in batch order.
+	Samples []sym.Sample
+	// Panicked marks a run dropped by an executor panic.
+	Panicked bool
+	// Worker identifies which fleet worker computed the result (for the
+	// per-worker load figures; clamped into range on apply). Scheduling
+	// fact — never part of the canonical stream.
+	Worker int
+	// DurNanos is the remote compute time, for the trace. Scheduling fact.
+	DurNanos int64
+}
+
+// ProveRequest asks for one higher-order validity proof of an ALT(pc) target.
+type ProveRequest struct {
+	// Alt is the sliced target formula.
+	Alt sym.Expr
+	// Version is the exact sample-store length the proof must read: the
+	// prover's choice order depends on store contents and insertion order, so
+	// the worker replays the coordinator's store to precisely this point.
+	Version int
+}
+
+// ProveReply carries one proof verdict back to the coordinator.
+type ProveReply struct {
+	// Strategy is the proved core strategy (nil unless Outcome is proved).
+	Strategy *fol.Strategy
+	// Outcome is the prover verdict.
+	Outcome fol.Outcome
+	// Panicked marks a proof that panicked remotely and was recovered; the
+	// outcome is then unknown, exactly like a local recovered panic.
+	Panicked bool
+	// Worker and DurNanos are scheduling facts, as in ExecReply.
+	Worker   int
+	DurNanos int64
+}
+
+// SolveRequest asks for one satisfiability check of an ALT(pc) target
+// (non-higher-order modes). Solver results do not depend on the sample store,
+// so no version rides along.
+type SolveRequest struct {
+	// Alt is the sliced target formula.
+	Alt sym.Expr
+}
+
+// SolveReply carries one solver verdict back to the coordinator.
+type SolveReply struct {
+	// Status is the solver verdict; Model is set when Status is sat.
+	Status smt.Status
+	Model  *smt.Model
+	// Worker and DurNanos are scheduling facts, as in ExecReply.
+	Worker   int
+	DurNanos int64
+}
+
+// A Dispatcher computes search batches somewhere other than the local worker
+// pool. Each call is synchronous: the searcher blocks until every unit of the
+// batch has a reply (replies are positional — reply i answers request i), and
+// the sample store is frozen for the duration. An error abandons the batch
+// and stops the search with Stats.DispatchError set; a Dispatcher that wants
+// the search to survive worker failures must mask them (retry, reassign, or
+// compute locally) rather than surface them.
+//
+// Implementations must return results identical to local computation —
+// executions of the same engine configuration, proofs against the same
+// sample store version — or the determinism guarantee is void.
+type Dispatcher interface {
+	ExecBatch([]ExecRequest) ([]ExecReply, error)
+	ProveBatch([]ProveRequest) ([]ProveReply, error)
+	SolveBatch([]SolveRequest) ([]SolveReply, error)
+}
+
+// ShardOf returns the stable shard owning an input vector in an n-way
+// partition: FNV-1a of the input's canonical binary key, mod n. Both the
+// fleet coordinator (task affinity) and the frontier export helpers use it,
+// so on-disk snapshots and live task routing agree on ownership.
+func ShardOf(input []int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	io.WriteString(h, inputKey(input))
+	return int(h.Sum32() % uint32(n))
+}
+
+// shardOfRec routes a serialized frontier item: pending continuations have no
+// input of their own and are owned by their fallback input's shard.
+func shardOfRec(rec itemRec, n int) int {
+	input := rec.Input
+	if len(input) == 0 && rec.Pending != nil {
+		input = rec.Pending.Fallback
+	}
+	return ShardOf(input, n)
+}
+
+// ShardCount is the frontier depth one shard owns within a snapshot.
+type ShardCount struct {
+	Hot  int `json:"hot"`
+	Cold int `json:"cold"`
+}
+
+// FrontierShardCounts splits the snapshot's frontier by input-key shard:
+// entry i holds the hot/cold depths shard i owns under an n-way partition.
+// The fleet coordinator publishes these as shard-balance gauges.
+func (snap *Snapshot) FrontierShardCounts(n int) []ShardCount {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]ShardCount, n)
+	for _, rec := range snap.Hot {
+		out[shardOfRec(rec, n)].Hot++
+	}
+	for _, rec := range snap.Cold {
+		out[shardOfRec(rec, n)].Cold++
+	}
+	return out
+}
+
+// ExportFrontier returns a copy of the snapshot whose queues hold only the
+// frontier items owned by shard (of an n-way partition), preserving queue
+// order. This is the work-migration unit of the fleet protocol: a shard's
+// pending frontier can be exported, shipped, and re-imported elsewhere
+// without touching the rest of the coordinator state.
+func (snap *Snapshot) ExportFrontier(shard, n int) *Snapshot {
+	out := *snap
+	out.Hot, out.Cold = nil, nil
+	for _, rec := range snap.Hot {
+		if shardOfRec(rec, n) == shard {
+			out.Hot = append(out.Hot, rec)
+		}
+	}
+	for _, rec := range snap.Cold {
+		if shardOfRec(rec, n) == shard {
+			out.Cold = append(out.Cold, rec)
+		}
+	}
+	return &out
+}
+
+// ImportFrontier appends other's frontier items onto snap's queues — hot
+// after hot, cold after cold — preserving both snapshots' internal order.
+// Re-importing every shard of an n-way ExportFrontier split in shard order
+// reassembles a frontier with the same multiset of items; dedup keys carried
+// by the snapshot make any duplicates harmless on restore.
+func (snap *Snapshot) ImportFrontier(other *Snapshot) {
+	snap.Hot = append(snap.Hot, other.Hot...)
+	snap.Cold = append(snap.Cold, other.Cold...)
+}
+
+// dispatchFail records the first dispatcher error and marks the session
+// cancelled: everything merged so far stays valid, nothing after it is.
+func (s *searcher) dispatchFail(err error) {
+	if s.dispatchErr != nil {
+		return
+	}
+	s.dispatchErr = err
+	s.stats.DispatchError = err.Error()
+	s.stats.Budget.Cancelled = true
+	if s.tracing() {
+		s.emit(obs.Event{Kind: "dispatch_fail", Worker: -1,
+			Str: map[string]string{"err": err.Error()}})
+	}
+}
+
+// clampWorker maps a remote worker id into the ProofsPerWorker range (remote
+// ids are fleet-assigned and may exceed the local slot count).
+func (s *searcher) clampWorker(w int) int {
+	if w < 0 || w >= len(s.stats.ProofsPerWorker) {
+		return 0
+	}
+	return w
+}
+
+// dispatchProofs discharges the cache-missing proofs of one fan-out through
+// the dispatcher in a single batch, then walks degradable targets down the
+// precision ladder locally, sequentially, in constraint order (the ladder
+// depends on the parent input and its results are identical wherever it
+// runs). It reports whether the fan-out completed; on dispatcher failure the
+// undone targets are skipped by the apply loop and the search stops.
+func (s *searcher) dispatchProofs(d Dispatcher, todo []*target, version int, fb map[int]int64) bool {
+	var reqs []ProveRequest
+	var idx []int
+	for i, t := range todo {
+		if !t.fromCache {
+			reqs = append(reqs, ProveRequest{Alt: t.alt, Version: version})
+			idx = append(idx, i)
+		}
+	}
+	if len(reqs) > 0 {
+		replies, err := d.ProveBatch(reqs)
+		if err == nil && len(replies) != len(reqs) {
+			err = fmt.Errorf("search: dispatcher returned %d of %d proof replies", len(replies), len(reqs))
+		}
+		if err != nil {
+			s.dispatchFail(err)
+			return false
+		}
+		for j, r := range replies {
+			t := todo[idx[j]]
+			t.strategy, t.outcome, t.panicked = r.Strategy, r.Outcome, r.Panicked
+			t.worker = s.clampWorker(r.Worker)
+			t.dur = time.Duration(r.DurNanos)
+			atomic.AddInt64(&s.solveNanos, r.DurNanos)
+			s.stats.ProofsPerWorker[t.worker]++
+		}
+	}
+	for _, t := range todo {
+		if s.shouldDegrade(t.outcome, t.panicked) {
+			t0 := time.Now()
+			s.degradeTarget(t, fb, t0)
+			t.dur += time.Since(t0)
+		}
+		t.done = true
+	}
+	return true
+}
+
+// dispatchSolves is the satisfiability analogue of dispatchProofs: one batch,
+// positional replies, failure abandons the fan-out.
+func (s *searcher) dispatchSolves(d Dispatcher, todo []*target) bool {
+	if len(todo) == 0 {
+		return true
+	}
+	reqs := make([]SolveRequest, len(todo))
+	for i, t := range todo {
+		reqs[i] = SolveRequest{Alt: t.alt}
+	}
+	replies, err := d.SolveBatch(reqs)
+	if err == nil && len(replies) != len(reqs) {
+		err = fmt.Errorf("search: dispatcher returned %d of %d solver replies", len(replies), len(reqs))
+	}
+	if err != nil {
+		s.dispatchFail(err)
+		return false
+	}
+	for i, r := range replies {
+		t := todo[i]
+		t.status, t.model = r.Status, r.Model
+		t.worker = s.clampWorker(r.Worker)
+		t.dur = time.Duration(r.DurNanos)
+		atomic.AddInt64(&s.solveNanos, r.DurNanos)
+		s.stats.ProofsPerWorker[t.worker]++
+		t.done = true
+	}
+	return true
+}
