@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign test-difftest test-fleet fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest test-fleet test-serve load-serve fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
 
 all: build lint vet test
 
@@ -54,6 +54,20 @@ test-difftest:
 test-fleet:
 	$(GO) test -race -timeout 15m ./internal/fleet/ ./cmd/hotg-fleet/
 
+# Campaign-server drills under the race detector: admission/backpressure,
+# per-corpus lock scoping, memory-budget eviction with disk recovery,
+# drain-resume canonical determinism, goroutine-leak checks, and the full
+# REST surface. See DESIGN.md §14.
+test-serve:
+	$(GO) test -race -timeout 15m ./internal/serve/ ./internal/obshttp/
+
+# load-serve is the campaign-server load harness: hundreds of concurrent
+# small campaigns through a real hotg-server subprocess, SIGTERM'd and
+# restarted mid-flood; zero lost sessions required, p50/p99 submit-to-done
+# latency printed as one JSON line.
+load-serve:
+	$(GO) run ./cmd/hotg-server -loadtest -sessions 200 -runs 12
+
 # Short native-fuzz smoke: each entry point gets a few seconds from its seed
 # corpus. `go test -fuzz` accepts one target per invocation, hence the list.
 fuzz-smoke:
@@ -88,4 +102,4 @@ bench-diff:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race test-faults test-campaign test-difftest test-fleet
+verify: lint vet test race test-faults test-campaign test-difftest test-fleet test-serve

@@ -55,6 +55,9 @@ type jsonResult struct {
 	CrashBuckets     int64              `json:"crash_buckets,omitempty"`
 	TriageDedup      int64              `json:"triage_dedup_hits,omitempty"`
 	Checkpoints      int64              `json:"checkpoints_saved,omitempty"`
+	ServeP50MS       int64              `json:"serve_p50_ms,omitempty"`
+	ServeP99MS       int64              `json:"serve_p99_ms,omitempty"`
+	SessionsEvicted  int64              `json:"sessions_evicted,omitempty"`
 	Failed           []string           `json:"failed,omitempty"`
 	Table            *hotg.Table        `json:"table"`
 	Metrics          []hotg.MetricValue `json:"metrics,omitempty"`
@@ -153,6 +156,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				CrashBuckets:     m.Get("campaign.triage.buckets"),
 				TriageDedup:      m.Get("campaign.triage.dedup_hits"),
 				Checkpoints:      m.Get("campaign.checkpoints.saved"),
+				ServeP50MS:       m.Get("serve.p50_ms"),
+				ServeP99MS:       m.Get("serve.p99_ms"),
+				SessionsEvicted:  m.Get("serve.evicted"),
 				Failed:           failed,
 				Table:            tab,
 				Metrics:          m.Snapshot(),

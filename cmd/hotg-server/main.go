@@ -1,0 +1,488 @@
+// Command hotg-server runs higher-order test generation as a service: a
+// long-running HTTP server that accepts campaign submissions, runs each as
+// an isolated session (own corpus root, own metrics registry and flight
+// recorder, own cancellation context), streams per-session progress as
+// JSONL, and serves results. Admission is bounded (429 + Retry-After past
+// the queue), retained results live under a server-wide memory budget with
+// LRU eviction, and SIGTERM drains gracefully: running sessions stop at
+// their last periodic checkpoint and resume bit-identically when the server
+// restarts on the same data directory.
+//
+// Usage:
+//
+//	hotg-server -addr :8700 -data ./serve-data
+//	hotg-server -addr :8700 -data ./serve-data -max-concurrent 8 -mem-budget 512000000
+//	kill -TERM <pid>     # drain; restart resumes interrupted sessions
+//
+// Load harness (spawns its own server subprocess, SIGTERMs it mid-run,
+// restarts it, and requires every campaign to finish):
+//
+//	hotg-server -loadtest -sessions 200 -runs 12
+//	hotg-server -loadtest -sessions 25 -runs 12 -flight-dump fail.jsonl
+//	hotg-server -loadtest -target http://127.0.0.1:8700 -no-restart
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"hotg/internal/obs"
+	"hotg/internal/obshttp"
+	"hotg/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command; it returns the process exit code so tests can
+// drive the CLI without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hotg-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8700", "HTTP listen address (campaign API + introspection)")
+		dataDir   = fs.String("data", "serve-data", "data directory: session index + per-corpus campaign roots")
+		maxConc   = fs.Int("max-concurrent", 4, "sessions running at once")
+		maxQueue  = fs.Int("max-queue", 256, "sessions waiting for a slot before 429")
+		memBudget = fs.Int64("mem-budget", 256<<20, "bytes of retained finished-session state before LRU eviction")
+		cacheCap  = fs.Int("cache-cap", 4096, "per-session proof-cache LRU entries per map (-1 = unbounded)")
+		ckptEvery = fs.Int("checkpoint-every", 20, "default checkpoint cadence in runs (bounds replay after a drain)")
+		drainTmo  = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for sessions to checkpoint and stop")
+
+		// Load-harness mode.
+		loadtest  = fs.Bool("loadtest", false, "run the load harness instead of serving")
+		target    = fs.String("target", "", "loadtest: existing server URL (default: spawn a server subprocess)")
+		sessions  = fs.Int("sessions", 200, "loadtest: concurrent campaigns to submit")
+		runs      = fs.Int("runs", 12, "loadtest: execution budget per campaign")
+		clientN   = fs.Int("client-concurrency", 32, "loadtest: concurrent submitters/pollers")
+		noRestart = fs.Bool("no-restart", false, "loadtest: skip the SIGTERM drain/restart drill")
+		flightOut = fs.String("flight-dump", "", "loadtest: on failure, dump failed sessions' flight events (JSONL) here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *loadtest {
+		return runLoadtest(loadCfg{
+			target: *target, sessions: *sessions, runs: *runs, clientN: *clientN,
+			restart: !*noRestart, flightOut: *flightOut, addr: *addr,
+		}, stdout, stderr)
+	}
+	return runServer(serverCfg{
+		addr: *addr, dataDir: *dataDir, maxConc: *maxConc, maxQueue: *maxQueue,
+		memBudget: *memBudget, cacheCap: *cacheCap, ckptEvery: *ckptEvery, drainTmo: *drainTmo,
+	}, stdout, stderr)
+}
+
+type serverCfg struct {
+	addr, dataDir       string
+	maxConc, maxQueue   int
+	memBudget           int64
+	cacheCap, ckptEvery int
+	drainTmo            time.Duration
+}
+
+// runServer boots the campaign server, mounts it on the introspection
+// surface, and serves until SIGTERM/SIGINT drains it.
+func runServer(cfg serverCfg, stdout, stderr io.Writer) int {
+	o := obs.New()
+	srv, err := serve.New(serve.Options{
+		Dir: cfg.dataDir, MaxConcurrent: cfg.maxConc, MaxQueue: cfg.maxQueue,
+		MemoryBudget: cfg.memBudget, CacheCap: cfg.cacheCap,
+		CheckpointEvery: cfg.ckptEvery, Obs: o,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "hotg-server: %v\n", err)
+		return 1
+	}
+	intro := obshttp.New(o)
+	intro.Info = srv.Info
+	intro.Sessions = srv.SessionStatuses
+	intro.Mounts = map[string]http.Handler{"/api/": srv.Handler()}
+	bound, shutdown, err := obshttp.Serve(cfg.addr, intro)
+	if err != nil {
+		fmt.Fprintf(stderr, "hotg-server: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hotg-server listening on %s (data %s)\n", bound, cfg.dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	got := <-sig
+	fmt.Fprintf(stdout, "hotg-server: %v — draining (timeout %v)\n", got, cfg.drainTmo)
+	derr := srv.Drain(cfg.drainTmo)
+	shutdown()
+	if derr != nil {
+		fmt.Fprintf(stderr, "hotg-server: %v\n", derr)
+		return 1
+	}
+	fmt.Fprintln(stdout, "hotg-server: drained; interrupted sessions resume on restart")
+	return 0
+}
+
+// --- load harness -----------------------------------------------------------
+
+type loadCfg struct {
+	target    string
+	sessions  int
+	runs      int
+	clientN   int
+	restart   bool
+	flightOut string
+	addr      string
+}
+
+// loadSummary is the machine-readable harness verdict, printed as one JSON
+// line — eval and CI parse it.
+type loadSummary struct {
+	Sessions       int   `json:"sessions"`
+	Completed      int   `json:"completed"`
+	Lost           int   `json:"lost"`
+	Resumed        int   `json:"resumed"`
+	Evicted        int   `json:"evicted"`
+	Restarted      bool  `json:"restarted"`
+	P50DoneMS      int64 `json:"p50_done_ms"`
+	P99DoneMS      int64 `json:"p99_done_ms"`
+	P50FirstTestMS int64 `json:"p50_first_test_ms"`
+	P99FirstTestMS int64 `json:"p99_first_test_ms"`
+	WallMS         int64 `json:"wall_ms"`
+}
+
+// runLoadtest floods a server with small concurrent campaigns and requires
+// zero lost sessions. Unless -no-restart, it owns the server subprocess and
+// SIGTERMs it mid-flood: queued and running campaigns must survive the
+// drain and finish after the restart.
+func runLoadtest(cfg loadCfg, stdout, stderr io.Writer) int {
+	start := time.Now()
+	base := cfg.target
+	var proc *serverProc
+	if base == "" {
+		dir, err := os.MkdirTemp("", "hotg-load-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "loadtest: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		port, err := freePort()
+		if err != nil {
+			fmt.Fprintf(stderr, "loadtest: %v\n", err)
+			return 1
+		}
+		proc = &serverProc{addr: fmt.Sprintf("127.0.0.1:%d", port), dataDir: dir, stderr: stderr}
+		if err := proc.start(); err != nil {
+			fmt.Fprintf(stderr, "loadtest: start server: %v\n", err)
+			return 1
+		}
+		defer proc.kill()
+		base = "http://" + proc.addr
+	} else if cfg.restart {
+		fmt.Fprintln(stderr, "loadtest: -target given; skipping the restart drill (use -no-restart to silence)")
+		cfg.restart = false
+	}
+
+	client := &loadClient{base: base}
+	if err := client.waitUp(10 * time.Second); err != nil {
+		fmt.Fprintf(stderr, "loadtest: server never came up: %v\n", err)
+		return 1
+	}
+
+	workloads := []string{"foo", "bar", "obscure", "foo-bis"}
+	// Submit everything with bounded client concurrency; every submission
+	// retries through 429/503/connection errors (the restart window).
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.clientN)
+	for i := 0; i < cfg.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := serve.Spec{
+				Workload: workloads[i%len(workloads)],
+				MaxRuns:  cfg.runs, Workers: 1,
+				CorpusID:        fmt.Sprintf("load-%04d", i),
+				CheckpointEvery: 3,
+			}
+			client.submit(spec, 2*time.Minute)
+		}(i)
+	}
+
+	// Mid-flood: SIGTERM the server, wait for the drain to land, restart.
+	restarted := false
+	if cfg.restart && proc != nil {
+		time.Sleep(300 * time.Millisecond)
+		if err := proc.sigterm(30 * time.Second); err != nil {
+			fmt.Fprintf(stderr, "loadtest: drain: %v\n", err)
+			return 1
+		}
+		if err := proc.start(); err != nil {
+			fmt.Fprintf(stderr, "loadtest: restart: %v\n", err)
+			return 1
+		}
+		restarted = true
+	}
+	wg.Wait()
+
+	// Wait until every corpus has a completed campaign.
+	deadline := time.Now().Add(10 * time.Minute)
+	var sum loadSummary
+	sum.Sessions = cfg.sessions
+	sum.Restarted = restarted
+	want := make(map[string]bool, cfg.sessions)
+	for i := 0; i < cfg.sessions; i++ {
+		want[fmt.Sprintf("load-%04d", i)] = true
+	}
+	var statuses []serve.Status
+	for time.Now().Before(deadline) {
+		var err error
+		statuses, err = client.list()
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		done := 0
+		pending := false
+		for _, st := range statuses {
+			if !want[st.CorpusID] {
+				continue
+			}
+			switch st.State {
+			case serve.StateDone, serve.StateEvicted:
+				done++
+			case serve.StateFailed, serve.StateCancelled:
+				done++ // counted, reported as lost below
+			default:
+				pending = true
+			}
+		}
+		if !pending && done >= len(want) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Score: a corpus is lost unless some session finished it with state
+	// done (evicted results were done first — their result.json is on disk).
+	finished := map[string]serve.Status{}
+	var failedIDs []string
+	for _, st := range statuses {
+		if !want[st.CorpusID] {
+			continue
+		}
+		switch st.State {
+		case serve.StateDone, serve.StateEvicted:
+			finished[st.CorpusID] = st
+		case serve.StateFailed:
+			failedIDs = append(failedIDs, st.ID)
+		}
+	}
+	var doneMS, firstMS []int64
+	for corpus := range want {
+		st, ok := finished[corpus]
+		if !ok {
+			sum.Lost++
+			continue
+		}
+		sum.Completed++
+		if st.Resumed {
+			sum.Resumed++
+		}
+		if st.State == serve.StateEvicted {
+			sum.Evicted++
+			continue
+		}
+		if res, err := client.result(st.ID); err == nil {
+			doneMS = append(doneMS, res.DoneMS)
+			if res.FirstTestMS >= 0 {
+				firstMS = append(firstMS, res.FirstTestMS)
+			}
+		}
+	}
+	sum.P50DoneMS, sum.P99DoneMS = percentile(doneMS, 50), percentile(doneMS, 99)
+	sum.P50FirstTestMS, sum.P99FirstTestMS = percentile(firstMS, 50), percentile(firstMS, 99)
+	sum.WallMS = time.Since(start).Milliseconds()
+
+	out, _ := json.Marshal(sum)
+	fmt.Fprintln(stdout, string(out))
+	if sum.Lost > 0 || len(failedIDs) > 0 {
+		fmt.Fprintf(stderr, "loadtest: %d lost, %d failed sessions\n", sum.Lost, len(failedIDs))
+		if cfg.flightOut != "" {
+			client.dumpFlights(append(failedIDs, lostCorpora(want, finished)...), cfg.flightOut)
+			fmt.Fprintf(stderr, "loadtest: flight dump written to %s\n", cfg.flightOut)
+		}
+		return 1
+	}
+	return 0
+}
+
+func lostCorpora(want map[string]bool, finished map[string]serve.Status) []string {
+	var out []string
+	for c := range want {
+		if _, ok := finished[c]; !ok {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func percentile(v []int64, p int) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	idx := (len(v)-1)*p + 50
+	return v[idx/100]
+}
+
+// serverProc owns the server subprocess for the restart drill.
+type serverProc struct {
+	addr, dataDir string
+	stderr        io.Writer
+	cmd           *exec.Cmd
+}
+
+func (p *serverProc) start() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	p.cmd = exec.Command(exe, "-addr", p.addr, "-data", p.dataDir,
+		"-max-concurrent", "8", "-checkpoint-every", "3", "-drain-timeout", "30s")
+	p.cmd.Stdout = p.stderr
+	p.cmd.Stderr = p.stderr
+	return p.cmd.Start()
+}
+
+// sigterm drains the subprocess and waits for a clean exit.
+func (p *serverProc) sigterm(timeout time.Duration) error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Kill()
+		return errors.New("server did not exit after SIGTERM")
+	}
+}
+
+func (p *serverProc) kill() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		_ = p.cmd.Wait()
+	}
+}
+
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	return port, ln.Close()
+}
+
+// loadClient is the minimal campaign-API client the harness needs, with
+// retry-through-restart semantics.
+type loadClient struct {
+	base string
+	hc   http.Client
+}
+
+func (c *loadClient) waitUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := c.hc.Get(c.base + "/statusz")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		last = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return last
+}
+
+// submit POSTs a spec, retrying 429 (backoff), 503, and connection errors
+// until the deadline. A 409 after a retry means an earlier attempt landed —
+// that is success.
+func (c *loadClient) submit(spec serve.Spec, timeout time.Duration) {
+	body, _ := json.Marshal(spec)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := c.hc.Post(c.base+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusConflict:
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(150 * time.Millisecond)
+		default:
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+func (c *loadClient) list() ([]serve.Status, error) {
+	resp, err := c.hc.Get(c.base + "/api/v1/campaigns")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []serve.Status
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func (c *loadClient) result(id string) (*serve.Result, error) {
+	resp, err := c.hc.Get(c.base + "/api/v1/campaigns/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result %s: status %d", id, resp.StatusCode)
+	}
+	var res serve.Result
+	return &res, json.NewDecoder(resp.Body).Decode(&res)
+}
+
+// dumpFlights concatenates the flight-event streams of the given sessions
+// into one JSONL file for post-mortem.
+func (c *loadClient) dumpFlights(ids []string, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	for _, id := range ids {
+		resp, err := c.hc.Get(c.base + "/api/v1/campaigns/" + id + "/events")
+		if err != nil {
+			continue
+		}
+		io.Copy(f, resp.Body)
+		resp.Body.Close()
+	}
+}

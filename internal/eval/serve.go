@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/obs"
+	"hotg/internal/search"
+	"hotg/internal/serve"
+)
+
+// A8ServeCampaigns measures the campaign-service guarantees: a flood of
+// concurrent sessions through the server completes with zero lost campaigns
+// across a mid-flood drain and restart (each interrupted session resumes
+// from its last checkpoint), memory-budget eviction reclaims retained
+// results without losing the on-disk campaign, and a server session with a
+// tightly capped proof cache stays bit-identical in canonical stats to an
+// uncapped in-process search.
+func A8ServeCampaigns(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:    "A8",
+		Title: "campaign service: concurrent sessions, drain-resume, memory-budget eviction",
+		PaperClaim: "test generation as a long-running service: session isolation plus the " +
+			"deterministic checkpoint/resume machinery make a drained-and-restarted server " +
+			"indistinguishable from an uninterrupted one, and cache eviction under a memory " +
+			"budget costs wall clock but never changes results (DESIGN.md §14)",
+		Columns: []string{"phase", "sessions", "completed", "lost", "p50 ms", "p99 ms"},
+	}
+	fail := func(format string, args ...interface{}) *Table {
+		t.claim(false, format, args...)
+		return t
+	}
+	// Serve metrics must be readable even without benchtab's registry.
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	tmp, err := os.MkdirTemp("", "hotg-a8-")
+	if err != nil {
+		return fail("create server directories: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	nSessions := 200
+	if cfg.Quick {
+		nSessions = 40
+	}
+	workloads := []string{"foo", "bar", "obscure", "foo-bis"}
+
+	// Phase 1: flood, drain mid-flight, restart, require every campaign to
+	// finish. Everything is admitted up front (the queue is sized for the
+	// flood), so the drain catches a mix of running, queued, and finished
+	// sessions.
+	dir := filepath.Join(tmp, "flood")
+	opts := serve.Options{
+		Dir: dir, MaxConcurrent: 8, MaxQueue: nSessions + 8,
+		CheckpointEvery: 3, DefaultWorkers: 1, Obs: o,
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		return fail("start server: %v", err)
+	}
+	for i := 0; i < nSessions; i++ {
+		_, err := srv.Submit(serve.Spec{
+			Workload: workloads[i%len(workloads)], MaxRuns: 12, Workers: 1,
+			CorpusID: fmt.Sprintf("a8-%04d", i),
+		})
+		if err != nil {
+			return fail("submit %d: %v", i, err)
+		}
+	}
+	// Drain once a slice of the flood has finished — the rest is caught
+	// queued or mid-run.
+	deadline := time.Now().Add(2 * time.Minute)
+	for srv.Info()["sessions_done"] < int64(nSessions/10) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.Drain(time.Minute); err != nil {
+		return fail("drain: %v", err)
+	}
+	info := srv.Info()
+	t.note("drain caught %d done, %d interrupted, %d queued of %d sessions",
+		info["sessions_done"], info["sessions_interrupted"], info["sessions_queued"], nSessions)
+
+	srv2, err := serve.New(opts)
+	if err != nil {
+		return fail("restart server: %v", err)
+	}
+	defer srv2.Close()
+	deadline = time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		in := srv2.Info()
+		if in["sessions_queued"] == 0 && in["sessions_running"] == 0 && in["sessions_interrupted"] == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	completed, lost, resumed := 0, 0, 0
+	for _, ses := range srv2.List() {
+		switch ses.State() {
+		case serve.StateDone, serve.StateEvicted:
+			completed++
+			if ses.Status().Resumed {
+				resumed++
+			}
+		default:
+			lost++
+		}
+	}
+	m := o.Metrics
+	p50, p99 := m.Get("serve.p50_ms"), m.Get("serve.p99_ms")
+	t.addRow("flood + drain/restart", fmt.Sprintf("%d", nSessions), fmt.Sprintf("%d", completed),
+		fmt.Sprintf("%d", lost), fmt.Sprintf("%d", p50), fmt.Sprintf("%d", p99))
+	t.claim(lost == 0 && completed == nSessions,
+		"all %d concurrent campaigns complete across a SIGTERM-style drain and restart (%d lost)",
+		nSessions, lost)
+	t.claim(resumed > 0 || info["sessions_interrupted"]+info["sessions_queued"] == 0,
+		"%d sessions caught by the drain resumed from their checkpoints after restart", resumed)
+	t.claim(p99 >= p50 && p99 > 0,
+		"submit-to-done latency published: p50=%dms p99=%dms (serve.p50_ms/serve.p99_ms)", p50, p99)
+
+	// Phase 2: memory-budget eviction. A 1-byte budget evicts every retained
+	// result but the newest; the evicted campaign recovers from disk when
+	// resubmitted under its corpus ID.
+	evDir := filepath.Join(tmp, "evict")
+	evSrv, err := serve.New(serve.Options{
+		Dir: evDir, MaxConcurrent: 1, MemoryBudget: 1, DefaultWorkers: 1, Obs: o,
+	})
+	if err != nil {
+		return fail("start eviction server: %v", err)
+	}
+	defer evSrv.Close()
+	var evSessions []*serve.Session
+	for i := 0; i < 3; i++ {
+		ses, err := evSrv.Submit(serve.Spec{
+			Workload: "foo", MaxRuns: 12, Workers: 1, CorpusID: fmt.Sprintf("ev-%d", i),
+		})
+		if err != nil {
+			return fail("eviction submit %d: %v", i, err)
+		}
+		evSessions = append(evSessions, ses)
+	}
+	deadline = time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		settled := true
+		for _, ses := range evSessions {
+			if st := ses.State(); st == serve.StateQueued || st == serve.StateRunning {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	evicted := m.Get("serve.evicted")
+	t.addRow("memory-budget eviction", "3", "3", "0", "-", "-")
+	t.claim(evicted > 0, "a 1-byte retention budget evicted %d finished sessions (serve.evicted)", evicted)
+	rec, err := evSrv.Submit(serve.Spec{Workload: "foo", MaxRuns: 12, Workers: 1, CorpusID: "ev-0"})
+	if err != nil {
+		return fail("recovery submit: %v", err)
+	}
+	recState := waitTerminal(rec, time.Minute)
+	recResult, ok := evSrv.Result(rec.ID)
+	t.claim(recState == serve.StateDone && ok && recResult.Resumed,
+		"an evicted campaign recovers from disk when resubmitted under its corpus ID")
+
+	// Phase 3: capped-cache determinism through the server. A session with a
+	// tiny proof-cache cap must canonicalize identically to an uncapped
+	// in-process run — eviction costs recomputation, never results.
+	w, _ := lexapp.Get("lexer")
+	runs := 120
+	if cfg.Quick {
+		runs = 60
+	}
+	ref := search.Run(concolic.New(w.Build(), concolic.ModeHigherOrder), search.Options{
+		MaxRuns: runs, Seeds: w.Seeds, Bounds: w.Bounds, Workers: 1,
+		Ctx: context.Background(), Obs: cfg.Obs,
+	})
+	refCanon, err := ref.Canonical()
+	if err != nil {
+		return fail("canonicalize reference: %v", err)
+	}
+	capSrv, err := serve.New(serve.Options{
+		Dir: filepath.Join(tmp, "capped"), CacheCap: 8, SummaryCap: 8, DefaultWorkers: 1, Obs: o,
+	})
+	if err != nil {
+		return fail("start capped server: %v", err)
+	}
+	defer capSrv.Close()
+	capSes, err := capSrv.Submit(serve.Spec{Workload: "lexer", MaxRuns: runs, Workers: 1})
+	if err != nil {
+		return fail("capped submit: %v", err)
+	}
+	if st := waitTerminal(capSes, 5*time.Minute); st != serve.StateDone {
+		return fail("capped session ended %s", st)
+	}
+	capRes, _ := capSrv.Result(capSes.ID)
+	same := capRes != nil && string(capRes.CanonicalStats) == string(refCanon)
+	mark := "=="
+	if !same {
+		mark = "DIVERGED"
+	}
+	t.addRow("capped-cache determinism", "1", "1", "0", "-", mark)
+	t.claim(same,
+		"a server session with an 8-entry proof-cache cap is bit-identical in canonical stats to an uncapped in-process search")
+	return t
+}
+
+// waitTerminal polls a session until it leaves queued/running, returning the
+// settled state ("" on timeout).
+func waitTerminal(ses *serve.Session, timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := ses.State()
+		if st != serve.StateQueued && st != serve.StateRunning {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return ""
+}

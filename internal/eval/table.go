@@ -174,6 +174,7 @@ func Experiments() []Experiment {
 		{"A5", "persistent campaigns: kill, resume, and triage across sessions", A5CampaignResume},
 		{"A6", "differential oracle campaign: clean sweep and fault drill", A6OracleCampaign},
 		{"A7", "fleet determinism: canonical stats across fleet sizes, kill -9 drill", A7FleetDeterminism},
+		{"A8", "campaign service: concurrent sessions, drain-resume, eviction", A8ServeCampaigns},
 	}
 }
 

@@ -44,7 +44,21 @@ type Server struct {
 	// built-in endpoints.
 	Mounts map[string]http.Handler
 
+	// Sessions, when set, contributes per-session rows to /statusz — the
+	// campaign server reports each live and retained session here, backed by
+	// that session's own registry. Called on every request; must be safe for
+	// concurrent use.
+	Sessions func() []SessionStatus
+
 	start time.Time
+}
+
+// SessionStatus is one per-session row on /statusz: the session's identity,
+// lifecycle state, and headline numbers from its private registry.
+type SessionStatus struct {
+	ID       string           `json:"id"`
+	State    string           `json:"state"`
+	Headline map[string]int64 `json:"headline,omitempty"`
 }
 
 // MergeInfo composes several /statusz headline sources into one: later
@@ -137,6 +151,7 @@ type Statusz struct {
 	Metrics       map[string]int64 `json:"metrics"`
 	Phases        *obs.PhaseNode   `json:"phases,omitempty"`
 	FlightEvents  int64            `json:"flight_events_total"`
+	Sessions      []SessionStatus  `json:"sessions,omitempty"`
 }
 
 // RuntimeStatus is the process-health corner of /statusz, sampled at request
@@ -159,6 +174,9 @@ func (s *Server) statusz() Statusz {
 	}
 	if s.Info != nil {
 		st.Headline = s.Info()
+	}
+	if s.Sessions != nil {
+		st.Sessions = s.Sessions()
 	}
 	for _, m := range s.registry().Snapshot() {
 		st.Metrics[m.Name] = m.Value

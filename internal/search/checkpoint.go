@@ -249,17 +249,25 @@ func (s *Stats) applyRec(rec statsRec) {
 
 // Canonical returns a deterministic JSON rendering of the
 // scheduling-independent statistics: everything the determinism guarantee
-// covers (runs, tests, per-rung counts, coverage, bugs, paths, cache traffic,
-// the coverage trace) and nothing it does not (timing, worker figures).
+// covers (runs, tests, per-rung counts, coverage, bugs, paths, the coverage
+// trace) and nothing it does not (timing, worker figures).
 // Two searches explored the same trajectory iff their Canonical bytes match.
 //
 // Checkpoint counts are excluded: checkpoints fire at batch boundaries, whose
 // positions depend on the worker count, so the cumulative count is session
 // bookkeeping rather than trajectory (and an interrupted run that resumes
 // without a sink configured would otherwise never match).
+//
+// Proof-cache hit/miss counts are likewise excluded: with Options.CacheCap
+// an evicted obligation is re-proved — deterministically, to the same
+// outcome — so cache traffic is a resource-configuration fact (like the
+// worker count), not trajectory. Capped and uncapped searches over the same
+// program therefore canonicalize identically; snapshots still record the
+// raw counts.
 func (s *Stats) Canonical() ([]byte, error) {
 	rec := s.encodeRec()
 	rec.Checkpoints = 0
+	rec.ProofCacheHits, rec.ProofCacheMisses = 0, 0
 	return json.Marshal(rec)
 }
 
@@ -473,14 +481,14 @@ func (s *searcher) restoreSnapshot(snap *Snapshot) error {
 		if err != nil {
 			return fmt.Errorf("search: prove cache entry %q: %w", rec.Key, err)
 		}
-		s.cache.prove[rec.Key] = proveEntry{strategy: strat, outcome: outcome}
+		s.cache.putProve(rec.Key, proveEntry{strategy: strat, outcome: outcome})
 	}
 	for _, rec := range snap.Solve {
 		status, ok := smt.ParseStatus(rec.Status)
 		if !ok {
 			return fmt.Errorf("search: solve cache entry %q has unknown status %q", rec.Key, rec.Status)
 		}
-		s.cache.solve[rec.Key] = solveEntry{status: status, model: rec.Model}
+		s.cache.putSolve(rec.Key, solveEntry{status: status, model: rec.Model})
 	}
 	s.lastCkpt = s.stats.Runs
 	return nil
@@ -495,7 +503,7 @@ func (snap *Snapshot) Validate(eng *concolic.Engine) error {
 	trial := &searcher{
 		eng:   eng.Clone(sym.NewSampleStore()),
 		stats: newStats(eng.Mode.String(), eng.Prog.NumBranches),
-		cache: newProofCache(),
+		cache: newProofCache(0),
 	}
 	return trial.restoreSnapshot(snap)
 }

@@ -1,0 +1,73 @@
+package search_test
+
+import (
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// TestCacheCapCanonicalIdentity is the eviction-correctness gate: a search
+// whose proof cache is LRU-capped hard enough to evict constantly must stay
+// bit-identical in canonical stats to the unbounded run — eviction may cost
+// wall clock (re-proving), never determinism — at workers 1 and 4.
+func TestCacheCapCanonicalIdentity(t *testing.T) {
+	for _, w := range []*lexapp.Workload{lexapp.Lexer(), lexapp.Bar(), lexapp.KStep(2)} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base := search.Options{MaxRuns: 60, Seeds: w.Seeds, Bounds: w.Bounds}
+			ref := search.Run(concolic.New(w.Build(), concolic.ModeHigherOrder), base)
+			refCanon, err := ref.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, capacity := range []int{1, 3} {
+					opts := base
+					opts.Workers = workers
+					opts.CacheCap = capacity
+					st := search.Run(concolic.New(w.Build(), concolic.ModeHigherOrder), opts)
+					canon, err := st.Canonical()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(canon) != string(refCanon) {
+						t.Errorf("workers=%d cap=%d: canonical stats diverged from uncapped run\ncapped:   %s\nuncapped: %s",
+							workers, capacity, canon, refCanon)
+					}
+					if ref.ProofCacheMisses > capacity && st.ProofCacheEvictions == 0 {
+						t.Errorf("workers=%d cap=%d: expected evictions (uncapped run cached %d entries), got none",
+							workers, capacity, ref.ProofCacheMisses)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCacheCapSatMode repeats the identity check for the satisfiability
+// cache (DART mode), whose entries are keyed by formula alone.
+func TestCacheCapSatMode(t *testing.T) {
+	w := lexapp.Lexer()
+	base := search.Options{MaxRuns: 60, Seeds: w.Seeds, Bounds: w.Bounds}
+	ref := search.Run(concolic.New(w.Build(), concolic.ModeUnsound), base)
+	refCanon, err := ref.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts := base
+		opts.Workers = workers
+		opts.CacheCap = 2
+		st := search.Run(concolic.New(w.Build(), concolic.ModeUnsound), opts)
+		canon, err := st.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(refCanon) {
+			t.Errorf("workers=%d: capped DART run diverged from uncapped", workers)
+		}
+	}
+}

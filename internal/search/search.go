@@ -99,6 +99,16 @@ type Options struct {
 	// bit-identical either way (the equivalence gate in the tests depends on
 	// it); the flag exists for ablations and for isolating solver regressions.
 	NoIncrementalSMT bool
+	// CacheCap, when positive, bounds each proof-cache map (validity proofs
+	// and satisfiability results) to CacheCap entries with LRU eviction;
+	// zero keeps today's unbounded growth. Eviction may cost wall clock (an
+	// evicted obligation is re-proved on next occurrence) but never
+	// determinism: the cache lives on the coordinator and is touched in
+	// canonical constraint order, and re-proving is a pure function of
+	// formula + samples, so canonical stats stay bit-identical to an
+	// uncapped run at any worker count. Long-running servers set this to
+	// bound per-session memory (DESIGN.md §14).
+	CacheCap int
 }
 
 // item is one unit of search work: an input to execute, with the trace
@@ -147,7 +157,7 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 		panic("search: at least one seed input is required")
 	}
 	s := &searcher{eng: eng, opts: opts, stats: newStats(eng.Mode.String(), eng.Prog.NumBranches)}
-	s.cache = newProofCache()
+	s.cache = newProofCache(opts.CacheCap)
 	s.obs = opts.Obs
 	s.live.init(s.obs)
 	if s.obs.Enabled() && eng.Obs == nil {
@@ -231,6 +241,7 @@ func Run(eng *concolic.Engine, opts Options) *Stats {
 	}
 	start := time.Now()
 	s.run()
+	s.stats.ProofCacheEvictions = s.cache.evictions
 	s.stats.WallTime = time.Since(start)
 	s.stats.SolveTime = time.Duration(s.solveNanos)
 	s.stats.SamplesLearned = eng.Samples.Len()
@@ -282,6 +293,8 @@ func (s *searcher) flushObs() {
 	o.Counter("search.solver.sat").Add(int64(st.SolverSat))
 	o.Counter("search.proof_cache.hits").Add(int64(st.ProofCacheHits))
 	o.Counter("search.proof_cache.misses").Add(int64(st.ProofCacheMisses))
+	o.Counter("search.proof_cache.evictions").Add(st.ProofCacheEvictions)
+	o.Gauge("search.proof_cache.size").Set(int64(s.cache.size()))
 	o.Counter("search.wall_ns").Add(int64(st.WallTime))
 	o.Counter("search.solve_ns").Add(int64(st.SolveTime))
 	if bs := st.Budget; bs.show() {
@@ -851,7 +864,7 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 	var todo []*target
 	for _, t := range targets {
 		t.cacheKey = proveKey(t.alt, version)
-		if e, ok := s.cache.prove[t.cacheKey]; ok {
+		if e, ok := s.cache.getProve(t.cacheKey); ok {
 			t.strategy, t.outcome, t.fromCache = e.strategy, e.outcome, true
 			if s.shouldDegrade(t.outcome, false) {
 				todo = append(todo, t)
@@ -910,14 +923,14 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 		// one fan-out sharing a formula are proved twice concurrently; the
 		// second is still accounted as a hit, its duplicate result dropped.)
 		cached := "miss"
-		if e, ok := s.cache.prove[t.cacheKey]; ok {
+		if e, ok := s.cache.getProve(t.cacheKey); ok {
 			cached = "hit"
 			s.stats.ProofCacheHits++
 			t.strategy, t.outcome = e.strategy, e.outcome
 		} else {
 			s.stats.ProofCacheMisses++
 			if t.outcome != fol.OutcomeTimeout && !t.panicked {
-				s.cache.prove[t.cacheKey] = proveEntry{strategy: t.strategy, outcome: t.outcome}
+				s.cache.putProve(t.cacheKey, proveEntry{strategy: t.strategy, outcome: t.outcome})
 			}
 		}
 		s.stats.ProverCalls++
@@ -1020,7 +1033,13 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 	var todo []*target
 	for _, t := range targets {
 		t.cacheKey = t.alt.Key()
-		if _, ok := s.cache.solve[t.cacheKey]; !ok {
+		if e, ok := s.cache.getSolve(t.cacheKey); ok {
+			// Stash the entry on the target: under Options.CacheCap it can
+			// be evicted between selection and accounting (by a later fill
+			// in this same batch), and a selection-time hit must keep its
+			// result either way.
+			t.status, t.model, t.fromCache, t.done = e.status, e.model, true, true
+		} else {
 			todo = append(todo, t)
 		}
 	}
@@ -1038,7 +1057,7 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 			}
 		}
 		cached := "miss"
-		if e, ok := s.cache.solve[t.cacheKey]; ok {
+		if e, ok := s.cache.getSolve(t.cacheKey); ok {
 			cached = "hit"
 			s.stats.ProofCacheHits++
 			t.status, t.model = e.status, e.model
@@ -1047,7 +1066,7 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 			// A timed-out query is not cached: the verdict records wall-clock
 			// exhaustion, not a property of the formula.
 			if t.status != smt.StatusTimeout {
-				s.cache.solve[t.cacheKey] = solveEntry{status: t.status, model: t.model}
+				s.cache.putSolve(t.cacheKey, solveEntry{status: t.status, model: t.model})
 			}
 		}
 		if t.status == smt.StatusTimeout {

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the campaign API, rooted at /api/v1/:
+//
+//	POST   /api/v1/campaigns          submit a Spec            → 202 + Status
+//	GET    /api/v1/campaigns          list sessions            → []Status
+//	GET    /api/v1/campaigns/{id}     session status           → Status
+//	GET    /api/v1/campaigns/{id}/events   flight dump (JSONL); ?follow=1 tails
+//	GET    /api/v1/campaigns/{id}/result   retained result     → Result
+//	DELETE /api/v1/campaigns/{id}     cancel a queued/running session
+//
+// Error mapping: full queue → 429 with Retry-After, corpus conflict → 409,
+// draining → 503 with Retry-After, evicted result → 410 Gone (the corpus is
+// still on disk; resubmit with the same corpus_id to recover), bad spec →
+// 400, unknown ID → 404. Mount it on an obshttp.Server via Mounts["/api/"]
+// so one port serves campaigns, /statusz, /metrics, and pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/api/v1/campaigns/", s.handleCampaign)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+			return
+		}
+		ses, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "2")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrCorpusBusy):
+			writeError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			w.Header().Set("Location", "/api/v1/campaigns/"+ses.ID)
+			writeJSON(w, http.StatusAccepted, ses.Status())
+		}
+	case http.MethodGet:
+		sessions := s.List()
+		out := make([]Status, 0, len(sessions))
+		for _, ses := range sessions {
+			out = append(out, ses.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	ses, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session "+strconv.Quote(id))
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, ses.Status())
+	case sub == "" && r.Method == http.MethodDelete:
+		if !s.Cancel(id) {
+			writeError(w, http.StatusConflict, "session "+id+" is already "+ses.State())
+			return
+		}
+		writeJSON(w, http.StatusOK, ses.Status())
+	case sub == "result" && r.Method == http.MethodGet:
+		res, ok := s.Result(id)
+		if !ok {
+			st := ses.State()
+			switch st {
+			case StateEvicted:
+				writeError(w, http.StatusGone,
+					"result evicted; resubmit with corpus_id "+ses.CorpusID+" to recover the campaign")
+			case StateQueued, StateRunning, StateInterrupted:
+				writeError(w, http.StatusConflict, "session is "+st+"; result not ready")
+			default:
+				writeError(w, http.StatusNotFound, "no result for session "+id)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case sub == "events" && r.Method == http.MethodGet:
+		s.handleSessionEvents(w, r, ses)
+	default:
+		writeError(w, http.StatusNotFound, "unknown resource "+strconv.Quote(sub))
+	}
+}
+
+// handleSessionEvents serves the session's flight recorder as JSONL: the
+// retained window first, then — with ?follow=1 — a live tail until the
+// client disconnects, the session's recorder closes, or ?max=N events have
+// streamed. The event schema is the stable obs.Tracer schema; a session's
+// stream here is byte-compatible with a file trace of the same run.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request, ses *Session) {
+	rec := ses.recorder()
+	if rec == nil {
+		st := ses.State()
+		if st == StateEvicted {
+			writeError(w, http.StatusGone, "events evicted with the session result")
+			return
+		}
+		writeError(w, http.StatusConflict, "session is "+st+"; no events yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	enc := json.NewEncoder(w)
+	for _, ev := range rec.Snapshot() {
+		_ = enc.Encode(ev)
+	}
+	if r.URL.Query().Get("follow") == "" {
+		return
+	}
+	maxEvents := int64(1 << 62)
+	if v := r.URL.Query().Get("max"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			maxEvents = n
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	ch, cancel := rec.Subscribe(256)
+	defer cancel()
+	ctx := r.Context()
+	var streamed int64
+	for streamed < maxEvents {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			streamed++
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
