@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race test-faults test-campaign test-difftest test-fleet test-serve load-serve fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
+.PHONY: all build lint vet test race test-faults test-campaign test-difftest test-fleet test-serve test-higher load-serve fuzz-smoke bench bench-smoke bench-json bench-diff tables verify
 
 all: build lint vet test
 
@@ -61,6 +61,13 @@ test-fleet:
 test-serve:
 	$(GO) test -race -timeout 15m ./internal/serve/ ./internal/obshttp/
 
+# Higher-order drills under the race detector: function-value synthesis and
+# replay across the whole stack — mini round trips, randprog determinism,
+# callback workload searches, the 1000-seed replay property, kill-and-resume
+# with decision tables, and the cmd/hotg golden rendering. See DESIGN.md §15.
+test-higher:
+	$(GO) test -race -timeout 15m -short -run 'Callback|FuncVal|FuncValue|FuncParams|HigherOrder' ./internal/mini/ ./internal/sym/ ./internal/search/ ./internal/concolic/ ./internal/difftest/ ./cmd/hotg/
+
 # load-serve is the campaign-server load harness: hundreds of concurrent
 # small campaigns through a real hotg-server subprocess, SIGTERM'd and
 # restarted mid-flood; zero lost sessions required, p50/p99 submit-to-done
@@ -73,6 +80,7 @@ load-serve:
 fuzz-smoke:
 	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzParser$$' -fuzztime 10s
 	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzLexRoundTrip$$' -fuzztime 5s
+	$(GO) test ./internal/mini/ -run '^$$' -fuzz 'FuzzFunctionValueRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/smt/ -run '^$$' -fuzz 'FuzzSolveConjunction$$' -fuzztime 10s
 	$(GO) test ./internal/smt/ -run '^$$' -fuzz 'FuzzIncrementalSolve$$' -fuzztime 10s
 
@@ -102,4 +110,4 @@ bench-diff:
 tables:
 	$(GO) run ./cmd/benchtab -quick
 
-verify: lint vet test race test-faults test-campaign test-difftest test-fleet test-serve
+verify: lint vet test race test-faults test-campaign test-difftest test-fleet test-serve test-higher

@@ -56,7 +56,8 @@ func BenchmarkE12LexerStudy(b *testing.B)        { runExperiment(b, "E12") }
 func BenchmarkE13SamplePersistence(b *testing.B) { runExperiment(b, "E13") }
 func BenchmarkE14PacketParser(b *testing.B)      { runExperiment(b, "E14") }
 func BenchmarkE15GrammarBaseline(b *testing.B)   { runExperiment(b, "E15") }
-func BenchmarkE16Verification(b *testing.B)      { runExperiment(b, "E16") }
+func BenchmarkE16Callbacks(b *testing.B)         { runExperiment(b, "E16") }
+func BenchmarkE17Verification(b *testing.B)      { runExperiment(b, "E17") }
 func BenchmarkA1DelayedConc(b *testing.B)        { runExperiment(b, "A1") }
 func BenchmarkA2DivergenceRates(b *testing.B)    { runExperiment(b, "A2") }
 func BenchmarkA3Summaries(b *testing.B)          { runExperiment(b, "A3") }

@@ -58,6 +58,8 @@ type jsonResult struct {
 	ServeP50MS       int64              `json:"serve_p50_ms,omitempty"`
 	ServeP99MS       int64              `json:"serve_p99_ms,omitempty"`
 	SessionsEvicted  int64              `json:"sessions_evicted,omitempty"`
+	CallbackTargets  int64              `json:"callback_targets,omitempty"`
+	FuncsSynthesized int64              `json:"funcs_synthesized,omitempty"`
 	Failed           []string           `json:"failed,omitempty"`
 	Table            *hotg.Table        `json:"table"`
 	Metrics          []hotg.MetricValue `json:"metrics,omitempty"`
@@ -159,6 +161,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ServeP50MS:       m.Get("serve.p50_ms"),
 				ServeP99MS:       m.Get("serve.p99_ms"),
 				SessionsEvicted:  m.Get("serve.evicted"),
+				CallbackTargets:  m.Get("search.callback.targets"),
+				FuncsSynthesized: m.Get("search.callback.funcs_synthesized"),
 				Failed:           failed,
 				Table:            tab,
 				Metrics:          m.Snapshot(),

@@ -268,10 +268,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		fmt.Fprintf(stdout, "%d bug(s):\n", len(stats.Bugs))
 		for _, b := range stats.Bugs {
+			// Function-valued inputs are part of the reproducer: without the
+			// decision tables the scalar input alone does not reach the bug, so
+			// they print (canonical form, declaration order) even when -v is off.
+			funcs := ""
+			if len(b.Funcs) > 0 {
+				funcs = " funcs=[" + strings.Join(b.Funcs, "; ") + "]"
+			}
 			if *verbose {
-				fmt.Fprintf(stdout, "  run %-5d %-10s %-20q input=%v\n", b.Run, b.Kind, b.Msg, b.Input)
+				fmt.Fprintf(stdout, "  run %-5d %-10s %-20q input=%v%s\n", b.Run, b.Kind, b.Msg, b.Input, funcs)
 			} else {
-				fmt.Fprintf(stdout, "  run %-5d %-10s %q\n", b.Run, b.Kind, b.Msg)
+				fmt.Fprintf(stdout, "  run %-5d %-10s %q%s\n", b.Run, b.Kind, b.Msg, funcs)
 			}
 		}
 	}

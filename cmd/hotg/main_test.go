@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -12,6 +14,8 @@ import (
 	"testing"
 	"time"
 )
+
+var regen = flag.Bool("regen", false, "regenerate golden files")
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
@@ -103,6 +107,50 @@ func TestCampaignCLIRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "(0 new)") {
 		t.Errorf("corpus-seeded session reported new crash buckets:\n%s", stdout)
+	}
+}
+
+// TestFuncValGolden pins the stable rendering of function-valued inputs: on
+// every callback workload the single-worker higher-order run is canonical, so
+// the whole report — including each bug's synthesized decision tables and the
+// -samples-out store it leaves behind — is byte-reproducible. Regenerate with
+// `go test ./cmd/hotg -run TestFuncValGolden -regen` after an intentional
+// trajectory change.
+func TestFuncValGolden(t *testing.T) {
+	var report bytes.Buffer
+	for _, name := range []string{"cb-filter", "cb-sortguard", "cb-fold"} {
+		path := filepath.Join(t.TempDir(), "samples.json")
+		code, stdout, stderr := runCLI(t, "-workload", name, "-mode", "higher-order",
+			"-runs", "40", "-workers", "1", "-v", "-samples-out", path)
+		if code != 0 {
+			t.Fatalf("%s exited %d\nstderr: %s", name, code, stderr)
+		}
+		if !strings.Contains(stdout, "funcs=[fn/") {
+			t.Fatalf("%s report renders no function inputs:\n%s", name, stdout)
+		}
+		samples, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&report, "== %s ==\n", name)
+		// The samples path is a temp dir; normalize it out of the golden.
+		report.WriteString(strings.ReplaceAll(stdout, path, "SAMPLES"))
+		report.Write(samples)
+	}
+	golden := filepath.Join("testdata", "funcval.golden")
+	if *regen {
+		if err := os.WriteFile(golden, report.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -regen to create)", err)
+	}
+	if !bytes.Equal(report.Bytes(), want) {
+		t.Errorf("function-input report drifted from golden (run with -regen if intended):\ngot:\n%swant:\n%s",
+			report.Bytes(), want)
 	}
 }
 

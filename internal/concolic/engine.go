@@ -94,7 +94,10 @@ func (c Constraint) String() string {
 
 // Execution is the outcome of one concolic run.
 type Execution struct {
-	Input  []int64
+	Input []int64
+	// Funcs are the function-valued inputs the run executed under, aligned
+	// with the program's FuncShape (nil entries = the default function).
+	Funcs  []*mini.FuncValue
 	Result *mini.Result
 	// PC is the path constraint, in generation order.
 	PC []Constraint
@@ -108,6 +111,14 @@ type Execution struct {
 	UFApps int
 	// NewSamples counts input–output pairs newly added to the IOF store.
 	NewSamples int
+	// CallbackSamples records the input–output pairs observed for callback
+	// (function-valued input) applications during this run, keyed by the
+	// engine's callback symbols ("@" + parameter name). They live in a
+	// per-execution store, never the engine's persistent one: unlike
+	// environment unknowns, a callback's ground truth changes per test (each
+	// test supplies its own function), so merging across runs would corrupt
+	// the IOF invariant. Nil when the program has no function parameters.
+	CallbackSamples *sym.SampleStore
 	// Canceled reports that the run was stopped early by Engine.CheckCancel
 	// (cooperative cancellation). The Result and PC cover only the executed
 	// prefix; no bug is recorded for the early stop.
@@ -181,8 +192,15 @@ type Engine struct {
 	MaxSteps int
 	MaxDepth int
 
-	shape mini.InputShape
-	opFns map[string]*sym.Func
+	// CallbackFns are the uninterpreted symbols standing for the program's
+	// function-valued inputs, aligned with funcShape. Each is an Input symbol
+	// named "@" + parameter name (the "@" keeps the namespace disjoint from
+	// natives and unknown instructions).
+	CallbackFns []*sym.Func
+
+	shape     mini.InputShape
+	funcShape []mini.FuncParam
+	opFns     map[string]*sym.Func
 	// vmCode is the optimized bytecode form of the program, compiled lazily
 	// for the summary machinery's concrete probe passes.
 	vmCode *mini.Compiled
@@ -210,6 +228,10 @@ func New(prog *mini.Program, mode Mode) *Engine {
 	e.shape = prog.Shape()
 	for _, name := range e.shape.Names {
 		e.InputVars = append(e.InputVars, e.Pool.NewVar(name))
+	}
+	e.funcShape = prog.FuncShape()
+	for _, fp := range e.funcShape {
+		e.CallbackFns = append(e.CallbackFns, e.Pool.InputFuncSym("@"+fp.Name, fp.Arity))
 	}
 	// Pre-register the unknown-instruction symbols so opFns is read-only from
 	// here on (engine clones share the map across goroutines).
@@ -239,6 +261,9 @@ func (e *Engine) Clone(samples *sym.SampleStore) *Engine {
 
 // Shape returns the program's flattened input shape.
 func (e *Engine) Shape() mini.InputShape { return e.shape }
+
+// FuncShape returns the program's function-valued input shape.
+func (e *Engine) FuncShape() []mini.FuncParam { return e.funcShape }
 
 // FuncFor returns the uninterpreted function symbol standing for the native
 // function of that name (creating it on first use).

@@ -63,13 +63,18 @@ type arrayObj struct {
 }
 
 // slot is one variable binding: concrete value (M) and symbolic value (S)
-// side by side, as in Section 2 of the paper.
+// side by side, as in Section 2 of the paper. Function-typed slots carry the
+// concrete decision table and the callback's uninterpreted symbol; both
+// travel by reference through user calls, so a callback keeps its identity
+// under parameter renaming.
 type slot struct {
-	kind mini.TypeKind
-	i    int64
-	b    bool
-	arr  *arrayObj
-	s    sval
+	kind  mini.TypeKind
+	i     int64
+	b     bool
+	arr   *arrayObj
+	fn    *mini.FuncValue
+	fnSym *sym.Func
+	s     sval
 }
 
 type frame map[string]*slot
@@ -107,9 +112,18 @@ type runner struct {
 	varByID  map[int]*sym.Var
 }
 
-// Run executes the program on the flattened input vector, producing the
-// concrete result, the path constraint, and (in ModeHigherOrder) new samples.
-func (e *Engine) Run(input []int64) *Execution {
+// Run executes the program on the flattened input vector with every
+// function-valued input left at the default function; see RunWith.
+func (e *Engine) Run(input []int64) *Execution { return e.RunWith(input, nil) }
+
+// RunWith executes the program on the flattened input vector and the given
+// function-valued inputs (aligned with FuncShape; missing or nil entries run
+// as the default function), producing the concrete result, the path
+// constraint, and (in ModeHigherOrder) new samples. Callback applications
+// are recorded into the per-execution CallbackSamples store, never the
+// engine's persistent one — each test supplies its own function, so callback
+// samples have no cross-run ground truth.
+func (e *Engine) RunWith(input []int64, funcs []*mini.FuncValue) *Execution {
 	if faults.Active().FireExecPanic() {
 		panic("faults: injected executor failure")
 	}
@@ -129,7 +143,10 @@ func (e *Engine) Run(input []int64) *Execution {
 	}
 	in := make([]int64, len(input))
 	copy(in, input)
-	r.ex = &Execution{Input: in, Result: r.res}
+	r.ex = &Execution{Input: in, Funcs: funcs, Result: r.res}
+	if len(e.funcShape) > 0 {
+		r.ex.CallbackSamples = sym.NewSampleStore()
+	}
 	for i, v := range e.InputVars {
 		r.inputVal[v.ID] = input[i]
 		r.varByID[v.ID] = v
@@ -138,6 +155,7 @@ func (e *Engine) Run(input []int64) *Execution {
 	main := e.Prog.Main()
 	fr := frame{}
 	k := 0
+	fnIdx := 0
 	for _, prm := range main.Params {
 		switch prm.Type.Kind {
 		case mini.TArray:
@@ -148,6 +166,13 @@ func (e *Engine) Run(input []int64) *Execution {
 				k++
 			}
 			fr[prm.Name] = &slot{kind: mini.TArray, arr: obj}
+		case mini.TFunc:
+			var fv *mini.FuncValue // nil = default function
+			if fnIdx < len(funcs) {
+				fv = funcs[fnIdx]
+			}
+			fr[prm.Name] = &slot{kind: mini.TFunc, fn: fv, fnSym: e.CallbackFns[fnIdx]}
+			fnIdx++
 		default:
 			fr[prm.Name] = &slot{kind: mini.TInt, i: input[k], s: intS(sym.VarTerm(e.InputVars[k]), nil)}
 			k++
@@ -699,6 +724,9 @@ func (r *runner) evalBinary(x *mini.Binary, fr frame) (int64, bool, sval, error)
 }
 
 func (r *runner) evalCall(x *mini.Call, fr frame) (int64, sval, error) {
+	if x.Param {
+		return r.evalCallback(x, fr)
+	}
 	if x.Native {
 		nat := r.e.Prog.Natives[x.Name]
 		argC := make([]int64, len(x.Args))
@@ -746,7 +774,8 @@ func (r *runner) evalCall(x *mini.Call, fr frame) (int64, sval, error) {
 	}
 	callee := frame{}
 	for i, prm := range fd.Params {
-		if prm.Type.Kind == mini.TArray {
+		if prm.Type.Kind == mini.TArray || prm.Type.Kind == mini.TFunc {
+			// Arrays and function values are passed by reference.
 			id := x.Args[i].(*mini.Ident)
 			callee[prm.Name] = fr[id.Name]
 			continue
@@ -767,6 +796,43 @@ func (r *runner) evalCall(x *mini.Call, fr frame) (int64, sval, error) {
 		return 0, intS(sym.Int(0), nil), nil
 	}
 	return ret.i, ret.s, nil
+}
+
+// evalCallback applies a function-valued input (a call through a
+// function-typed parameter). In ModeHigherOrder the application ALWAYS
+// becomes an uninterpreted term over the callback's Input symbol — even when
+// every argument is concrete — because the function itself is an input:
+// `p(5) == 7` must stay flippable by choosing a different p, which no
+// concretizing mode can express. The observed pair is recorded in the
+// per-execution CallbackSamples store. Every other mode treats the
+// application like any unknown function: concretize (with the mode's pinning
+// discipline), which is exactly the DART-style baseline E16 measures against.
+func (r *runner) evalCallback(x *mini.Call, fr frame) (int64, sval, error) {
+	sl := fr[x.Name]
+	argC := make([]int64, len(x.Args))
+	argS := make([]sval, len(x.Args))
+	for i, a := range x.Args {
+		ci, _, sv, err := r.eval(a, fr)
+		if err != nil {
+			return 0, sval{}, err
+		}
+		argC[i], argS[i] = ci, sv
+	}
+	cres := sl.fn.Eval(argC)
+	if r.e.Mode == ModeHigherOrder {
+		sums := make([]*sym.Sum, len(argS))
+		for i, a := range argS {
+			if a.bottom || a.sum == nil {
+				sums[i] = sym.Int(argC[i])
+			} else {
+				sums[i] = a.sum
+			}
+		}
+		r.ex.CallbackSamples.Add(sl.fnSym, argC, cres)
+		r.ex.UFApps++
+		return cres, intS(sym.ApplyTerm(sl.fnSym, sums...), nil), nil
+	}
+	return cres, r.imprecise("", false, cres, argC, argS, x.P), nil
 }
 
 // evalCallInline performs classic inlining of a summarizable call whose

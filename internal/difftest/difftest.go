@@ -126,6 +126,35 @@ func NewCase(seed int64) *Case {
 	}
 }
 
+// NewCallbackCase deterministically generates a higher-order program case:
+// main takes one or two fn(int) int parameters the generated body calls
+// through, so the higher-order searcher must construct function inputs and
+// every recorded run may carry decision tables.
+func NewCallbackCase(seed int64) *Case {
+	r := rand.New(rand.NewSource(seed))
+	cfg := mini.GenConfig{
+		Natives:    []string{"hash"},
+		NumHelpers: r.Intn(2),
+		NumInputs:  2,
+		FuncParams: 1 + r.Intn(2),
+	}
+	src := mini.GenProgram(r, cfg)
+	natives := CaseNatives()
+	prog := mini.MustCheck(mini.MustParse(src), natives)
+
+	n := len(prog.Shape().Names)
+	in := make([]int64, n)
+	bounds := make([]smt.Bound, n)
+	for i := range in {
+		in[i] = int64(r.Intn(21) - 10)
+		bounds[i] = smt.Bound{Lo: -10, Hi: 10, HasLo: true, HasHi: true}
+	}
+	return &Case{
+		Seed: seed, Src: src, Prog: prog, Natives: natives,
+		Seeds: [][]int64{in}, Bounds: bounds,
+	}
+}
+
 // CaseFromSource builds a case from explicit source text (regression corpus
 // replay, shrinker candidates). The seed input is the zero vector plus the
 // case bounds, so replay is fully deterministic given the source alone.

@@ -4,10 +4,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"hotg/internal/concolic"
 	"hotg/internal/faults"
 	"hotg/internal/fol"
 	"hotg/internal/mini"
+	"hotg/internal/search"
 	"hotg/internal/sym"
 )
 
@@ -81,6 +84,92 @@ func TestProgramOracleSeededPass(t *testing.T) {
 	for seed := int64(1); seed <= n; seed++ {
 		c := NewCase(seed)
 		for _, f := range CheckCase(c, quickCfg) {
+			t.Errorf("seed %d: %s", seed, f)
+		}
+	}
+}
+
+// TestCallbackReplayProperty is the function-input replay property at scale:
+// over 1000 generated higher-order programs, every run executed under
+// synthesized function values replays — through the interpreter AND the
+// compiled VM — to the exact recorded path and verdict. This is the
+// soundness half of witness construction: a decision table the search
+// invented is only a test input if it deterministically reproduces the run
+// that reported it.
+func TestCallbackReplayProperty(t *testing.T) {
+	n := int64(1000)
+	if testing.Short() {
+		n = 100
+	}
+	replayed := 0
+	for seed := int64(1); seed <= n; seed++ {
+		c := NewCallbackCase(seed)
+		var recs []search.RunRecord
+		// A tight per-proof deadline keeps the 1000-seed sweep bounded: a
+		// timed-out target just generates no test, and replay fidelity is
+		// checked on whatever tests the search did construct.
+		eng := concolic.New(c.Prog, concolic.ModeHigherOrder)
+		search.Run(eng, search.Options{
+			MaxRuns: 8, Seeds: c.Seeds, Bounds: c.Bounds,
+			OnRun:  func(r search.RunRecord) { recs = append(recs, r) },
+			Budget: search.Budget{ProofTimeout: 50 * time.Millisecond, Degrade: true},
+		})
+		compiled := mini.CompileVM(c.Prog)
+		for _, rec := range recs {
+			synthesized := false
+			for _, s := range rec.Funcs {
+				if s != "" {
+					synthesized = true
+				}
+			}
+			if !synthesized {
+				continue
+			}
+			replayed++
+			opts, err := replayOpts(rec.Funcs)
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, rec.Run, err)
+			}
+			interp := mini.Run(c.Prog, rec.Input, opts)
+			if interp.Path() != rec.Path {
+				t.Errorf("seed %d run %d: recorded path %q, interpreter replays %q under funcs %v",
+					seed, rec.Run, rec.Path, interp.Path(), rec.Funcs)
+				continue
+			}
+			vmres := mini.RunVM(compiled, rec.Input, opts)
+			if d := diffResults(interp, vmres); d != "" {
+				t.Errorf("seed %d run %d: %s (funcs %v)", seed, rec.Run, d, rec.Funcs)
+			}
+			for _, bug := range rec.Bugs {
+				if d := diffBug(bug, interp); d != "" {
+					t.Errorf("seed %d run %d: interpreter verdict: %s", seed, rec.Run, d)
+				}
+				if d := diffBug(bug, vmres); d != "" {
+					t.Errorf("seed %d run %d: vm verdict: %s", seed, rec.Run, d)
+				}
+			}
+		}
+	}
+	min := 200
+	if testing.Short() {
+		min = 20
+	}
+	if replayed < min {
+		t.Fatalf("property is close to vacuous: only %d runs carried synthesized functions", replayed)
+	}
+}
+
+// TestCallbackOracleSeededPass extends the O1 pass with a callback-workload
+// row: the full replay and differential oracle on generated higher-order
+// programs. Every seed must be clean.
+func TestCallbackOracleSeededPass(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		c := NewCallbackCase(seed)
+		for _, f := range CheckO1(c, quickCfg) {
 			t.Errorf("seed %d: %s", seed, f)
 		}
 	}

@@ -103,34 +103,65 @@ func CheckO1(c *Case, cfg Config) []Finding {
 		}
 
 		for _, rec := range recs {
-			interp := mini.Run(c.Prog, rec.Input, mini.RunOptions{})
+			opts, err := replayOpts(rec.Funcs)
+			if err != nil {
+				report("replay-funcs", fmt.Sprintf("%s run %d: %v", tech, rec.Run, err), rec.Input)
+				continue
+			}
+			interp := mini.Run(c.Prog, rec.Input, opts)
 			if interp.Path() != rec.Path {
 				report("replay-path", fmt.Sprintf("%s run %d: recorded path %q, interpreter replays %q",
 					tech, rec.Run, rec.Path, interp.Path()), rec.Input)
 				continue
 			}
-			vmres := mini.RunVM(compiled, rec.Input, mini.RunOptions{})
+			vmres := mini.RunVM(compiled, rec.Input, opts)
 			if d := diffResults(interp, vmres); d != "" {
 				report("interp-vm", fmt.Sprintf("%s run %d: %s", tech, rec.Run, d), rec.Input)
 			}
-			optres := mini.RunVM(optimized, rec.Input, mini.RunOptions{})
+			optres := mini.RunVM(optimized, rec.Input, opts)
 			if d := diffResults(interp, optres); d != "" {
 				report("interp-vm", fmt.Sprintf("%s run %d (optimized): %s", tech, rec.Run, d), rec.Input)
 			}
 		}
 
 		for _, bug := range stats.Bugs {
-			interp := mini.Run(c.Prog, bug.Input, mini.RunOptions{})
+			opts, err := replayOpts(bug.Funcs)
+			if err != nil {
+				report("replay-funcs", fmt.Sprintf("%s bug: %v", tech, err), bug.Input)
+				continue
+			}
+			interp := mini.Run(c.Prog, bug.Input, opts)
 			if d := diffBug(bug, interp); d != "" {
 				report("bug-reproduce", fmt.Sprintf("%s: interpreter: %s", tech, d), bug.Input)
 			}
-			vmres := mini.RunVM(compiled, bug.Input, mini.RunOptions{})
+			vmres := mini.RunVM(compiled, bug.Input, opts)
 			if d := diffBug(bug, vmres); d != "" {
 				report("bug-reproduce", fmt.Sprintf("%s: vm: %s", tech, d), bug.Input)
 			}
 		}
 	}
 	return findings
+}
+
+// replayOpts builds the replay options for a recorded run: the canonical
+// function-input texts decode back into the decision tables the run executed
+// under ("" entries are the default function).
+func replayOpts(texts []string) (mini.RunOptions, error) {
+	if len(texts) == 0 {
+		return mini.RunOptions{}, nil
+	}
+	funcs := make([]*mini.FuncValue, len(texts))
+	for i, s := range texts {
+		if s == "" {
+			continue
+		}
+		fv, err := mini.ParseFuncValue(s)
+		if err != nil {
+			return mini.RunOptions{}, err
+		}
+		funcs[i] = fv
+	}
+	return mini.RunOptions{Funcs: funcs}, nil
 }
 
 // faultCategory normalizes a runtime-fault message to its class, since the

@@ -166,7 +166,8 @@ func Experiments() []Experiment {
 		{"E13", "Section 7: hard-coded hashes and sample persistence", E13SamplePersistence},
 		{"E14", "checksummed packet parser (second application)", E14PacketParser},
 		{"E15", "grammar-based whitebox fuzzing baseline", E15GrammarBaseline},
-		{"E16", "Theorem 1: exhaustive search as verification", E16Verification},
+		{"E16", "function-valued inputs: synthesis vs concretization", E16Callbacks},
+		{"E17", "Theorem 1: exhaustive search as verification", E17Verification},
 		{"A1", "ablation: delayed concretization constraints", A1DelayedConc},
 		{"A2", "ablation: divergence rates by mode", A2DivergenceRates},
 		{"A3", "ablation: compositional summaries", A3Summaries},

@@ -11,6 +11,7 @@ import (
 
 	"hotg/internal/concolic"
 	"hotg/internal/fol"
+	"hotg/internal/mini"
 	"hotg/internal/smt"
 	"hotg/internal/sym"
 )
@@ -19,7 +20,7 @@ import (
 func encodeSamples(smps []sym.Sample) []SampleRec {
 	out := make([]SampleRec, len(smps))
 	for i, s := range smps {
-		out[i] = SampleRec{Fn: s.Fn.Name, Arity: s.Fn.Arity, Args: s.Args, Out: s.Out}
+		out[i] = SampleRec{Fn: s.Fn.Name, Arity: s.Fn.Arity, Args: s.Args, Out: s.Out, Input: s.Fn.Input}
 	}
 	return out
 }
@@ -41,7 +42,31 @@ func decodeSamples(recs []SampleRec, pool *sym.Pool) (out []sym.Sample, err erro
 			return nil, fmt.Errorf("fleet: sample %d malformed (fn=%q arity=%d args=%d)",
 				i, r.Fn, r.Arity, len(r.Args))
 		}
-		out = append(out, sym.Sample{Fn: pool.FuncSym(r.Fn, r.Arity), Args: r.Args, Out: r.Out})
+		fn := pool.FuncSym
+		if r.Input {
+			fn = pool.InputFuncSym
+		}
+		out = append(out, sym.Sample{Fn: fn(r.Fn, r.Arity), Args: r.Args, Out: r.Out})
+	}
+	return out, nil
+}
+
+// parseFuncs decodes canonical function-input texts ("" = nil, the default
+// function), as carried by TaskRec.Funcs.
+func parseFuncs(texts []string) ([]*mini.FuncValue, error) {
+	if texts == nil {
+		return nil, nil
+	}
+	out := make([]*mini.FuncValue, len(texts))
+	for i, t := range texts {
+		if t == "" {
+			continue
+		}
+		fv, err := mini.ParseFuncValue(t)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: function input %d: %w", i, err)
+		}
+		out[i] = fv
 	}
 	return out, nil
 }
@@ -74,6 +99,9 @@ func encodeExec(ex *concolic.Execution, smps []sym.Sample, panicked bool) (*Exec
 		NewSamples:      ex.NewSamples,
 		Samples:         encodeSamples(smps),
 	}
+	if ex.CallbackSamples != nil {
+		rec.CallbackSamples = encodeSamples(ex.CallbackSamples.All())
+	}
 	rec.PC = make([]ConstraintRec, len(ex.PC))
 	for i, c := range ex.PC {
 		e, err := sym.EncodeExpr(c.Expr)
@@ -89,20 +117,31 @@ func encodeExec(ex *concolic.Execution, smps []sym.Sample, panicked bool) (*Exec
 }
 
 // decodeExec reconstructs an execution against the receiving engine. The
-// input is taken from the task (not the wire) so a worker cannot reassign a
-// result to a different input.
-func decodeExec(rec *ExecResultRec, eng *concolic.Engine, input []int64) (*concolic.Execution, []sym.Sample, error) {
+// input and function inputs are taken from the task (not the wire) so a
+// worker cannot reassign a result to different inputs.
+func decodeExec(rec *ExecResultRec, eng *concolic.Engine, input []int64, funcs []*mini.FuncValue) (*concolic.Execution, []sym.Sample, error) {
 	if rec.Panicked || rec.Result == nil {
 		return nil, nil, nil
 	}
 	res := sym.NewResolver(eng.Pool, eng.InputVars)
 	ex := &concolic.Execution{
 		Input:           input,
+		Funcs:           funcs,
 		Result:          rec.Result,
 		Incomplete:      rec.Incomplete,
 		Concretizations: rec.Concretizations,
 		UFApps:          rec.UFApps,
 		NewSamples:      rec.NewSamples,
+	}
+	if len(rec.CallbackSamples) > 0 {
+		cbs, err := decodeSamples(rec.CallbackSamples, eng.Pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		ex.CallbackSamples = sym.NewSampleStore()
+		if err := applySamples(ex.CallbackSamples, cbs); err != nil {
+			return nil, nil, err
+		}
 	}
 	ex.PC = make([]concolic.Constraint, len(rec.PC))
 	for i, c := range rec.PC {

@@ -9,6 +9,7 @@ import (
 
 	"hotg/internal/concolic"
 	"hotg/internal/fol"
+	"hotg/internal/mini"
 	"hotg/internal/obs"
 	"hotg/internal/search"
 	"hotg/internal/smt"
@@ -70,9 +71,13 @@ type task struct {
 	shard   int
 	version int
 
-	// Request payload (exactly one family is set, by kind).
-	input  []int64
-	altRec *sym.ExprRec
+	// Request payload (exactly one family is set, by kind). funcs is the
+	// wire form of the execution's function inputs; funcVals the parsed form
+	// (for local fallback and result decoding).
+	input    []int64
+	funcs    []string
+	funcVals []*mini.FuncValue
+	altRec   *sym.ExprRec
 
 	// Lease state: leasedTo is -1 while queued, a worker id while leased,
 	// and localWorker when the coordinator claimed it for local fallback.
@@ -201,8 +206,13 @@ func (c *Coordinator) Run(opts search.Options) *search.Stats {
 func (c *Coordinator) ExecBatch(reqs []search.ExecRequest) ([]search.ExecReply, error) {
 	tasks := make([]*task, len(reqs))
 	for i, r := range reqs {
+		funcVals, err := parseFuncs(r.Funcs)
+		if err != nil {
+			return nil, err
+		}
 		tasks[i] = &task{
 			kind: TaskExec, version: r.Version, input: r.Input,
+			funcs: r.Funcs, funcVals: funcVals,
 			shard: search.ShardOf(r.Input, c.opts.Shards), leasedTo: -1,
 		}
 	}
@@ -390,7 +400,7 @@ func (c *Coordinator) computeLocal(t *task) {
 	switch t.kind {
 	case TaskExec:
 		overlay := sym.NewOverlay(c.eng.Samples)
-		ex, panicked := runShielded(c.eng.Clone(overlay), t.input)
+		ex, panicked := runShielded(c.eng.Clone(overlay), t.input, t.funcVals)
 		c.completeExec(t, ex, overlay.Local(), panicked, localWorker, time.Since(t0))
 	case TaskProve:
 		alt, err := sym.DecodeExpr(t.altRec, sym.NewResolver(c.eng.Pool, c.eng.InputVars))
@@ -436,15 +446,16 @@ func deadlineAfter(d time.Duration) time.Time {
 	return time.Now().Add(d)
 }
 
-// runShielded executes one input, converting executor panics into a dropped
-// run — the same shield the in-process searcher uses.
-func runShielded(eng *concolic.Engine, input []int64) (ex *concolic.Execution, panicked bool) {
+// runShielded executes one input under its function inputs, converting
+// executor panics into a dropped run — the same shield the in-process
+// searcher uses.
+func runShielded(eng *concolic.Engine, input []int64, funcs []*mini.FuncValue) (ex *concolic.Execution, panicked bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			ex, panicked = nil, true
 		}
 	}()
-	return eng.Run(input), false
+	return eng.RunWith(input, funcs), false
 }
 
 // proveShielded discharges one proof, converting prover panics into an
@@ -649,7 +660,7 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	reply := &PollReply{Op: OpTask, Task: &TaskRec{
 		ID: t.id, Kind: t.kind, Version: t.version, Shard: t.shard,
-		Input: t.input, Alt: t.altRec,
+		Input: t.input, Funcs: t.funcs, Alt: t.altRec,
 	}}
 	if req.Version < t.version {
 		// The store is frozen while the batch is in flight, so this slice is
@@ -744,7 +755,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	case t.kind == TaskExec && req.Exec != nil:
 		var ex *concolic.Execution
 		var smps []sym.Sample
-		ex, smps, err = decodeExec(req.Exec, c.eng, t.input)
+		ex, smps, err = decodeExec(req.Exec, c.eng, t.input, t.funcVals)
 		if err == nil {
 			applied = c.completeExec(t, ex, smps, req.Exec.Panicked, req.Worker, dur)
 		}

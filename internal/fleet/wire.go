@@ -148,6 +148,10 @@ type TaskRec struct {
 	Shard int `json:"shard"`
 	// Input is the vector to execute (TaskExec).
 	Input []int64 `json:"input,omitempty"`
+	// Funcs are the function-valued inputs of the execution in canonical
+	// textual form, one per function parameter ("" = the default function);
+	// nil for first-order programs (TaskExec).
+	Funcs []string `json:"funcs,omitempty"`
 	// Alt is the target formula (TaskProve, TaskSolve).
 	Alt *sym.ExprRec `json:"alt,omitempty"`
 }
@@ -178,6 +182,10 @@ type SampleRec struct {
 	Arity int     `json:"arity"`
 	Args  []int64 `json:"args"`
 	Out   int64   `json:"out"`
+	// Input marks a sample of a function-valued input (callback) symbol, so
+	// the decoder resolves it through InputFuncSym. Only per-execution
+	// callback samples carry it; shared-store entries are never input-valued.
+	Input bool `json:"input,omitempty"`
 }
 
 // ConstraintRec is one path-constraint conjunct of a shipped execution.
@@ -202,6 +210,11 @@ type ExecResultRec struct {
 	UFApps          int             `json:"uf_apps,omitempty"`
 	NewSamples      int             `json:"new_samples,omitempty"`
 	Samples         []SampleRec     `json:"samples,omitempty"`
+	// CallbackSamples are the input–output pairs observed for callback
+	// applications during the run, in observation order. They stay private to
+	// the execution (the coordinator rebuilds the per-execution store from
+	// them for callback-target proofs) and never enter the shared store.
+	CallbackSamples []SampleRec `json:"cb_samples,omitempty"`
 }
 
 // ProveResultRec is a validity-proof verdict: the outcome in

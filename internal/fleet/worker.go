@@ -220,8 +220,13 @@ func (w *worker) handle(t *TaskRec, delta []SampleRec) {
 	req := &ResultRequest{Worker: w.id, Task: t.ID}
 	switch t.Kind {
 	case TaskExec:
+		funcVals, err := parseFuncs(t.Funcs)
+		if err != nil {
+			w.count("bad_tasks")
+			return
+		}
 		overlay := sym.NewOverlay(w.eng.Samples)
-		ex, panicked := runShielded(w.eng.Clone(overlay), t.Input)
+		ex, panicked := runShielded(w.eng.Clone(overlay), t.Input, funcVals)
 		rec, err := encodeExec(ex, overlay.Local(), panicked)
 		if err != nil {
 			w.count("encode_errors")

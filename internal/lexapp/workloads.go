@@ -256,14 +256,84 @@ func PaperExamples() []*Workload {
 	}
 }
 
-// Get returns a workload by name (paper examples and lexer variants).
-func Get(name string) (*Workload, bool) {
-	for _, w := range PaperExamples() {
-		if w.Name == name {
-			return w, true
+// CallbackFilter is the predicate-filter callback workload: the error guard
+// needs p to accept two adjacent points, which no scalar input can arrange —
+// under the default function every p(·) is 0, so a first-order searcher only
+// ever sees the false side of the predicate branches. A higher-order searcher
+// invents the table p = {(x)->1, (x+1)->1} and walks straight in.
+func CallbackFilter() *Workload {
+	return &Workload{
+		Name:        "cb-filter",
+		Description: "callback predicate filter: p(x)==1 && p(x+1)==1 needs a synthesized function",
+		Source: `
+fn main(x int, y int, p fn(int) int) {
+	if (p(x) == 1 && p(x + 1) == 1) {
+		if (y == 7) {
+			error("filter");
 		}
 	}
-	for _, w := range []*Workload{Lexer(), LexerHardcoded(), Packet(), Scanner()} {
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{3, 0}},
+	}
+}
+
+// CallbackSortGuard is the comparator workload: the bug is a transitivity
+// violation, reachable only by a comparator that orders a<b and b<c but not
+// a<c. Every constant-default comparator returns 0 everywhere, so the guard's
+// true side is invisible to first-order search.
+func CallbackSortGuard() *Workload {
+	return &Workload{
+		Name:        "cb-sortguard",
+		Description: "callback comparator: a non-transitive cmp reaches the sort guard's bug",
+		Source: `
+fn main(a int, b int, c int, cmp fn(int, int) int) {
+	if (cmp(a, b) < 0 && cmp(b, c) < 0) {
+		if (cmp(a, c) >= 0) {
+			error("nontransitive");
+		}
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{1, 2, 3}},
+	}
+}
+
+// CallbackFold is the fold workload: a three-step fold through the callback
+// must hit an exact checksum while the scalar inputs satisfy a side
+// constraint — the function value and the scalars are solved together.
+func CallbackFold() *Workload {
+	return &Workload{
+		Name:        "cb-fold",
+		Description: "callback fold: step(step(step(0,s0),s1),s2)==42 with a scalar side constraint",
+		Source: `
+fn main(s0 int, s1 int, s2 int, step fn(int, int) int) {
+	var acc = step(0, s0);
+	acc = step(acc, s1);
+	acc = step(acc, s2);
+	if (acc == 42) {
+		if (s0 + s1 + s2 > 10) {
+			error("checksum");
+		}
+	}
+}`,
+		Natives: scrambledNatives(),
+		Seeds:   [][]int64{{1, 2, 3}},
+	}
+}
+
+// CallbackWorkloads returns the function-valued-input family E16 measures:
+// every bug sits behind a branch on a callback's output, so coverage of the
+// branch's true side separates higher-order synthesis from DART-style
+// concretization.
+func CallbackWorkloads() []*Workload {
+	return []*Workload{CallbackFilter(), CallbackSortGuard(), CallbackFold()}
+}
+
+// Get returns a workload by name (paper examples, lexer variants, and the
+// callback family).
+func Get(name string) (*Workload, bool) {
+	for _, w := range All() {
 		if w.Name == name {
 			return w, true
 		}
@@ -271,10 +341,11 @@ func Get(name string) (*Workload, bool) {
 	return nil, false
 }
 
-// All returns every workload: paper examples, lexers, packet parser, and the
-// call-heavy scanner.
+// All returns every workload: paper examples, lexers, packet parser, the
+// call-heavy scanner, and the callback family.
 func All() []*Workload {
-	return append(PaperExamples(), Lexer(), LexerHardcoded(), Packet(), Scanner())
+	out := append(PaperExamples(), Lexer(), LexerHardcoded(), Packet(), Scanner())
+	return append(out, CallbackWorkloads()...)
 }
 
 // Scanner is a call-heavy workload for the compositional-summary machinery:

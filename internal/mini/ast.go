@@ -13,12 +13,15 @@ const (
 	TInt TypeKind = iota
 	TBool
 	TArray // fixed-length int array
+	TFunc  // function value: fn(int,...) int, callable only
 )
 
 // Type is a mini type. Arrays are always arrays of int with a fixed length.
+// Function types reuse Len as the arity, which keeps Type comparable (the
+// format round-trip tests compare Params with ==).
 type Type struct {
 	Kind TypeKind
-	Len  int // for TArray
+	Len  int // for TArray: length; for TFunc: arity
 }
 
 func (t Type) String() string {
@@ -29,6 +32,12 @@ func (t Type) String() string {
 		return "bool"
 	case TArray:
 		return fmt.Sprintf("[%d]int", t.Len)
+	case TFunc:
+		args := make([]string, t.Len)
+		for i := range args {
+			args[i] = "int"
+		}
+		return fmt.Sprintf("fn(%s) int", strings.Join(args, ", "))
 	}
 	return "?"
 }
@@ -77,13 +86,15 @@ type Binary struct {
 }
 
 // Call is a function call. The checker resolves it to either a user function
-// (Fn != nil) or a native (Native true).
+// (Fn != nil), a native (Native true), or a call through a function-typed
+// parameter (Param true) — a first-class callback input of the program.
 type Call struct {
 	P      Pos
 	Name   string
 	Args   []Expr
 	Fn     *FuncDecl // user-defined callee, or nil
 	Native bool
+	Param  bool
 }
 
 // Index is an array element read a[i].
@@ -251,6 +262,8 @@ type InputShape struct {
 }
 
 // Shape computes the input shape of the program's main function.
+// Function-typed parameters contribute no scalar slots: they are carried
+// separately as FuncValue inputs (see FuncShape).
 func (p *Program) Shape() InputShape {
 	var sh InputShape
 	m := p.Main()
@@ -261,12 +274,33 @@ func (p *Program) Shape() InputShape {
 				sh.Names = append(sh.Names, fmt.Sprintf("%s[%d]", prm.Name, i))
 				sh.ParamOf = append(sh.ParamOf, pi)
 			}
+		case TFunc:
+			// no scalar slots
 		default:
 			sh.Names = append(sh.Names, prm.Name)
 			sh.ParamOf = append(sh.ParamOf, pi)
 		}
 	}
 	return sh
+}
+
+// FuncParam describes one function-typed parameter of main.
+type FuncParam struct {
+	Name  string
+	Arity int
+}
+
+// FuncShape lists main's function-typed parameters in declaration order. A
+// program's full input is the flat scalar vector of Shape plus one FuncValue
+// per FuncShape entry.
+func (p *Program) FuncShape() []FuncParam {
+	var out []FuncParam
+	for _, prm := range p.Main().Params {
+		if prm.Type.Kind == TFunc {
+			out = append(out, FuncParam{Name: prm.Name, Arity: prm.Type.Len})
+		}
+	}
+	return out
 }
 
 // Native is a host-provided function opaque to symbolic execution — the

@@ -110,6 +110,9 @@ func (c *checker) checkStmt(s Stmt) error {
 		if vt.Kind == TArray {
 			return errf(st.P, "cannot assign to array %s without an index", st.Name)
 		}
+		if vt.Kind == TFunc {
+			return errf(st.P, "cannot assign to function parameter %s", st.Name)
+		}
 		et, err := c.checkExpr(st.Val)
 		if err != nil {
 			return err
@@ -231,6 +234,9 @@ func (c *checker) checkExpr(e Expr) (Type, error) {
 		if t.Kind == TArray {
 			return Type{}, errf(x.P, "array %s used without an index", x.Name)
 		}
+		if t.Kind == TFunc {
+			return Type{}, errf(x.P, "function %s used without a call", x.Name)
+		}
 		return t, nil
 	case *Index:
 		t, ok := c.lookup(x.Name)
@@ -323,6 +329,22 @@ func (c *checker) checkCall(x *Call, asStmt bool) (Type, error) {
 				}
 				continue
 			}
+			if want.Kind == TFunc {
+				// Function values pass by reference, like arrays: only a
+				// function-typed parameter name is a valid argument.
+				id, ok := a.(*Ident)
+				if !ok {
+					return Type{}, errf(a.Pos(), "argument %d of %s must be a function parameter", i+1, x.Name)
+				}
+				at, ok := c.lookup(id.Name)
+				if !ok || at.Kind != TFunc {
+					return Type{}, errf(a.Pos(), "argument %d of %s must be a function, got %s", i+1, x.Name, at)
+				}
+				if at.Len != want.Len {
+					return Type{}, errf(a.Pos(), "argument %d of %s: function arity %d, want %d", i+1, x.Name, at.Len, want.Len)
+				}
+				continue
+			}
 			at, err := c.checkExpr(a)
 			if err != nil {
 				return Type{}, err
@@ -333,6 +355,23 @@ func (c *checker) checkCall(x *Call, asStmt bool) (Type, error) {
 		}
 		if !fd.HasRet && !asStmt {
 			return Type{}, errf(x.P, "%s has no return value", x.Name)
+		}
+		return Type{Kind: TInt}, nil
+	}
+	if t, ok := c.lookup(x.Name); ok && t.Kind == TFunc {
+		// A call through a function-typed parameter: the callback input.
+		x.Param = true
+		if len(x.Args) != t.Len {
+			return Type{}, errf(x.P, "function %s expects %d arguments, got %d", x.Name, t.Len, len(x.Args))
+		}
+		for i, a := range x.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return Type{}, err
+			}
+			if at.Kind != TInt {
+				return Type{}, errf(a.Pos(), "argument %d of %s must be int, got %s", i+1, x.Name, at)
+			}
 		}
 		return Type{Kind: TInt}, nil
 	}

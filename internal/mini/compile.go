@@ -48,6 +48,7 @@ const (
 	OpRetVoid // return (void / fall-off)
 	OpError   // error site A (message table index A)
 	OpPop     // discard the top of stack
+	OpCallPar // apply function value in fn slot A to B int args
 )
 
 var opNames = [...]string{
@@ -56,6 +57,7 @@ var opNames = [...]string{
 	"eq", "ne", "lt", "le", "gt", "ge", "not",
 	"jmp", "brf", "and", "or",
 	"call", "callnat", "ret", "retvoid", "error", "pop",
+	"callpar",
 }
 
 func (o Opcode) String() string {
@@ -72,11 +74,12 @@ type Instr struct {
 }
 
 // callSite describes how one call's arguments map into the callee frame:
-// int arguments are evaluated onto the stack (popped in reverse); array
-// arguments are bound by reference from caller array slots.
+// int arguments are evaluated onto the stack (popped in reverse); array and
+// function arguments are bound by reference from caller slots.
 type callSite struct {
 	intArgs int   // how many int args are on the stack
 	arrFrom []int // caller array slots, in parameter order of array params
+	fnFrom  []int // caller fn slots, in parameter order of function params
 }
 
 // compiledFn is one lowered function.
@@ -85,6 +88,7 @@ type compiledFn struct {
 	code     []Instr
 	numInts  int   // int-local slot count (params first)
 	numArrs  int   // array-local slot count (array params first)
+	numFns   int   // fn slot count (function params only — no fn locals)
 	arrLens  []int // static length per array slot (0 when bound by reference)
 	intParam []int // int-param slot order (for CALL frame setup)
 	arrParam int   // number of array parameters
@@ -134,22 +138,27 @@ type fnCompiler struct {
 	scopes  []map[string]varSlot
 	numInts int
 	numArrs int
+	numFns  int
 	arrLens []int
 }
 
 type varSlot struct {
 	slot  int
 	isArr bool
+	isFn  bool
 }
 
 func (f *fnCompiler) compile() compiledFn {
 	out := compiledFn{name: f.fd.Name, hasRet: f.fd.HasRet}
 	f.push()
 	for _, prm := range f.fd.Params {
-		if prm.Type.Kind == TArray {
+		switch prm.Type.Kind {
+		case TArray:
 			f.declare(prm.Name, true, 0)
 			out.arrParam++
-		} else {
+		case TFunc:
+			f.declareFn(prm.Name)
+		default:
 			s := f.declare(prm.Name, false, 0)
 			out.intParam = append(out.intParam, s)
 		}
@@ -159,6 +168,7 @@ func (f *fnCompiler) compile() compiledFn {
 	out.code = f.code
 	out.numInts = f.numInts
 	out.numArrs = f.numArrs
+	out.numFns = f.numFns
 	out.arrLens = f.arrLens
 	return out
 }
@@ -181,6 +191,14 @@ func (f *fnCompiler) declare(name string, isArr bool, arrLen int) int {
 		f.numInts++
 	}
 	f.scopes[len(f.scopes)-1][name] = varSlot{slot: s, isArr: isArr}
+	return s
+}
+
+// declareFn assigns a function-value slot; only parameters occupy them.
+func (f *fnCompiler) declareFn(name string) int {
+	s := f.numFns
+	f.numFns++
+	f.scopes[len(f.scopes)-1][name] = varSlot{slot: s, isFn: true}
 	return s
 }
 
@@ -335,6 +353,13 @@ func (f *fnCompiler) expr(e Expr) {
 }
 
 func (f *fnCompiler) call(x *Call) {
+	if x.Param {
+		for _, a := range x.Args {
+			f.expr(a)
+		}
+		f.emit(Instr{Op: OpCallPar, A: int64(f.lookup(x.Name).slot), B: int64(len(x.Args))})
+		return
+	}
 	if x.Native {
 		for _, a := range x.Args {
 			f.expr(a)
@@ -344,9 +369,14 @@ func (f *fnCompiler) call(x *Call) {
 	}
 	site := callSite{}
 	for i, a := range x.Args {
-		if x.Fn.Params[i].Type.Kind == TArray {
+		switch x.Fn.Params[i].Type.Kind {
+		case TArray:
 			id := a.(*Ident)
 			site.arrFrom = append(site.arrFrom, f.lookup(id.Name).slot)
+			continue
+		case TFunc:
+			id := a.(*Ident)
+			site.fnFrom = append(site.fnFrom, f.lookup(id.Name).slot)
 			continue
 		}
 		f.expr(a)

@@ -46,6 +46,46 @@ func FuzzParser(f *testing.F) {
 	})
 }
 
+// FuzzFunctionValueRoundTrip: any string ParseFuncValue accepts renders back
+// to an identical string (parse∘format is the identity on canonical text),
+// and the resulting table is well-formed: rows sorted, no duplicate argument
+// tuples, every row at the declared arity. Eval on a parsed table must agree
+// with the row the text names.
+func FuzzFunctionValueRoundTrip(f *testing.F) {
+	f.Add("fn/1{_->0}")
+	f.Add("fn/0{_->-7}")
+	f.Add("fn/1{(0)->1, (1)->1, _->0}")
+	f.Add("fn/2{(-1,-2)->-2, (0,-2)->0, (0,-1)->-1, _->0}")
+	f.Add("fn/2{(2,1)->3, (1,2)->3, _->0}") // non-canonical order: parses, re-sorts
+	f.Add("fn/1{(9223372036854775807)->-9223372036854775808, _->0}")
+	f.Add("fn/1{(1)->2, (1)->3, _->0}") // conflicting duplicate: must be rejected
+	f.Fuzz(func(t *testing.T, s string) {
+		fv, err := ParseFuncValue(s)
+		if err != nil {
+			return
+		}
+		text := fv.String()
+		fv2, err := ParseFuncValue(text)
+		if err != nil {
+			t.Fatalf("rendered value failed to parse: %v\n%q", err, text)
+		}
+		if got := fv2.String(); got != text {
+			t.Fatalf("format/parse/format not byte-stable: %q then %q (from %q)", text, got, s)
+		}
+		for i, row := range fv.Rows {
+			if len(row.Args) != fv.Arity {
+				t.Fatalf("row %d has %d args, arity is %d: %q", i, len(row.Args), fv.Arity, text)
+			}
+			if i > 0 && !argsLess(fv.Rows[i-1].Args, row.Args) {
+				t.Fatalf("rows %d,%d out of canonical order: %q", i-1, i, text)
+			}
+			if got := fv.Eval(row.Args); got != row.Out {
+				t.Fatalf("Eval(%v) = %d, table says %d: %q", row.Args, got, row.Out, text)
+			}
+		}
+	})
+}
+
 // FuzzLexRoundTrip: the token stream of any accepted input reassembles into
 // an equally lexable string.
 func FuzzLexRoundTrip(f *testing.F) {

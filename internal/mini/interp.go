@@ -68,6 +68,13 @@ type RunOptions struct {
 	// This is the hook used to learn input–output samples across runs
 	// (Section 7: observing keyword hashes from well-formed seed inputs).
 	OnNativeCall func(name string, args []int64, result int64)
+	// Funcs supplies the function-valued inputs, aligned with the program's
+	// FuncShape. Missing or nil entries run as the default function (the
+	// empty table: every application returns 0).
+	Funcs []*FuncValue
+	// OnCallbackCall, if set, observes every call through a function-typed
+	// parameter — the callback analogue of OnNativeCall.
+	OnCallbackCall func(fv *FuncValue, args []int64, result int64)
 }
 
 type runtimeFault struct{ msg string }
@@ -85,6 +92,7 @@ type value struct {
 	i   int64
 	b   bool
 	arr []int64
+	fn  *FuncValue
 	t   TypeKind
 }
 
@@ -112,6 +120,7 @@ func Run(prog *Program, input []int64, opts RunOptions) *Result {
 
 	fr := frame{}
 	k := 0
+	fnIdx := 0
 	for _, prm := range main.Params {
 		switch prm.Type.Kind {
 		case TArray:
@@ -119,6 +128,13 @@ func Run(prog *Program, input []int64, opts RunOptions) *Result {
 			copy(arr, input[k:k+prm.Type.Len])
 			k += prm.Type.Len
 			fr[prm.Name] = value{t: TArray, arr: arr}
+		case TFunc:
+			var fv *FuncValue // nil = default function
+			if fnIdx < len(opts.Funcs) {
+				fv = opts.Funcs[fnIdx]
+			}
+			fnIdx++
+			fr[prm.Name] = value{t: TFunc, fn: fv}
 		default:
 			fr[prm.Name] = value{t: TInt, i: input[k]}
 			k++
@@ -406,6 +422,22 @@ func (in *interp) eval(e Expr, fr frame) (value, error) {
 }
 
 func (in *interp) evalCall(x *Call, fr frame) (value, error) {
+	if x.Param {
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(a, fr)
+			if err != nil {
+				return value{}, err
+			}
+			args[i] = v.i
+		}
+		fv := fr[x.Name].fn
+		res := fv.Eval(args)
+		if in.opts.OnCallbackCall != nil {
+			in.opts.OnCallbackCall(fv, args, res)
+		}
+		return value{t: TInt, i: res}, nil
+	}
 	if x.Native {
 		nat := in.prog.Natives[x.Name]
 		args := make([]int64, len(x.Args))
@@ -430,8 +462,8 @@ func (in *interp) evalCall(x *Call, fr frame) (value, error) {
 	}
 	callee := frame{}
 	for i, prm := range fd.Params {
-		if prm.Type.Kind == TArray {
-			// Arrays are passed by reference, like Go slices.
+		if prm.Type.Kind == TArray || prm.Type.Kind == TFunc {
+			// Arrays and function values are passed by reference.
 			id := x.Args[i].(*Ident)
 			callee[prm.Name] = fr[id.Name]
 			continue

@@ -1,6 +1,8 @@
 package mini
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -365,4 +367,38 @@ func TestMustParseAndCheckPanic(t *testing.T) {
 		}
 	}()
 	MustParse("not a program")
+}
+
+// TestGenProgramFuncParamsDeterministic pins the higher-order generator: a
+// fixed seed yields byte-identical source on every call, the program
+// typechecks against the standard natives, main carries exactly the requested
+// function-typed parameters, and the generated body actually calls through at
+// least one of them (so downstream property tests never silently degenerate
+// to first-order programs).
+func TestGenProgramFuncParamsDeterministic(t *testing.T) {
+	cfg := GenConfig{Natives: []string{"hash"}, NumHelpers: 1, NumInputs: 2, FuncParams: 2}
+	called := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		a := GenProgram(rand.New(rand.NewSource(seed)), cfg)
+		b := GenProgram(rand.New(rand.NewSource(seed)), cfg)
+		if a != b {
+			t.Fatalf("seed %d: generator not deterministic:\n%s\n---\n%s", seed, a, b)
+		}
+		prog := MustCheck(MustParse(a), stdNatives())
+		shape := prog.FuncShape()
+		if len(shape) != cfg.FuncParams {
+			t.Fatalf("seed %d: %d function params, want %d\n%s", seed, len(shape), cfg.FuncParams, a)
+		}
+		for i, fp := range shape {
+			if want := fmt.Sprintf("f%d", i); fp.Name != want || fp.Arity != 1 {
+				t.Fatalf("seed %d: param %d is %s/%d, want %s/1", seed, i, fp.Name, fp.Arity, want)
+			}
+		}
+		if strings.Contains(a, "f0(") || strings.Contains(a, "f1(") {
+			called++
+		}
+	}
+	if called < 12 {
+		t.Fatalf("only %d/25 seeds call a function parameter; generator grammar regressed", called)
+	}
 }

@@ -119,6 +119,33 @@ func (p *parser) parseType() (Type, error) {
 			return Type{}, errf(n.Pos, "array length %d out of range", n.Int)
 		}
 		return Type{Kind: TArray, Len: int(n.Int)}, nil
+	case TokFn:
+		// fn(int, ..., int) int — a function-typed parameter. The arity is
+		// the number of int argument slots (1..8).
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return Type{}, err
+		}
+		arity := 0
+		for p.peek().Kind != TokRParen {
+			if arity > 0 {
+				if _, err := p.expect(TokComma); err != nil {
+					return Type{}, err
+				}
+			}
+			if _, err := p.expect(TokIntType); err != nil {
+				return Type{}, err
+			}
+			arity++
+		}
+		p.next() // )
+		if _, err := p.expect(TokIntType); err != nil {
+			return Type{}, err
+		}
+		if arity < 1 || arity > 8 {
+			return Type{}, errf(t.Pos, "function type arity %d out of range (1..8)", arity)
+		}
+		return Type{Kind: TFunc, Len: arity}, nil
 	default:
 		return Type{}, errf(t.Pos, "expected type, found %s", t)
 	}

@@ -23,6 +23,10 @@ type GenConfig struct {
 	// expression generator may call (exercising interprocedural paths and
 	// the summary machinery).
 	NumHelpers int
+	// FuncParams adds that many fn(int) int parameters to main (named f0,
+	// f1, ...); the expression generator calls through them, exercising the
+	// callback machinery end to end.
+	FuncParams int
 }
 
 func (c *GenConfig) defaults() {
@@ -63,6 +67,14 @@ func GenProgram(r *rand.Rand, cfg GenConfig) string {
 		fmt.Fprintf(&b, "%s int", name)
 		g.vars = append(g.vars, name)
 	}
+	for i := 0; i < cfg.FuncParams; i++ {
+		if cfg.NumInputs > 0 || i > 0 {
+			b.WriteString(", ")
+		}
+		name := fmt.Sprintf("f%d", i)
+		fmt.Fprintf(&b, "%s fn(int) int", name)
+		g.funcs = append(g.funcs, name)
+	}
 	b.WriteString(") {\n")
 	g.block(&b, 1, cfg.MaxDepth)
 	b.WriteString("}\n")
@@ -73,6 +85,7 @@ type progGen struct {
 	r       *rand.Rand
 	cfg     GenConfig
 	vars    []string // in-scope int variables
+	funcs   []string // in-scope function-typed parameters (main only)
 	next    int      // fresh-name counter
 	errs    int
 	helpers int // helpers emitted so far (callable by the expression grammar)
@@ -85,7 +98,9 @@ func (g *progGen) helper(b *strings.Builder, idx int) {
 	saved := g.vars
 	savedErr := g.cfg.ErrorProb
 	savedHelpers := g.helpers
+	savedFuncs := g.funcs
 	g.vars = []string{"p0", "p1"}
+	g.funcs = nil // helpers do not see main's callbacks
 	g.cfg.ErrorProb = 0
 	g.helpers = idx // a helper may call earlier helpers only (no recursion)
 	g.block(b, 1, 1)
@@ -93,6 +108,7 @@ func (g *progGen) helper(b *strings.Builder, idx int) {
 	fmt.Fprintf(b, "return %s;\n", g.intExpr(2))
 	b.WriteString("}\n")
 	g.vars = saved
+	g.funcs = savedFuncs
 	g.cfg.ErrorProb = savedErr
 	g.helpers = savedHelpers
 	g.helpers = idx + 1
@@ -190,6 +206,9 @@ func (g *progGen) intExpr(depth int) string {
 		}
 		return fmt.Sprintf("(0 - %s)", g.intExpr(depth-1))
 	case 7:
+		if len(g.funcs) > 0 && (g.helpers == 0 || g.r.Intn(2) == 0) {
+			return fmt.Sprintf("%s(%s)", g.funcs[g.r.Intn(len(g.funcs))], g.intExpr(depth-1))
+		}
 		if g.helpers > 0 {
 			return fmt.Sprintf("h%d(%s, %s)", g.r.Intn(g.helpers), g.intExpr(depth-1), g.intExpr(depth-1))
 		}

@@ -39,19 +39,27 @@ func RunVM(c *Compiled, input []int64, opts RunOptions) *Result {
 	fnIx := c.byName["main"]
 	ints := make([]int64, c.fns[fnIx].numInts)
 	arrs := make([][]int64, c.fns[fnIx].numArrs)
+	fns := make([]*FuncValue, c.fns[fnIx].numFns)
 
 	// Distribute the flattened input over parameter slots. Int parameters
-	// occupy the first int slots and array parameters the first array slots,
-	// in declaration order (mirroring the compiler's declare order).
-	k, intSlot, arrSlot := 0, 0, 0
+	// occupy the first int slots, array parameters the first array slots, and
+	// function parameters the fn slots, in declaration order (mirroring the
+	// compiler's declare order).
+	k, intSlot, arrSlot, fnSlot := 0, 0, 0, 0
 	for _, prm := range main.Params {
-		if prm.Type.Kind == TArray {
+		switch prm.Type.Kind {
+		case TArray:
 			a := make([]int64, prm.Type.Len)
 			copy(a, input[k:k+prm.Type.Len])
 			k += prm.Type.Len
 			arrs[arrSlot] = a
 			arrSlot++
-		} else {
+		case TFunc:
+			if fnSlot < len(opts.Funcs) {
+				fns[fnSlot] = opts.Funcs[fnSlot]
+			}
+			fnSlot++
+		default:
 			ints[intSlot] = input[k]
 			intSlot++
 			k++
@@ -61,7 +69,7 @@ func RunVM(c *Compiled, input []int64, opts RunOptions) *Result {
 		panic(fmt.Sprintf("mini.RunVM: input length %d does not match shape %d", len(input), k))
 	}
 
-	ret, err := m.exec(fnIx, ints, arrs)
+	ret, err := m.exec(fnIx, ints, arrs, fns)
 	m.res.Steps = m.steps
 	switch e := err.(type) {
 	case nil:
@@ -81,7 +89,7 @@ func RunVM(c *Compiled, input []int64, opts RunOptions) *Result {
 }
 
 // exec runs one function frame to completion.
-func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64) (int64, error) {
+func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64, fns []*FuncValue) (int64, error) {
 	fn := &m.c.fns[fnIx]
 	code := fn.code
 	stack := make([]int64, 0, 16)
@@ -220,6 +228,18 @@ func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64) (int64, error) {
 			}
 			stack = append(stack, out)
 
+		case OpCallPar:
+			n := int(in.B)
+			args := make([]int64, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fv := fns[in.A]
+			out := fv.Eval(args)
+			if m.opts.OnCallbackCall != nil {
+				m.opts.OnCallbackCall(fv, args, out)
+			}
+			stack = append(stack, out)
+
 		case OpCall:
 			m.depth++
 			if m.depth > m.opts.MaxDepth {
@@ -237,7 +257,11 @@ func (m *vm) exec(fnIx int, ints []int64, arrs [][]int64) (int64, error) {
 			for i, from := range site.arrFrom {
 				carrs[i] = arrs[from]
 			}
-			ret, err := m.exec(int(in.A), cints, carrs)
+			cfns := make([]*FuncValue, callee.numFns)
+			for i, from := range site.fnFrom {
+				cfns[i] = fns[from]
+			}
+			ret, err := m.exec(int(in.A), cints, carrs, cfns)
 			m.depth--
 			if err != nil {
 				return 0, err
@@ -279,7 +303,7 @@ func RunFuncVM(c *Compiled, name string, args []int64, opts RunOptions) *Result 
 		panic("mini.RunFuncVM: no function " + name)
 	}
 	fn := &c.fns[ix]
-	if len(args) != len(fn.intParam) || fn.arrParam != 0 {
+	if len(args) != len(fn.intParam) || fn.arrParam != 0 || fn.numFns != 0 {
 		panic("mini.RunFuncVM: " + name + " signature mismatch (int params only)")
 	}
 	if opts.MaxSteps <= 0 {
@@ -295,7 +319,7 @@ func RunFuncVM(c *Compiled, name string, args []int64, opts RunOptions) *Result 
 		ints[slot] = args[i]
 	}
 	arrs := make([][]int64, fn.numArrs)
-	ret, err := m.exec(ix, ints, arrs)
+	ret, err := m.exec(ix, ints, arrs, nil)
 	m.res.Steps = m.steps
 	switch e := err.(type) {
 	case nil:

@@ -55,6 +55,9 @@ type RunRecord struct {
 	Run int
 	// Input is the executed input vector. Not copied: treat as read-only.
 	Input []int64
+	// Funcs are the run's function-valued inputs in canonical text, one per
+	// function parameter of the program (nil for first-order programs).
+	Funcs []string
 	// Path is the branch trace of the execution ('0'/'1' per branch event).
 	Path string
 	// Gained is how many previously-uncovered branch sides this run covered.
@@ -122,6 +125,8 @@ type statsRec struct {
 	ProverInvalid     int    `json:"prover_invalid,omitempty"`
 	ProverUnknown     int    `json:"prover_unknown,omitempty"`
 	MultiStepChains   int    `json:"multistep_chains,omitempty"`
+	CallbackTargets   int    `json:"callback_targets,omitempty"`
+	FuncsSynthesized  int    `json:"funcs_synthesized,omitempty"`
 	ProofCacheHits    int    `json:"proof_cache_hits,omitempty"`
 	ProofCacheMisses  int    `json:"proof_cache_misses,omitempty"`
 	// Checkpoints counts snapshots taken, cumulatively across resumed
@@ -137,9 +142,13 @@ type statsRec struct {
 	CovTrace    []int           `json:"cov_trace,omitempty"`
 }
 
-// itemRec is the serialized form of one work-queue item.
+// itemRec is the serialized form of one work-queue item. Funcs holds the
+// function-valued inputs in canonical text, one per function parameter ("" =
+// the default function); absent for first-order programs, so their snapshots
+// are byte-identical to earlier builds.
 type itemRec struct {
 	Input    []int64            `json:"input"`
+	Funcs    []string           `json:"funcs,omitempty"`
 	Expected []mini.BranchEvent `json:"expected,omitempty"`
 	Bound    int                `json:"bound,omitempty"`
 	Rung     int                `json:"rung,omitempty"`
@@ -153,6 +162,7 @@ type pendingRec struct {
 	Alt      *sym.ExprRec       `json:"alt"`
 	Expected []mini.BranchEvent `json:"expected,omitempty"`
 	Fallback []int64            `json:"fallback"`
+	Funcs    []string           `json:"funcs,omitempty"`
 	Bound    int                `json:"bound"`
 	Retries  int                `json:"retries"`
 	Hot      bool               `json:"hot,omitempty"`
@@ -187,6 +197,8 @@ func (s *Stats) encodeRec() statsRec {
 		ProverInvalid:     s.ProverInvalid,
 		ProverUnknown:     s.ProverUnknown,
 		MultiStepChains:   s.MultiStepChains,
+		CallbackTargets:   s.CallbackTargets,
+		FuncsSynthesized:  s.FuncsSynthesized,
 		ProofCacheHits:    s.ProofCacheHits,
 		ProofCacheMisses:  s.ProofCacheMisses,
 		Checkpoints:       s.Checkpoints,
@@ -223,6 +235,8 @@ func (s *Stats) applyRec(rec statsRec) {
 	s.ProverInvalid = rec.ProverInvalid
 	s.ProverUnknown = rec.ProverUnknown
 	s.MultiStepChains = rec.MultiStepChains
+	s.CallbackTargets = rec.CallbackTargets
+	s.FuncsSynthesized = rec.FuncsSynthesized
 	s.ProofCacheHits = rec.ProofCacheHits
 	s.ProofCacheMisses = rec.ProofCacheMisses
 	s.Checkpoints = rec.Checkpoints
@@ -302,9 +316,45 @@ func decodeBinKeys(keys []string) (map[string]bool, error) {
 	return m, nil
 }
 
+// encodeFuncVals renders function inputs for a snapshot: one canonical string
+// per entry, "" preserving nil entries exactly. A nil slice stays nil (the
+// field is omitted for first-order programs).
+func encodeFuncVals(funcs []*mini.FuncValue) []string {
+	if funcs == nil {
+		return nil
+	}
+	out := make([]string, len(funcs))
+	for i, fv := range funcs {
+		if fv != nil {
+			out[i] = fv.String()
+		}
+	}
+	return out
+}
+
+// decodeFuncVals inverts encodeFuncVals.
+func decodeFuncVals(texts []string) ([]*mini.FuncValue, error) {
+	if texts == nil {
+		return nil, nil
+	}
+	out := make([]*mini.FuncValue, len(texts))
+	for i, t := range texts {
+		if t == "" {
+			continue
+		}
+		fv, err := mini.ParseFuncValue(t)
+		if err != nil {
+			return nil, fmt.Errorf("search: function input %d: %w", i, err)
+		}
+		out[i] = fv
+	}
+	return out, nil
+}
+
 func encodeItem(it item) (itemRec, error) {
 	rec := itemRec{
 		Input:    it.input,
+		Funcs:    encodeFuncVals(it.funcs),
 		Expected: it.expected,
 		Bound:    it.bound,
 		Rung:     int(it.rung),
@@ -321,7 +371,8 @@ func encodeItem(it item) (itemRec, error) {
 		}
 		rec.Pending = &pendingRec{
 			Strategy: strat, Alt: alt, Expected: pt.expected,
-			Fallback: pt.fallback, Bound: pt.bound, Retries: pt.retries, Hot: pt.hot,
+			Fallback: pt.fallback, Funcs: encodeFuncVals(pt.funcs),
+			Bound: pt.bound, Retries: pt.retries, Hot: pt.hot,
 		}
 	}
 	return rec, nil
@@ -331,8 +382,13 @@ func decodeItem(rec itemRec, res *sym.Resolver) (item, error) {
 	if rec.Rung < 0 || rec.Rung >= int(NumRungs) {
 		return item{}, fmt.Errorf("search: item rung %d out of range", rec.Rung)
 	}
+	funcs, err := decodeFuncVals(rec.Funcs)
+	if err != nil {
+		return item{}, err
+	}
 	it := item{
 		input:    rec.Input,
+		funcs:    funcs,
 		expected: rec.Expected,
 		bound:    rec.Bound,
 		rung:     Rung(rec.Rung),
@@ -350,9 +406,14 @@ func decodeItem(rec itemRec, res *sym.Resolver) (item, error) {
 		if err != nil {
 			return item{}, err
 		}
+		pfuncs, err := decodeFuncVals(p.Funcs)
+		if err != nil {
+			return item{}, err
+		}
 		it.pending = &pendingTarget{
 			strategy: strat, alt: alt, expected: p.Expected,
-			fallback: p.Fallback, bound: p.Bound, retries: p.Retries, hot: p.Hot,
+			fallback: p.Fallback, funcs: pfuncs,
+			bound: p.Bound, retries: p.Retries, hot: p.Hot,
 		}
 	}
 	return it, nil

@@ -199,6 +199,42 @@ func TestCheckpointResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumeCallback extends the kill-and-resume drill to
+// function-valued inputs: on every callback workload, a higher-order search
+// killed at an arbitrary checkpoint and resumed in a fresh process (snapshot
+// round-tripped through JSON) reproduces the uninterrupted run's canonical
+// stats byte-for-byte, at workers 1 and 4 — so synthesized decision tables
+// survive the snapshot codec in both the work queue and the bug reports.
+func TestCheckpointResumeCallback(t *testing.T) {
+	for _, wl := range lexapp.CallbackWorkloads() {
+		opts := search.Options{MaxRuns: 60}
+		for _, workers := range []int{1, 4} {
+			base, baseStats, snaps := checkpointedRun(t, wl, concolic.ModeHigherOrder, opts, workers, 1)
+			if len(snaps) == 0 {
+				t.Fatalf("%s workers=%d: no checkpoints taken (runs=%d)", wl.Name, workers, baseStats.Runs)
+			}
+			if len(baseStats.ErrorSitesFound()) == 0 {
+				t.Fatalf("%s workers=%d: baseline found no bug", wl.Name, workers)
+			}
+			for _, idx := range []int{0, len(snaps) / 2} {
+				o, st := resumeRun(t, wl, concolic.ModeHigherOrder, opts, workers, snaps[idx])
+				label := wl.Name
+				if got, want := mustCanonical(t, st), mustCanonical(t, baseStats); got != want {
+					t.Errorf("%s workers=%d resume@%d: final stats differ:\nuninterrupted: %s\nresumed:       %s",
+						label, workers, idx, want, got)
+				}
+				for _, bug := range st.Bugs {
+					if len(bug.Funcs) == 0 {
+						t.Errorf("%s workers=%d resume@%d: resumed bug lost its function inputs: %v",
+							label, workers, idx, bug)
+					}
+				}
+				diffLines(t, label, streamAfterCheckpoint(base, idx+1), filteredStream(o))
+			}
+		}
+	}
+}
+
 // TestCheckpointResumeAcrossWorkerCounts extends the PR 1 guarantee across
 // the process boundary in the mixed case: a snapshot taken at workers=1,
 // resumed at workers=4, still lands on the same final state.

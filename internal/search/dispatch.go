@@ -38,6 +38,10 @@ import (
 type ExecRequest struct {
 	// Input is the input vector to execute.
 	Input []int64
+	// Funcs are the function-valued inputs in canonical textual form, one per
+	// function parameter ("" for a nil entry, meaning the constant-0 default).
+	// Nil for first-order programs.
+	Funcs []string
 	// Version is the coordinator's sample-store length at dispatch time. It
 	// is a replica-sync hint only: execution semantics never read the store,
 	// and a stale replica at most re-observes samples the coordinator already

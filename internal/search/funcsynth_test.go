@@ -1,0 +1,76 @@
+package search_test
+
+import (
+	"testing"
+
+	"hotg/internal/concolic"
+	"hotg/internal/lexapp"
+	"hotg/internal/search"
+)
+
+// TestCallbackSynthesisFindsBugs is the tentpole property: on every callback
+// workload the higher-order searcher constructs function inputs that reach
+// the bug, while the DART-style baselines (which concretize callback results)
+// never see the predicate branches' true sides and find nothing.
+func TestCallbackSynthesisFindsBugs(t *testing.T) {
+	for _, wl := range lexapp.CallbackWorkloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			p := wl.Build()
+			ho := search.Run(concolic.New(p, concolic.ModeHigherOrder),
+				search.Options{MaxRuns: 60, Seeds: wl.Seeds, Bounds: wl.Bounds})
+			if len(ho.ErrorSitesFound()) == 0 {
+				t.Fatalf("higher-order found no bug: %+v", ho.Summary())
+			}
+			for _, bug := range ho.Bugs {
+				if len(bug.Funcs) == 0 {
+					t.Fatalf("bug %v carries no function inputs", bug)
+				}
+			}
+			for _, mode := range []concolic.Mode{concolic.ModeUnsound, concolic.ModeSound} {
+				base := search.Run(concolic.New(wl.Build(), mode),
+					search.Options{MaxRuns: 60, Seeds: wl.Seeds, Bounds: wl.Bounds})
+				if len(base.ErrorSitesFound()) != 0 {
+					t.Fatalf("%v baseline reached the callback bug: %+v", mode, base.Summary())
+				}
+			}
+		})
+	}
+}
+
+// TestCallbackBranchSideDomination checks the E16 claim at test scale: the
+// higher-order searcher's covered branch-side set strictly contains every
+// baseline's on each callback workload.
+func TestCallbackBranchSideDomination(t *testing.T) {
+	for _, wl := range lexapp.CallbackWorkloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			numBranches := wl.Build().NumBranches
+			cover := func(mode concolic.Mode) map[[2]int]bool {
+				st := search.Run(concolic.New(wl.Build(), mode),
+					search.Options{MaxRuns: 60, Seeds: wl.Seeds, Bounds: wl.Bounds})
+				out := make(map[[2]int]bool)
+				for id := 0; id < numBranches; id++ {
+					for side := 0; side < 2; side++ {
+						if st.SideCovered(id, side == 1) {
+							out[[2]int{id, side}] = true
+						}
+					}
+				}
+				return out
+			}
+			ho := cover(concolic.ModeHigherOrder)
+			for _, mode := range []concolic.Mode{concolic.ModeUnsound, concolic.ModeSound} {
+				base := cover(mode)
+				for s := range base {
+					if !ho[s] {
+						t.Fatalf("%v covered branch %d side %d, higher-order did not", mode, s[0], s[1])
+					}
+				}
+				if len(ho) <= len(base) {
+					t.Fatalf("no strict domination over %v: ho=%d base=%d", mode, len(ho), len(base))
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,12 @@ type item struct {
 	expected []mini.BranchEvent
 	bound    int
 	pending  *pendingTarget
+	// funcs are the function-valued inputs the test runs under, aligned with
+	// the program's FuncShape (nil, or nil entries, mean the default
+	// function). Seeds run with nil funcs; generated tests inherit their
+	// parent execution's funcs unless the callback synthesis invented new
+	// ones.
+	funcs []*mini.FuncValue
 	// rung records which precision-ladder rung generated the input
 	// (RungProof for seeds, which predate any solving); it rides along so
 	// run records and checkpoints can report test provenance.
@@ -134,6 +141,7 @@ type pendingTarget struct {
 	alt      sym.Expr
 	expected []mini.BranchEvent
 	fallback []int64
+	funcs    []*mini.FuncValue
 	bound    int
 	retries  int
 	hot      bool
@@ -285,6 +293,8 @@ func (s *searcher) flushObs() {
 	o.Counter("search.divergences").Add(int64(st.Divergences))
 	o.Counter("search.bugs").Add(int64(len(st.Bugs)))
 	o.Counter("search.multistep_chains").Add(int64(st.MultiStepChains))
+	o.Counter("search.callback.targets").Add(int64(st.CallbackTargets))
+	o.Counter("search.callback.funcs_synthesized").Add(int64(st.FuncsSynthesized))
 	o.Counter("search.prover.calls").Add(int64(st.ProverCalls))
 	o.Counter("search.prover.proved").Add(int64(st.ProverProved))
 	o.Counter("search.prover.invalid").Add(int64(st.ProverInvalid))
@@ -415,6 +425,38 @@ func inputKey(in []int64) string {
 	return string(buf)
 }
 
+// runKey is the dedup key of one test: the scalar input vector plus, for
+// programs with function-valued parameters, the canonical rendering of every
+// function input. Two tests are the same run iff both agree — the same
+// scalars under a different synthesized callback explore a different path.
+// For programs without function parameters it is exactly inputKey, so
+// checkpoints of first-order searches are unchanged.
+func (s *searcher) runKey(input []int64, funcs []*mini.FuncValue) string {
+	shape := s.eng.FuncShape()
+	if len(shape) == 0 {
+		return inputKey(input)
+	}
+	return inputKey(input) + "|" + mini.FuncValuesKey(funcs, shape)
+}
+
+// funcsText renders the function inputs in canonical text, one per function
+// parameter, for run records and bug reports. Nil for first-order programs.
+func (s *searcher) funcsText(funcs []*mini.FuncValue) []string {
+	shape := s.eng.FuncShape()
+	if len(shape) == 0 {
+		return nil
+	}
+	out := make([]string, len(shape))
+	for i, fp := range shape {
+		var fv *mini.FuncValue
+		if i < len(funcs) {
+			fv = funcs[i]
+		}
+		out[i] = mini.FuncValueString(fv, fp.Arity)
+	}
+	return out
+}
+
 // batchSource says where nextBatch got its work from.
 type batchSource int
 
@@ -454,7 +496,7 @@ func (s *searcher) nextBatch() ([]item, batchSource) {
 		for len(batch) < limit && len(s.hot) > 0 && s.hot[0].pending == nil {
 			it := s.hot[0]
 			s.hot = s.hot[1:]
-			key := inputKey(it.input)
+			key := s.runKey(it.input, it.funcs)
 			if s.tried[key] || batchKeys[key] {
 				continue
 			}
@@ -469,7 +511,7 @@ func (s *searcher) nextBatch() ([]item, batchSource) {
 	if len(s.cold) > 0 {
 		it := s.cold[0]
 		s.cold = s.cold[1:]
-		if s.tried[inputKey(it.input)] {
+		if s.tried[s.runKey(it.input, it.funcs)] {
 			return nil, srcRun
 		}
 		return []item{it}, srcRun
@@ -555,13 +597,13 @@ func (s *searcher) processBatch(batch []item) bool {
 	// execOne shields the coordinator from executor panics (injected faults or
 	// interpreter defects): a panicking run is dropped and accounted instead of
 	// taking the whole search down.
-	execOne := func(eng *concolic.Engine, input []int64) (ex *concolic.Execution, panicked bool) {
+	execOne := func(eng *concolic.Engine, input []int64, funcs []*mini.FuncValue) (ex *concolic.Execution, panicked bool) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				ex, panicked = nil, true
 			}
 		}()
-		return eng.Run(input), false
+		return eng.RunWith(input, funcs), false
 	}
 	tracing := s.tracing()
 	// prevLen tracks the shared store size so per-item "samples learned"
@@ -581,7 +623,7 @@ func (s *searcher) processBatch(batch []item) bool {
 		version := s.eng.Samples.Len()
 		reqs := make([]ExecRequest, len(batch))
 		for i, it := range batch {
-			reqs[i] = ExecRequest{Input: it.input, Version: version}
+			reqs[i] = ExecRequest{Input: it.input, Funcs: s.funcsText(it.funcs), Version: version}
 		}
 		replies, err := d.ExecBatch(reqs)
 		if err == nil && len(replies) != len(reqs) {
@@ -600,7 +642,7 @@ func (s *searcher) processBatch(batch []item) bool {
 		if tracing {
 			t0 = time.Now()
 		}
-		results[0].ex, results[0].panicked = execOne(s.eng, batch[0].input)
+		results[0].ex, results[0].panicked = execOne(s.eng, batch[0].input, batch[0].funcs)
 		if tracing {
 			results[0].start, results[0].dur = t0, time.Since(t0)
 		}
@@ -611,7 +653,7 @@ func (s *searcher) processBatch(batch []item) bool {
 				t0 = time.Now()
 			}
 			overlay := sym.NewOverlay(s.eng.Samples)
-			ex, panicked := execOne(s.eng.Clone(overlay), batch[i].input)
+			ex, panicked := execOne(s.eng.Clone(overlay), batch[i].input, batch[i].funcs)
 			results[i] = runResult{ex: ex, overlay: overlay, panicked: panicked, worker: worker, start: t0}
 			if tracing {
 				results[i].dur = time.Since(t0)
@@ -626,7 +668,7 @@ func (s *searcher) processBatch(batch []item) bool {
 			// still counts as tried so the queue cannot loop on it; nothing is
 			// merged or recorded — a partial run's coverage would make reports
 			// depend on cancellation timing.
-			s.tried[inputKey(it.input)] = true
+			s.tried[s.runKey(it.input, it.funcs)] = true
 			if r.panicked {
 				s.stats.Budget.ExecFailures++
 				if tracing {
@@ -645,9 +687,10 @@ func (s *searcher) processBatch(batch []item) bool {
 			// re-observe pairs the coordinator already holds).
 			s.eng.Samples.Add(smp.Fn, smp.Args, smp.Out)
 		}
-		s.tried[inputKey(it.input)] = true
+		s.tried[s.runKey(it.input, it.funcs)] = true
 		bugsBefore := len(s.stats.Bugs)
-		gained := s.stats.recordRun(r.ex.Result, it.input)
+		funcsText := s.funcsText(it.funcs)
+		gained := s.stats.recordRunFuncs(r.ex.Result, it.input, funcsText)
 		if r.ex.Incomplete {
 			s.stats.Incomplete = true
 		}
@@ -684,7 +727,7 @@ func (s *searcher) processBatch(batch []item) bool {
 		}
 		if s.opts.OnRun != nil {
 			rec := RunRecord{
-				Run: s.stats.Runs, Input: it.input, Path: r.ex.Result.Path(),
+				Run: s.stats.Runs, Input: it.input, Funcs: funcsText, Path: r.ex.Result.Path(),
 				Gained: gained, Rung: it.rung,
 				Seed:         !it.noExpand && it.expected == nil,
 				Intermediate: it.noExpand,
@@ -805,13 +848,13 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 	prefix := make([]sliceEntry, 0, len(ex.PC))
 	for i := 0; i < bound && i < len(ex.PC); i++ {
 		e := ex.PC[i].Expr
-		prefix = append(prefix, sliceEntry{expr: e, vars: varIDs(e)})
+		prefix = append(prefix, sliceEntry{expr: e, vars: depIDs(e)})
 	}
-	var targets []*target
+	var targets, callback []*target
 	for k := bound; k < len(ex.PC); k++ {
 		c := ex.PC[k]
 		if c.IsConcretization {
-			prefix = append(prefix, sliceEntry{expr: c.Expr, vars: varIDs(c.Expr)})
+			prefix = append(prefix, sliceEntry{expr: c.Expr, vars: depIDs(c.Expr)})
 			continue
 		}
 		negated := sym.NotExpr(c.Expr)
@@ -820,7 +863,14 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 		if !s.targeted[key] {
 			s.targeted[key] = true
 			t := &target{alt: sliceAltPre(prefix, negated), expected: expected, k: k, worker: -1}
-			targets = append(targets, t)
+			if hasInputFn(t.alt) {
+				// The target constrains a function-valued input: it is solved
+				// by the witness-constructor path (funcsynth.go), which
+				// materializes a concrete decision table per generated test.
+				callback = append(callback, t)
+			} else {
+				targets = append(targets, t)
+			}
 			if s.tracing() {
 				s.emit(obs.Event{Kind: "target", Worker: -1,
 					Num: map[string]int64{
@@ -829,15 +879,17 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 					}})
 			}
 		}
-		prefix = append(prefix, sliceEntry{expr: c.Expr, vars: varIDs(c.Expr)})
+		prefix = append(prefix, sliceEntry{expr: c.Expr, vars: depIDs(c.Expr)})
 	}
-	if len(targets) == 0 {
-		return
+	if len(targets) > 0 {
+		if s.eng.Mode == concolic.ModeHigherOrder {
+			s.solveTargetsHigherOrder(targets, ex, hot)
+		} else {
+			s.solveTargetsSat(targets, ex, hot)
+		}
 	}
-	if s.eng.Mode == concolic.ModeHigherOrder {
-		s.solveTargetsHigherOrder(targets, ex.Input, hot)
-	} else {
-		s.solveTargetsSat(targets, ex.Input, hot)
+	if len(callback) > 0 {
+		s.solveTargetsCallback(callback, ex, hot)
 	}
 }
 
@@ -855,7 +907,8 @@ func (s *searcher) expand(ex *concolic.Execution, bound int, hot bool) {
 // fan out, just skipping the proof. Timed-out and panicked proofs are not
 // cached either — an entry recording "ran out of wall clock" would poison
 // every later occurrence of the formula.
-func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, hot bool) {
+func (s *searcher) solveTargetsHigherOrder(targets []*target, ex *concolic.Execution, hot bool) {
+	fallback := ex.Input
 	version := s.eng.Samples.Len()
 	fb := make(map[int]int64, len(fallback))
 	for i, v := range s.eng.InputVars {
@@ -967,6 +1020,7 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 				alt:      t.alt,
 				expected: t.expected,
 				fallback: fallback,
+				funcs:    ex.Funcs,
 				bound:    t.k + 1,
 				retries:  s.opts.MaxMultiStep,
 				hot:      hot,
@@ -997,7 +1051,7 @@ func (s *searcher) solveTargetsHigherOrder(targets []*target, fallback []int64, 
 		if t.status != smt.StatusSat {
 			continue
 		}
-		s.enqueueTest(s.inputFrom(t.model.Vars, fallback), t.expected, t.k+1, hot, t.rung)
+		s.enqueueTest(s.inputFrom(t.model.Vars, fallback), ex.Funcs, t.expected, t.k+1, hot, t.rung)
 	}
 }
 
@@ -1029,7 +1083,8 @@ func (s *searcher) solveTodoLocal(todo []*target) {
 // solveTargetsSat is classic test generation: satisfiability checks of
 // ALT(pc), fanned out and cached like the validity proofs (solver results do
 // not depend on the sample store, so the cache key is the formula alone).
-func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool) {
+func (s *searcher) solveTargetsSat(targets []*target, ex *concolic.Execution, hot bool) {
+	fallback := ex.Input
 	var todo []*target
 	for _, t := range targets {
 		t.cacheKey = t.alt.Key()
@@ -1093,7 +1148,7 @@ func (s *searcher) solveTargetsSat(targets []*target, fallback []int64, hot bool
 		}
 		// Lower modes already solve at the quantifier-free rung; tag their
 		// tests accordingly so per-rung counts are meaningful across modes.
-		s.enqueueTest(input, t.expected, t.k+1, hot, RungQF)
+		s.enqueueTest(input, ex.Funcs, t.expected, t.k+1, hot, RungQF)
 	}
 }
 
@@ -1116,7 +1171,7 @@ func (s *searcher) resolveAndEnqueue(pt *pendingTarget, first bool) bool {
 		if ok, probes := fol.Holds(pt.alt, values, s.eng.Samples); len(probes) == 0 && !ok {
 			return false
 		}
-		s.enqueueTest(input, pt.expected, pt.bound, pt.hot, RungProof)
+		s.enqueueTest(input, pt.funcs, pt.expected, pt.bound, pt.hot, RungProof)
 		return true
 	}
 	if pt.retries <= 0 {
@@ -1139,8 +1194,9 @@ func (s *searcher) resolveAndEnqueue(pt *pendingTarget, first bool) bool {
 			Str: map[string]string{"intermediate": fmt.Sprint(intermediate)}})
 	}
 	// Intermediate sample-collection runs and their continuations always go
-	// hot: they complete a proof already in hand.
-	s.hot = append(s.hot, item{input: intermediate, noExpand: true})
+	// hot: they complete a proof already in hand. They run under the parent's
+	// function inputs, so the samples they collect are the parent function's.
+	s.hot = append(s.hot, item{input: intermediate, funcs: pt.funcs, noExpand: true})
 	s.hot = append(s.hot, item{pending: pt})
 	return true
 }
@@ -1180,8 +1236,8 @@ func (s *searcher) inBounds(input []int64) bool {
 // enqueueTest queues a generated test, recording which precision-ladder rung
 // produced it (RungProof for strategies, RungQF for plain solving, lower for
 // degraded targets).
-func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound int, hot bool, rung Rung) {
-	if s.tried[inputKey(input)] {
+func (s *searcher) enqueueTest(input []int64, funcs []*mini.FuncValue, expected []mini.BranchEvent, bound int, hot bool, rung Rung) {
+	if s.tried[s.runKey(input, funcs)] {
 		return
 	}
 	s.stats.TestsGenerated++
@@ -1191,11 +1247,15 @@ func (s *searcher) enqueueTest(input []int64, expected []mini.BranchEvent, bound
 		if hot {
 			queue = "hot"
 		}
-		s.emit(obs.Event{Kind: "test_generated", Worker: -1,
+		ev := obs.Event{Kind: "test_generated", Worker: -1,
 			Num: map[string]int64{"bound": int64(bound)},
-			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue, "rung": rung.String()}})
+			Str: map[string]string{"input": fmt.Sprint(input), "queue": queue, "rung": rung.String()}}
+		if ft := s.funcsText(funcs); ft != nil {
+			ev.Str["funcs"] = strings.Join(ft, "; ")
+		}
+		s.emit(ev)
 	}
-	it := item{input: input, expected: expected, bound: bound, rung: rung}
+	it := item{input: input, funcs: funcs, expected: expected, bound: bound, rung: rung}
 	if hot {
 		s.hot = append(s.hot, it)
 	} else {

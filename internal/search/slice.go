@@ -78,6 +78,35 @@ func varIDs(e sym.Expr) []int {
 	return out
 }
 
+// depIDs is varIDs extended with a pseudo-ID for every function-valued-input
+// symbol the expression applies. Two constraints mentioning the same callback
+// are coupled through the function table even when they share no scalar
+// variables (p(3)==1 and p(5)==7 both constrain p), so variable-only slicing
+// would unsoundly separate them. Input symbols map to the negative range
+// -(ID+1), which cannot collide with variable IDs; environment functions
+// (natives, unknown instructions) keep their ground truth across tests and
+// need no coupling.
+func depIDs(e sym.Expr) []int {
+	out := varIDs(e)
+	for _, a := range sym.Applies(e) {
+		if a.Fn.Input {
+			out = append(out, -(a.Fn.ID + 1))
+		}
+	}
+	return out
+}
+
+// hasInputFn reports whether the formula applies any function-valued input —
+// the marker routing a target to the callback-synthesis path.
+func hasInputFn(e sym.Expr) bool {
+	for _, a := range sym.Applies(e) {
+		if a.Fn.Input {
+			return true
+		}
+	}
+	return false
+}
+
 // targetKey identifies a flip attempt: the predicted trace (which encodes the
 // path prefix and the flipped event) plus the negated constraint. Identical
 // targets from different parents would generate identical tests, so they are

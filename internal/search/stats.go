@@ -22,10 +22,17 @@ type Bug struct {
 	Site  int    // error-site ID for StopError, -1 for faults
 	Msg   string // error message or fault description
 	Input []int64
-	Run   int // which execution found it (1-based)
+	// Funcs are the function-valued inputs of the discovering run, in
+	// canonical text, one per function parameter (nil for first-order
+	// programs — omitted from serialized stats so their bytes are unchanged).
+	Funcs []string `json:"Funcs,omitempty"`
+	Run   int      // which execution found it (1-based)
 }
 
 func (b Bug) String() string {
+	if len(b.Funcs) > 0 {
+		return fmt.Sprintf("run %d: %s %q input=%v funcs=%v", b.Run, b.Kind, b.Msg, b.Input, b.Funcs)
+	}
 	return fmt.Sprintf("run %d: %s %q input=%v", b.Run, b.Kind, b.Msg, b.Input)
 }
 
@@ -48,6 +55,14 @@ type Stats struct {
 
 	MultiStepChains int // targets that needed ≥1 intermediate test
 	SamplesLearned  int // IOF entries accumulated
+
+	// CallbackTargets counts targets whose alternate constraint mentions a
+	// function-valued input; FuncsSynthesized counts the decision tables the
+	// search invented for them (tier-2 witness construction). Both are part
+	// of the canonical trajectory — callback targets are discharged in
+	// constraint order on the coordinator.
+	CallbackTargets  int
+	FuncsSynthesized int
 
 	// Workers is the resolved worker count the search ran with.
 	Workers int
@@ -181,6 +196,12 @@ func newStats(mode string, numBranches int) *Stats {
 // recordRun accounts one execution and returns how many previously-uncovered
 // branch sides it covered (the generational-search score of SAGE).
 func (s *Stats) recordRun(res *mini.Result, input []int64) int {
+	return s.recordRunFuncs(res, input, nil)
+}
+
+// recordRunFuncs is recordRun for runs carrying function-valued inputs; the
+// canonical renderings ride on any bug the run records.
+func (s *Stats) recordRunFuncs(res *mini.Result, input []int64, funcs []string) int {
 	s.Runs++
 	gained := 0
 	for _, ev := range res.Branches {
@@ -202,9 +223,9 @@ func (s *Stats) recordRun(res *mini.Result, input []int64) int {
 	s.CovTrace = append(s.CovTrace, s.BranchSidesCovered())
 	switch res.Kind {
 	case mini.StopError:
-		s.addBug(Bug{Kind: res.Kind, Site: res.ErrorSite, Msg: res.ErrorMsg, Input: input, Run: s.Runs})
+		s.addBug(Bug{Kind: res.Kind, Site: res.ErrorSite, Msg: res.ErrorMsg, Input: input, Funcs: funcs, Run: s.Runs})
 	case mini.StopRuntime:
-		s.addBug(Bug{Kind: res.Kind, Site: -1, Msg: res.RuntimeMsg, Input: input, Run: s.Runs})
+		s.addBug(Bug{Kind: res.Kind, Site: -1, Msg: res.RuntimeMsg, Input: input, Funcs: funcs, Run: s.Runs})
 	}
 	return gained
 }

@@ -73,6 +73,22 @@ func (o Options) stopProbe() func() bool {
 type Model struct {
 	Vars  map[int]int64
 	Funcs map[string]int64
+	// FuncRows are the witness interpretations in concrete decision-table
+	// form: one row per application, with the argument terms *evaluated*
+	// under the model (nested applications resolved through their stand-in
+	// values). This is the form higher-order test generation reads the
+	// invented function off — Funcs keys embed Ackermann stand-in variable
+	// IDs for nested applications and cannot be matched against source-level
+	// application keys. Rows are sorted by (Fn, Args) for determinism.
+	FuncRows []FuncRow
+}
+
+// FuncRow is one concrete sample of a model's witness interpretation:
+// Fn(Args) = Out under the satisfying assignment.
+type FuncRow struct {
+	Fn   string
+	Args []int64
+	Out  int64
 }
 
 // Solve decides satisfiability of the quantifier-free formula f over
@@ -124,6 +140,13 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 
 	funcs := map[string]int64{}
 	appVars := map[string]*sym.Var{}
+	apps := map[string]*sym.Apply{}
+	// The pre-reduction variable set: Ackermann's reduction can erase a
+	// variable that occurs only inside an application's arguments (f(x)==1
+	// becomes v_f==1), but the model must still assign it — the witness rows
+	// evaluate those arguments, and a test built from the model pairs the
+	// variable's value with the invented function's table.
+	origVars := sym.Vars(f)
 	if sym.HasApply(f) {
 		if ack != nil {
 			reduced, cur := ack.reduce(f)
@@ -132,6 +155,9 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 			}
 			f = reduced
 			appVars = cur
+			for k := range cur {
+				apps[k] = ack.apps[k]
+			}
 		} else {
 			if opts.Pool == nil {
 				panic("smt: formula contains uninterpreted applications but Options.Pool is nil")
@@ -143,6 +169,7 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 			}
 			f = sym.AndExpr(ar.Formula, ar.Consistency)
 			appVars = ar.AppVars
+			apps = ar.Apps
 		}
 	}
 
@@ -165,8 +192,12 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 	}
 
 	// Make sure every free variable of f has a dense index so it receives a
-	// model value even if it occurs in no surviving atom.
+	// model value even if it occurs in no surviving atom, including variables
+	// the Ackermann rewrite left only inside recorded application arguments.
 	for _, v := range sym.Vars(f) {
+		comp.denseVar(v)
+	}
+	for _, v := range origVars {
 		comp.denseVar(v)
 	}
 
@@ -217,6 +248,38 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 				if val, ok := m.Vars[av.ID]; ok {
 					m.Funcs[key] = val
 				}
+			}
+			// Concrete witness rows: the recorded applications are apply-free
+			// (nested applications already replaced by stand-ins), so each
+			// argument evaluates directly under the full assignment — which
+			// still includes the stand-in values at this point.
+			for key, a := range apps {
+				out, ok := m.Funcs[key]
+				if !ok || a == nil {
+					continue
+				}
+				args := make([]int64, len(a.Args))
+				for i, arg := range a.Args {
+					args[i] = evalSumUnder(arg, m.Vars)
+				}
+				m.FuncRows = append(m.FuncRows, FuncRow{Fn: a.Fn.Name, Args: args, Out: out})
+			}
+			sort.Slice(m.FuncRows, func(i, j int) bool {
+				a, b := m.FuncRows[i], m.FuncRows[j]
+				if a.Fn != b.Fn {
+					return a.Fn < b.Fn
+				}
+				for k := range a.Args {
+					if k >= len(b.Args) {
+						return false
+					}
+					if a.Args[k] != b.Args[k] {
+						return a.Args[k] < b.Args[k]
+					}
+				}
+				return len(a.Args) < len(b.Args)
+			})
+			for _, av := range appVars {
 				delete(m.Vars, av.ID)
 			}
 			return StatusSat, m
@@ -239,6 +302,18 @@ func solveWith(f sym.Expr, opts Options, ack *ackState) (Status, *Model) {
 		}
 	}
 	return StatusUnknown, nil
+}
+
+// evalSumUnder evaluates an apply-free linear term under a variable
+// assignment (unassigned variables count as 0).
+func evalSumUnder(s *sym.Sum, vars map[int]int64) int64 {
+	v := s.Const
+	for _, t := range s.Terms {
+		if a, ok := t.Atom.(*sym.Var); ok {
+			v += t.Coef * vars[a.ID]
+		}
+	}
+	return v
 }
 
 func clampBound(b Bound) Bound {

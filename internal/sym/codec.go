@@ -29,6 +29,7 @@ type VarRec struct {
 type AppRec struct {
 	Fn    string    `json:"fn"`
 	Arity int       `json:"a"`
+	Input bool      `json:"in,omitempty"` // function-valued input (InputFuncSym)
 	Args  []*SumRec `json:"args"`
 }
 
@@ -65,7 +66,7 @@ func EncodeSum(s *Sum) (*SumRec, error) {
 		case *Var:
 			tr.Var = &VarRec{ID: a.ID, Name: a.Name}
 		case *Apply:
-			app := &AppRec{Fn: a.Fn.Name, Arity: a.Fn.Arity}
+			app := &AppRec{Fn: a.Fn.Name, Arity: a.Fn.Arity, Input: a.Fn.Input}
 			for _, arg := range a.Args {
 				ar, err := EncodeSum(arg)
 				if err != nil {
@@ -186,7 +187,7 @@ func DecodeSum(rec *SumRec, r *Resolver) (*Sum, error) {
 				return nil, fmt.Errorf("sym: application %s has %d args, declared arity %d",
 					app.Fn, len(app.Args), app.Arity)
 			}
-			fn, err := safeFuncSym(r.pool, app.Fn, app.Arity)
+			fn, err := safeFuncSym(r.pool, app.Fn, app.Arity, app.Input)
 			if err != nil {
 				return nil, err
 			}

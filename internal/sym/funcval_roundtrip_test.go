@@ -1,0 +1,101 @@
+package sym
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestInputFuncValSamplesRoundTrip pins the Input flag through the samples
+// codec: samples of a function-valued input (InputFuncSym) must decode back
+// onto an Input symbol in a fresh pool — a plain FuncSym lookup would reject
+// the name — while environment unknowns stay non-input. Re-encoding must be
+// byte-stable.
+func TestInputFuncValSamplesRoundTrip(t *testing.T) {
+	var p Pool
+	f0 := p.InputFuncSym("f0", 1)
+	hash := p.FuncSym("hash", 1)
+	s := NewSampleStore()
+	s.Add(f0, []int64{0}, 1)
+	s.Add(f0, []int64{7}, -2)
+	s.Add(hash, []int64{3}, 42)
+
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var fresh Pool
+	dst := NewSampleStore()
+	added, err := DecodeSamples(bytes.NewReader(buf.Bytes()), dst, &fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("added %d samples, want 3", added)
+	}
+	rf0 := fresh.InputFuncSym("f0", 1)
+	if !rf0.Input {
+		t.Fatal("decoded f0 lost its Input flag")
+	}
+	if v, ok := dst.Lookup(rf0, []int64{7}); !ok || v != -2 {
+		t.Fatalf("f0(7) = %d %v after round trip", v, ok)
+	}
+	rhash := fresh.FuncSym("hash", 1)
+	if rhash.Input {
+		t.Fatal("decoded hash gained an Input flag")
+	}
+	if v, ok := dst.Lookup(rhash, []int64{3}); !ok || v != 42 {
+		t.Fatalf("hash(3) = %d %v after round trip", v, ok)
+	}
+
+	var buf2 bytes.Buffer
+	if err := dst.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-encode not byte-stable:\n%s\n---\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+// TestInputFuncValExprRoundTrip pins the Input flag through the expression
+// codec: an Apply of a function-valued input survives EncodeSum → JSON →
+// DecodeSum into a fresh pool with Input intact.
+func TestInputFuncValExprRoundTrip(t *testing.T) {
+	var p Pool
+	f0 := p.InputFuncSym("f0", 2)
+	x := p.NewVar("x")
+	sum := ApplyTerm(f0, VarTerm(x), &Sum{Const: 3})
+
+	rec, err := EncodeSum(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SumRec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	var fresh Pool
+	got, err := DecodeSum(&back, NewResolver(&fresh, []*Var{x}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ok := got.IsApply()
+	if !ok {
+		t.Fatalf("decoded sum is not an apply: %s", got)
+	}
+	if !app.Fn.Input {
+		t.Fatal("decoded apply lost the Input flag on its function symbol")
+	}
+	if app.Fn.Name != "f0" || app.Fn.Arity != 2 {
+		t.Fatalf("decoded symbol is %s/%d, want f0/2", app.Fn.Name, app.Fn.Arity)
+	}
+	if got.String() != sum.String() {
+		t.Fatalf("round trip changed the term: %s vs %s", got.String(), sum.String())
+	}
+}

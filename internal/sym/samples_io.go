@@ -6,12 +6,15 @@ import (
 	"io"
 )
 
-// sampleRecord is the on-disk form of one IOF entry.
+// sampleRecord is the on-disk form of one IOF entry. Input marks samples of
+// function-valued *inputs* (callback parameters): their symbols resolve
+// through InputFuncSym, which a plain FuncSym lookup would reject.
 type sampleRecord struct {
 	Fn    string  `json:"fn"`
 	Arity int     `json:"arity"`
 	Args  []int64 `json:"args"`
 	Out   int64   `json:"out"`
+	Input bool    `json:"input,omitempty"`
 }
 
 // Encode writes the store as JSON (one array of records, insertion order
@@ -24,6 +27,7 @@ func (s *SampleStore) Encode(w io.Writer) error {
 	for _, smp := range all {
 		records = append(records, sampleRecord{
 			Fn: smp.Fn.Name, Arity: smp.Fn.Arity, Args: smp.Args, Out: smp.Out,
+			Input: smp.Fn.Input,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -46,7 +50,7 @@ func DecodeSamples(r io.Reader, dst *SampleStore, pool *Pool) (int, error) {
 			return added, fmt.Errorf("sym: sample %d is malformed (fn=%q arity=%d args=%d)",
 				i, rec.Fn, rec.Arity, len(rec.Args))
 		}
-		fn, err := safeFuncSym(pool, rec.Fn, rec.Arity)
+		fn, err := safeFuncSym(pool, rec.Fn, rec.Arity, rec.Input)
 		if err != nil {
 			return added, fmt.Errorf("sym: sample %d: %w", i, err)
 		}
@@ -61,12 +65,16 @@ func DecodeSamples(r io.Reader, dst *SampleStore, pool *Pool) (int, error) {
 	return added, nil
 }
 
-// safeFuncSym resolves a function symbol without panicking on arity clashes.
-func safeFuncSym(pool *Pool, name string, arity int) (fn *Func, err error) {
+// safeFuncSym resolves a function symbol without panicking on arity or
+// input-kind clashes.
+func safeFuncSym(pool *Pool, name string, arity int, input bool) (fn *Func, err error) {
 	defer func() {
 		if recover() != nil {
 			err = fmt.Errorf("function %s redeclared with different arity %d", name, arity)
 		}
 	}()
+	if input {
+		return pool.InputFuncSym(name, arity), nil
+	}
 	return pool.FuncSym(name, arity), nil
 }

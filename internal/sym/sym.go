@@ -90,6 +90,11 @@ type Func struct {
 	ID    int
 	Name  string
 	Arity int
+	// Input marks the symbol as a function-valued *input* of the program (a
+	// callback parameter) rather than an environment unknown. Input symbols
+	// have no fixed ground truth: search is free to invent any decision
+	// table for them, which is what makes ∃-synthesis sound for callbacks.
+	Input bool
 }
 
 func (f *Func) String() string { return f.Name }
@@ -278,10 +283,38 @@ func (p *Pool) FuncSym(name string, arity int) *Func {
 		if f.Arity != arity {
 			panic(fmt.Sprintf("sym: function %s redeclared with arity %d (was %d)", name, arity, f.Arity))
 		}
+		if f.Input {
+			panic(fmt.Sprintf("sym: input function %s redeclared as an environment symbol", name))
+		}
 		return f
 	}
 	p.nextFunc++
 	f := &Func{ID: p.nextFunc, Name: name, Arity: arity}
+	p.funcs[name] = f
+	return f
+}
+
+// InputFuncSym is FuncSym for function-valued inputs: the returned symbol has
+// Input set. Requesting a name already registered as a non-input symbol (or
+// vice versa) panics — a symbol is either an environment unknown or an input,
+// never both.
+func (p *Pool) InputFuncSym(name string, arity int) *Func {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.funcs == nil {
+		p.funcs = make(map[string]*Func)
+	}
+	if f, ok := p.funcs[name]; ok {
+		if f.Arity != arity {
+			panic(fmt.Sprintf("sym: function %s redeclared with arity %d (was %d)", name, arity, f.Arity))
+		}
+		if !f.Input {
+			panic(fmt.Sprintf("sym: function %s redeclared as an input symbol", name))
+		}
+		return f
+	}
+	p.nextFunc++
+	f := &Func{ID: p.nextFunc, Name: name, Arity: arity, Input: true}
 	p.funcs[name] = f
 	return f
 }
